@@ -1,0 +1,102 @@
+// Mitigation: closing the loop from detection to enforcement.
+//
+// The paper's pipeline ends with "mitigate the attacks using the key
+// characteristics of the culprit flows revealed by the reversible
+// sketches" (§3.1). This example wires a HiFIND detector to the
+// mitigation engine: each interval's final alerts install filter rules
+// (block the scanner, rate-limit the flooded service), and the next
+// interval's traffic passes through the filter before reaching the
+// protected network. The printout shows attack traffic collapsing after
+// the first detection while benign traffic flows untouched.
+//
+//	go run ./examples/mitigation
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"github.com/hifind/hifind/internal/core"
+	"github.com/hifind/hifind/internal/mitigate"
+	"github.com/hifind/hifind/internal/netmodel"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mitigation:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	det, err := core.NewDetector(core.TestRecorderConfig(0x717), core.DetectorConfig{Threshold: 60})
+	if err != nil {
+		return err
+	}
+	engine, err := mitigate.New(mitigate.Config{FloodBudget: 50})
+	if err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	victim := netmodel.MustParseIPv4("129.105.40.1")
+	scanner := netmodel.MustParseIPv4("203.0.113.77")
+
+	for iv := 0; iv < 6; iv++ {
+		var offered, delivered, benignDelivered, benignOffered int
+		emit := func(p netmodel.Packet, benign bool) {
+			offered++
+			if benign {
+				benignOffered++
+			}
+			if !engine.Admit(p) { // mitigation filter in front of the edge
+				return
+			}
+			delivered++
+			if benign {
+				benignDelivered++
+			}
+			det.Observe(p)
+		}
+		// Benign answered traffic toward the victim's web service.
+		for i := 0; i < 300; i++ {
+			client := netmodel.IPv4(0x08000000 + rng.Uint32()%0xffffff)
+			sport := uint16(30000 + rng.Intn(30000))
+			emit(netmodel.Packet{SrcIP: client, DstIP: victim, SrcPort: sport, DstPort: 80,
+				Flags: netmodel.FlagSYN, Dir: netmodel.Inbound}, true)
+			det.Observe(netmodel.Packet{SrcIP: victim, DstIP: client, SrcPort: 80, DstPort: sport,
+				Flags: netmodel.FlagSYN | netmodel.FlagACK, Dir: netmodel.Outbound})
+		}
+		if iv >= 1 {
+			// Spoofed flood against the victim's mail service (which also
+			// answers a trickle so it registers as an active service).
+			for i := 0; i < 600; i++ {
+				emit(netmodel.Packet{SrcIP: netmodel.IPv4(rng.Uint32()), DstIP: victim,
+					SrcPort: uint16(1024 + rng.Intn(60000)), DstPort: 25,
+					Flags: netmodel.FlagSYN, Dir: netmodel.Inbound}, false)
+			}
+			det.Observe(netmodel.Packet{SrcIP: victim, DstIP: 0x08000001, SrcPort: 25, DstPort: 44444,
+				Flags: netmodel.FlagSYN | netmodel.FlagACK, Dir: netmodel.Outbound})
+			// Horizontal scan.
+			for i := 0; i < 150; i++ {
+				emit(netmodel.Packet{SrcIP: scanner, DstIP: netmodel.IPv4(0x81690000 + uint32(iv*150+i)),
+					SrcPort: uint16(40000 + i), DstPort: 22,
+					Flags: netmodel.FlagSYN, Dir: netmodel.Inbound}, false)
+			}
+		}
+		res, err := det.EndInterval()
+		if err != nil {
+			return err
+		}
+		engine.Apply(res.Final)
+		engine.Tick()
+		fmt.Printf("interval %d: offered %4d SYN-bearing pkts, delivered %4d (benign %d/%d), alerts %d, rules %d\n",
+			iv, offered, delivered, benignDelivered, benignOffered, len(res.Final), len(engine.Rules()))
+		for _, r := range engine.Rules() {
+			fmt.Printf("  rule: %s\n", r)
+		}
+	}
+	fmt.Printf("\ntotal SYNs dropped by mitigation: %d (benign traffic untouched)\n", engine.Dropped())
+	return nil
+}

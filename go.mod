@@ -1,0 +1,3 @@
+module github.com/hifind/hifind
+
+go 1.22

@@ -1,0 +1,414 @@
+// Package hifind implements HiFIND, the DoS-resilient high-speed
+// flow-level intrusion detection system of Gao, Li and Chen (ICDCS 2006).
+//
+// HiFIND records TCP control-plane traffic into a small, fixed set of
+// sketches — reversible sketches keyed by {SIP,Dport}, {DIP,Dport} and
+// {SIP,DIP} recording #SYN−#SYN/ACK, an original k-ary sketch recording
+// #SYN, and two novel two-dimensional sketches — about 13 MB in total
+// regardless of traffic volume. Once per interval it forecasts each
+// sketch with an EWMA model, reverses the heavy forecast errors back into
+// concrete attacker/victim keys, classifies each detection as a SYN
+// flood, horizontal scan or vertical scan, and filters benign anomalies
+// (congestion, misconfiguration) out of the flooding alerts.
+//
+// Basic use:
+//
+//	det, err := hifind.New()
+//	...
+//	for pkt := range packets {
+//		det.Observe(pkt)
+//	}
+//	res, err := det.EndInterval() // once per minute
+//	for _, alert := range res.Final { ... }
+//
+// Because every recording structure is linear, per-router state can be
+// serialized (Recorder, StateSnapshot) and summed at a central site
+// (EndIntervalMerged) to detect attacks split across asymmetric routes —
+// see examples/multirouter.
+package hifind
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"github.com/hifind/hifind/internal/core"
+	"github.com/hifind/hifind/internal/netmodel"
+)
+
+// Direction says which way a packet crossed the monitored edge.
+type Direction int
+
+// Directions.
+const (
+	// Inbound packets enter the monitored network from outside.
+	Inbound Direction = iota + 1
+	// Outbound packets leave the monitored network.
+	Outbound
+)
+
+// Packet is one observed TCP packet event, described by the fields HiFIND
+// needs: the IPv4 4-tuple, the handshake-relevant flags, and direction.
+type Packet struct {
+	Timestamp time.Time
+	SrcIP     netip.Addr
+	DstIP     netip.Addr
+	SrcPort   uint16
+	DstPort   uint16
+	SYN       bool
+	ACK       bool
+	FIN       bool
+	RST       bool
+	Dir       Direction
+}
+
+// toInternal converts the public packet; non-IPv4 addresses report ok=false.
+func (p Packet) toInternal() (netmodel.Packet, bool) {
+	if !p.SrcIP.Is4() || !p.DstIP.Is4() {
+		return netmodel.Packet{}, false
+	}
+	src, dst := p.SrcIP.As4(), p.DstIP.As4()
+	var flags netmodel.TCPFlags
+	if p.SYN {
+		flags |= netmodel.FlagSYN
+	}
+	if p.ACK {
+		flags |= netmodel.FlagACK
+	}
+	if p.FIN {
+		flags |= netmodel.FlagFIN
+	}
+	if p.RST {
+		flags |= netmodel.FlagRST
+	}
+	return netmodel.Packet{
+		Timestamp: p.Timestamp,
+		SrcIP:     netmodel.IPv4(uint32(src[0])<<24 | uint32(src[1])<<16 | uint32(src[2])<<8 | uint32(src[3])),
+		DstIP:     netmodel.IPv4(uint32(dst[0])<<24 | uint32(dst[1])<<16 | uint32(dst[2])<<8 | uint32(dst[3])),
+		SrcPort:   p.SrcPort,
+		DstPort:   p.DstPort,
+		Flags:     flags,
+		Dir:       netmodel.Direction(p.Dir),
+	}, true
+}
+
+// AlertType classifies a detection.
+type AlertType int
+
+// Alert types.
+const (
+	SYNFlood AlertType = iota + 1
+	HorizontalScan
+	VerticalScan
+	// BlockScan marks a source sweeping an address range × port range,
+	// recognized by merging its simultaneous horizontal- and vertical-
+	// scan detections.
+	BlockScan
+)
+
+// String names the alert type.
+func (t AlertType) String() string {
+	switch t {
+	case SYNFlood:
+		return "syn-flood"
+	case HorizontalScan:
+		return "hscan"
+	case VerticalScan:
+		return "vscan"
+	case BlockScan:
+		return "blockscan"
+	default:
+		return fmt.Sprintf("alerttype(%d)", int(t))
+	}
+}
+
+// Alert is one detected intrusion with the culprit flow keys recovered by
+// the reversible sketches.
+type Alert struct {
+	Type     AlertType
+	Interval int
+	// Attacker is the offending source (invalid Addr for spoofed floods).
+	Attacker netip.Addr
+	// Victim is the targeted address (invalid for horizontal scans, which
+	// sweep many).
+	Victim netip.Addr
+	// Port is the targeted service port (0 for vertical scans).
+	Port uint16
+	// Spoofed marks floods with no attributable source.
+	Spoofed bool
+	// Magnitude is the forecast-error change that triggered the alert,
+	// in un-responded SYNs per interval.
+	Magnitude float64
+	// Fanout approximates the number of distinct hosts (hscan) or ports
+	// (vscan) touched.
+	Fanout int
+}
+
+// String renders the alert for humans.
+func (a Alert) String() string {
+	switch a.Type {
+	case SYNFlood:
+		who := "spoofed sources"
+		if !a.Spoofed && a.Attacker.IsValid() {
+			who = a.Attacker.String()
+		}
+		return fmt.Sprintf("SYN flood: %s -> %s:%d (Δ=%.0f unresponded SYNs)",
+			who, a.Victim, a.Port, a.Magnitude)
+	case HorizontalScan:
+		return fmt.Sprintf("horizontal scan: %s probing port %d on ~%d hosts (Δ=%.0f)",
+			a.Attacker, a.Port, a.Fanout, a.Magnitude)
+	case VerticalScan:
+		return fmt.Sprintf("vertical scan: %s probing %s on ~%d ports (Δ=%.0f)",
+			a.Attacker, a.Victim, a.Fanout, a.Magnitude)
+	case BlockScan:
+		return fmt.Sprintf("block scan: %s sweeping an address × port block (%d scan keys, Δ=%.0f)",
+			a.Attacker, a.Fanout, a.Magnitude)
+	default:
+		return "unknown alert"
+	}
+}
+
+// Result reports one interval's detections at each pipeline phase: Raw
+// (three-step reversible-sketch detection), AfterClassification (2D
+// sketches have re-typed stealthy floods reported as scans) and Final
+// (flooding false-positive heuristics applied). Most callers only need
+// Final; the earlier phases exist for observability and research.
+type Result struct {
+	Interval            int
+	Raw                 []Alert
+	AfterClassification []Alert
+	Final               []Alert
+	DetectionTime       time.Duration
+}
+
+// Detector is a complete HiFIND instance. It is not safe for concurrent
+// use; callers feeding packets from several goroutines must serialize.
+type Detector struct {
+	det      *core.Detector
+	rcfg     core.RecorderConfig
+	interval time.Duration
+	dropped  int64
+}
+
+// New builds a detector with the paper's default configuration (13.2 MB
+// of sketches, one-minute intervals, one un-responded SYN per second).
+func New(opts ...Option) (*Detector, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	rcfg, dcfg := cfg.build()
+	det, err := core.NewDetector(rcfg, dcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Detector{det: det, rcfg: rcfg, interval: cfg.interval}, nil
+}
+
+// Interval returns the configured interval length.
+func (d *Detector) Interval() time.Duration { return d.interval }
+
+// Observe records one packet. Non-IPv4 packets are counted and dropped
+// (the paper's system is IPv4-only).
+func (d *Detector) Observe(p Packet) {
+	ip, ok := p.toInternal()
+	if !ok {
+		d.dropped++
+		return
+	}
+	d.det.Observe(ip)
+}
+
+// Flow is a NetFlow-style unidirectional flow summary, the alternative
+// input unit to packets (the paper's evaluation consumed NetFlow exports,
+// §5.1). SYNs counts connection-opening SYNs in the flow; SYNACKs counts
+// handshake answers (meaningful for flows originating at the server side).
+type Flow struct {
+	SrcIP   netip.Addr
+	DstIP   netip.Addr
+	SrcPort uint16
+	DstPort uint16
+	Dir     Direction
+	SYNs    int
+	SYNACKs int
+}
+
+// ObserveFlow records one flow summary. Non-IPv4 flows are counted and
+// dropped like non-IPv4 packets.
+func (d *Detector) ObserveFlow(f Flow) {
+	if !f.SrcIP.Is4() || !f.DstIP.Is4() {
+		d.dropped++
+		return
+	}
+	src, dst := f.SrcIP.As4(), f.DstIP.As4()
+	d.det.ObserveFlow(netmodel.FlowRecord{
+		SrcIP:   netmodel.IPv4(uint32(src[0])<<24 | uint32(src[1])<<16 | uint32(src[2])<<8 | uint32(src[3])),
+		DstIP:   netmodel.IPv4(uint32(dst[0])<<24 | uint32(dst[1])<<16 | uint32(dst[2])<<8 | uint32(dst[3])),
+		SrcPort: f.SrcPort,
+		DstPort: f.DstPort,
+		Dir:     netmodel.Direction(f.Dir),
+		SYNs:    f.SYNs,
+		SYNACKs: f.SYNACKs,
+	})
+}
+
+// Dropped returns how many packets were ignored as non-IPv4.
+func (d *Detector) Dropped() int64 { return d.dropped }
+
+// MemoryBytes returns the total sketch memory, which is independent of
+// traffic volume — the basis of HiFIND's DoS resilience.
+func (d *Detector) MemoryBytes() int { return d.det.Recorder().MemoryBytes() }
+
+// EndInterval closes the current measurement interval, runs detection and
+// resets the recording structures for the next interval.
+func (d *Detector) EndInterval() (Result, error) {
+	res, err := d.det.EndInterval()
+	if err != nil {
+		return Result{}, err
+	}
+	return convertResult(res), nil
+}
+
+// EndIntervalMerged runs detection over the sum of this detector's own
+// recorded state and the serialized states of remote Recorders (the
+// multi-router deployment of paper §3.1/Figure 3). All participants must
+// have been built with the same options, in particular the same seed.
+func (d *Detector) EndIntervalMerged(states ...[]byte) (Result, error) {
+	merged, err := core.NewRecorder(d.rcfg)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := merged.Merge(d.det.Recorder()); err != nil {
+		return Result{}, err
+	}
+	for i, state := range states {
+		rec, err := core.NewRecorder(d.rcfg)
+		if err != nil {
+			return Result{}, err
+		}
+		if err := rec.UnmarshalBinary(state); err != nil {
+			return Result{}, fmt.Errorf("hifind: state %d: %w", i, err)
+		}
+		if err := merged.Merge(rec); err != nil {
+			return Result{}, fmt.Errorf("hifind: state %d: %w", i, err)
+		}
+	}
+	res, err := d.det.EndIntervalWith(merged)
+	if err != nil {
+		return Result{}, err
+	}
+	return convertResult(res), nil
+}
+
+// SaveState serializes the detector's cross-interval state — EWMA
+// forecasts, active-service memory, alert persistence — so a restarted
+// process can resume without re-learning (see LoadState). Call it at
+// interval boundaries, right after EndInterval.
+func (d *Detector) SaveState() ([]byte, error) {
+	return d.det.MarshalState()
+}
+
+// LoadState restores state saved by SaveState into a detector built with
+// the same options.
+func (d *Detector) LoadState(state []byte) error {
+	return d.det.RestoreState(state)
+}
+
+// Recorder is a recording-only HiFIND instance for edge routers in an
+// aggregated deployment: it observes traffic and ships its serialized
+// sketch state to the site running the Detector. Not safe for concurrent
+// use.
+type Recorder struct {
+	rec     *core.Recorder
+	dropped int64
+}
+
+// NewRecorder builds a recording-only instance. Use the same options as
+// the central Detector.
+func NewRecorder(opts ...Option) (*Recorder, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	rcfg, _ := cfg.build()
+	rec, err := core.NewRecorder(rcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Recorder{rec: rec}, nil
+}
+
+// Observe records one packet.
+func (r *Recorder) Observe(p Packet) {
+	ip, ok := p.toInternal()
+	if !ok {
+		r.dropped++
+		return
+	}
+	r.rec.Observe(ip)
+}
+
+// StateSnapshot serializes the interval's recorded state for transport to
+// the aggregation site and resets the recorder for the next interval.
+func (r *Recorder) StateSnapshot() ([]byte, error) {
+	data, err := r.rec.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	r.rec.Reset()
+	return data, nil
+}
+
+// MemoryBytes returns the recorder's fixed sketch memory.
+func (r *Recorder) MemoryBytes() int { return r.rec.MemoryBytes() }
+
+// convertResult maps the internal result to the public one.
+func convertResult(res core.IntervalResult) Result {
+	return Result{
+		Interval:            res.Interval,
+		Raw:                 convertAlerts(res.Raw),
+		AfterClassification: convertAlerts(res.Phase2),
+		Final:               convertAlerts(res.Final),
+		DetectionTime:       time.Duration(res.DetectionSeconds * float64(time.Second)),
+	}
+}
+
+func convertAlerts(in []core.Alert) []Alert {
+	out := make([]Alert, len(in))
+	for i, a := range in {
+		out[i] = Alert{
+			Interval:  a.Interval,
+			Spoofed:   a.Spoofed,
+			Magnitude: a.Estimate,
+			Fanout:    a.FanoutEstimate,
+			Port:      a.Port,
+		}
+		switch a.Type {
+		case core.AlertSYNFlood:
+			out[i].Type = SYNFlood
+			out[i].Victim = toAddr(a.DIP)
+			if !a.Spoofed {
+				out[i].Attacker = toAddr(a.SIP)
+			}
+		case core.AlertHScan:
+			out[i].Type = HorizontalScan
+			out[i].Attacker = toAddr(a.SIP)
+		case core.AlertVScan:
+			out[i].Type = VerticalScan
+			out[i].Attacker = toAddr(a.SIP)
+			out[i].Victim = toAddr(a.DIP)
+		case core.AlertBlockScan:
+			out[i].Type = BlockScan
+			out[i].Attacker = toAddr(a.SIP)
+		}
+	}
+	return out
+}
+
+func toAddr(ip netmodel.IPv4) netip.Addr {
+	return netip.AddrFrom4(ip.Octets())
+}

@@ -1,0 +1,119 @@
+// Package aggregate implements HiFIND's multi-router deployment (paper
+// §3.1, Figure 3 and §5.3.2). Each edge router records traffic into its
+// own Recorder; at the end of every interval the routers ship their
+// (compact, fixed-size) serialized sketch state to a central site, which
+// merges them by sketch linearity and runs detection once over the merged
+// state — obtaining exactly the result a single router seeing all traffic
+// would have produced, asymmetric routing and per-packet load balancing
+// notwithstanding.
+package aggregate
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"github.com/hifind/hifind/internal/core"
+	"github.com/hifind/hifind/internal/netmodel"
+)
+
+// Splitter models per-packet load-balanced routing: every packet
+// independently picks one of n routers, so the SYN and SYN/ACK of one
+// connection traverse different routers with probability (n−1)/n — the
+// paper's 2/3 for n=3. Deterministic given the seed.
+type Splitter struct {
+	n   int
+	rng *rand.Rand
+}
+
+// NewSplitter builds a splitter over n routers.
+func NewSplitter(n int, seed int64) (*Splitter, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("aggregate: splitter over %d routers", n)
+	}
+	return &Splitter{n: n, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Route picks the router for one packet.
+func (s *Splitter) Route(netmodel.Packet) int { return s.rng.Intn(s.n) }
+
+// Routers returns n.
+func (s *Splitter) Routers() int { return s.n }
+
+// MergeRecorders builds a fresh recorder equal to the sum of the inputs.
+func MergeRecorders(cfg core.RecorderConfig, recs ...*core.Recorder) (*core.Recorder, error) {
+	merged, err := core.NewRecorder(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := merged.Merge(recs...); err != nil {
+		return nil, err
+	}
+	return merged, nil
+}
+
+// MergePayloads merges serialized recorder states (as produced by
+// Recorder.MarshalBinary) received from remote routers.
+func MergePayloads(cfg core.RecorderConfig, payloads [][]byte) (*core.Recorder, error) {
+	if len(payloads) == 0 {
+		return nil, fmt.Errorf("aggregate: no payloads")
+	}
+	recs := make([]*core.Recorder, len(payloads))
+	for i, p := range payloads {
+		rec, err := core.NewRecorder(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := rec.UnmarshalBinary(p); err != nil {
+			return nil, fmt.Errorf("aggregate: payload %d: %w", i, err)
+		}
+		recs[i] = rec
+	}
+	return MergeRecorders(cfg, recs...)
+}
+
+// Frame is one router's per-interval report.
+type Frame struct {
+	Router   uint32
+	Interval uint32
+	Payload  []byte
+}
+
+const maxFramePayload = 256 << 20
+
+// WriteFrame writes a length-prefixed frame.
+func WriteFrame(w io.Writer, f Frame) error {
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], f.Router)
+	binary.LittleEndian.PutUint32(hdr[4:], f.Interval)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(f.Payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("aggregate: frame header: %w", err)
+	}
+	if _, err := w.Write(f.Payload); err != nil {
+		return fmt.Errorf("aggregate: frame payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one frame.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err // io.EOF passes through for clean shutdown
+	}
+	n := binary.LittleEndian.Uint32(hdr[8:])
+	if n > maxFramePayload {
+		return Frame{}, fmt.Errorf("aggregate: frame of %d bytes exceeds cap", n)
+	}
+	f := Frame{
+		Router:   binary.LittleEndian.Uint32(hdr[0:]),
+		Interval: binary.LittleEndian.Uint32(hdr[4:]),
+		Payload:  make([]byte, n),
+	}
+	if _, err := io.ReadFull(r, f.Payload); err != nil {
+		return Frame{}, fmt.Errorf("aggregate: frame payload: %w", err)
+	}
+	return f, nil
+}

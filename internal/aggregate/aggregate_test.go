@@ -1,0 +1,301 @@
+package aggregate
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hifind/hifind/internal/core"
+	"github.com/hifind/hifind/internal/netmodel"
+	"github.com/hifind/hifind/internal/trace"
+)
+
+func traceConfig(seed int64, intervals int) trace.Config {
+	cfg := trace.Config{
+		Seed:            seed,
+		Start:           time.Date(2005, 5, 10, 0, 0, 0, 0, time.UTC),
+		Interval:        time.Minute,
+		Intervals:       intervals,
+		InternalPrefix:  netmodel.MustParseIPv4("129.105.0.0"),
+		Servers:         30,
+		BackgroundFlows: 800,
+		OutboundFlows:   150,
+		FailRate:        0.04,
+	}
+	cfg.Attacks = []trace.Attack{{
+		Type: trace.SYNFlood, Spoofed: true,
+		Victim: netmodel.MustParseIPv4("129.105.200.1"), Ports: []uint16{80},
+		StartInterval: 2, EndInterval: intervals - 1, Rate: 600, ResponseRate: 0.1,
+		Cause: "flood",
+	}}
+	return cfg
+}
+
+func TestSplitter(t *testing.T) {
+	if _, err := NewSplitter(0, 1); err == nil {
+		t.Error("0 routers accepted")
+	}
+	s, err := NewSplitter(3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 3)
+	for i := 0; i < 9000; i++ {
+		r := s.Route(netmodel.Packet{})
+		if r < 0 || r >= 3 {
+			t.Fatalf("route %d out of range", r)
+		}
+		counts[r]++
+	}
+	for i, c := range counts {
+		if c < 2500 || c > 3500 {
+			t.Errorf("router %d got %d/9000 packets, want ≈3000", i, c)
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := Frame{Router: 2, Interval: 7, Payload: []byte("sketch-state")}
+	if err := WriteFrame(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Router != want.Router || got.Interval != want.Interval || !bytes.Equal(got.Payload, want.Payload) {
+		t.Errorf("frame round trip: %+v != %+v", got, want)
+	}
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Error("empty stream should error")
+	}
+}
+
+func TestReadFrameRejectsHugePayload(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff})
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Error("4GB frame accepted")
+	}
+}
+
+// TestAggregatedDetectionMatchesSingleRouter reproduces §5.3.2: split the
+// trace per-packet over three routers, merge the serialized recorders at a
+// collector over real TCP, and verify detection equals a single router
+// seeing everything.
+func TestAggregatedDetectionMatchesSingleRouter(t *testing.T) {
+	rcfg := core.TestRecorderConfig(0x5151)
+	dcfg := core.DetectorConfig{Threshold: 60}
+	const intervals = 6
+
+	// Reference: single detector sees everything.
+	single, err := core.NewDetector(rcfg, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := trace.New(traceConfig(31, intervals))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Aggregated: three router recorders + collector + detector.
+	collector, err := NewCollector(rcfg, 3, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer collector.Close()
+	aggDet, err := core.NewDetector(rcfg, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routers := make([]*core.Recorder, 3)
+	clients := make([]*RouterClient, 3)
+	for i := range routers {
+		if routers[i], err = core.NewRecorder(rcfg); err != nil {
+			t.Fatal(err)
+		}
+		if clients[i], err = Dial(uint32(i), collector.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		defer clients[i].Close()
+	}
+	split, err := NewSplitter(3, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var singleAlerts, aggAlerts []core.Alert
+	for iv := 0; iv < intervals; iv++ {
+		pkts, err := gen.GenerateInterval(iv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pkts {
+			single.Observe(p)
+			routers[split.Route(p)].Observe(p)
+		}
+		sres, err := single.EndInterval()
+		if err != nil {
+			t.Fatal(err)
+		}
+		singleAlerts = append(singleAlerts, sres.Final...)
+
+		// Ship all three router states concurrently, as real routers would.
+		var wg sync.WaitGroup
+		sendErrs := make([]error, 3)
+		for i := range clients {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sendErrs[i] = clients[i].SendInterval(iv, routers[i])
+			}(i)
+		}
+		merged, err := collector.CollectInterval(iv)
+		wg.Wait()
+		for i, e := range sendErrs {
+			if e != nil {
+				t.Fatalf("router %d send: %v", i, e)
+			}
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range routers {
+			r.Reset()
+		}
+		ares, err := aggDet.EndIntervalWith(merged)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aggAlerts = append(aggAlerts, ares.Final...)
+	}
+
+	key := func(alerts []core.Alert) map[core.AlertKey]bool {
+		m := map[core.AlertKey]bool{}
+		for _, a := range alerts {
+			m[a.Key()] = true
+		}
+		return m
+	}
+	sk, ak := key(singleAlerts), key(aggAlerts)
+	if len(sk) == 0 {
+		t.Fatal("single-router reference detected nothing; test is vacuous")
+	}
+	if len(sk) != len(ak) {
+		t.Fatalf("aggregated found %d distinct alerts, single found %d", len(ak), len(sk))
+	}
+	for k := range sk {
+		if !ak[k] {
+			t.Errorf("aggregated detection missing alert %+v", k)
+		}
+	}
+}
+
+func TestMergePayloadsValidation(t *testing.T) {
+	rcfg := core.TestRecorderConfig(0x1)
+	if _, err := MergePayloads(rcfg, nil); err == nil {
+		t.Error("no payloads accepted")
+	}
+	if _, err := MergePayloads(rcfg, [][]byte{{1, 2, 3}}); err == nil {
+		t.Error("garbage payload accepted")
+	}
+}
+
+func TestCollectorProtocolViolations(t *testing.T) {
+	rcfg := core.TestRecorderConfig(0x2)
+	collector, err := NewCollector(rcfg, 1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer collector.Close()
+	client, err := Dial(0, collector.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	rec, err := core.NewRecorder(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.SendInterval(5, rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := collector.CollectInterval(0); err == nil {
+		t.Error("wrong-interval frame accepted")
+	}
+}
+
+func TestCollectorCloseUnblocks(t *testing.T) {
+	rcfg := core.TestRecorderConfig(0x3)
+	collector, err := NewCollector(rcfg, 2, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := collector.CollectInterval(0)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := collector.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("CollectInterval returned nil after Close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("CollectInterval did not unblock on Close")
+	}
+}
+
+func TestCollectIntervalWithinToleratesDeadRouter(t *testing.T) {
+	rcfg := core.TestRecorderConfig(0x9)
+	collector, err := NewCollector(rcfg, 3, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer collector.Close()
+	// Only two of the three expected routers connect and report.
+	for id := uint32(0); id < 2; id++ {
+		client, err := Dial(id, collector.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer client.Close()
+		rec, err := core.NewRecorder(rcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec.Observe(netmodel.Packet{SrcIP: 1 + netmodel.IPv4(id), DstIP: 2, DstPort: 80,
+			Flags: netmodel.FlagSYN, Dir: netmodel.Inbound})
+		if err := client.SendInterval(0, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, contributed, err := collector.CollectIntervalWithin(0, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contributed != 2 {
+		t.Errorf("contributed = %d, want 2", contributed)
+	}
+	if merged.Packets() != 2 {
+		t.Errorf("merged packets = %d, want 2", merged.Packets())
+	}
+}
+
+func TestCollectIntervalWithinAllDead(t *testing.T) {
+	rcfg := core.TestRecorderConfig(0xA)
+	collector, err := NewCollector(rcfg, 2, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer collector.Close()
+	if _, _, err := collector.CollectIntervalWithin(0, 50*time.Millisecond); err == nil {
+		t.Error("zero contributions accepted")
+	}
+}

@@ -1,0 +1,176 @@
+package aggregate
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/hifind/hifind/internal/core"
+)
+
+// Collector is the central aggregation site: it accepts one TCP connection
+// per router, reads one frame per router per interval, merges the payloads
+// and hands the merged recorder to the caller. Lifetime is explicit:
+// NewCollector starts listening, Close stops the accept loop and waits for
+// it to exit (no fire-and-forget goroutines).
+type Collector struct {
+	cfg       core.RecorderConfig
+	routers   int
+	ln        net.Listener
+	frames    chan Frame
+	errs      chan error
+	done      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// NewCollector listens on addr ("127.0.0.1:0" for tests) and expects
+// exactly routers connections.
+func NewCollector(cfg core.RecorderConfig, routers int, addr string) (*Collector, error) {
+	if routers < 1 {
+		return nil, fmt.Errorf("aggregate: collector for %d routers", routers)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("aggregate: listen: %w", err)
+	}
+	c := &Collector{
+		cfg:     cfg,
+		routers: routers,
+		ln:      ln,
+		frames:  make(chan Frame),
+		errs:    make(chan error, routers),
+		done:    make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the listening address for routers to dial.
+func (c *Collector) Addr() string { return c.ln.Addr().String() }
+
+func (c *Collector) acceptLoop() {
+	defer c.wg.Done()
+	for i := 0; i < c.routers; i++ {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			select {
+			case <-c.done: // Close was called; quiet exit
+			default:
+				c.errs <- fmt.Errorf("aggregate: accept: %w", err)
+			}
+			return
+		}
+		c.wg.Add(1)
+		go c.readLoop(conn)
+	}
+}
+
+func (c *Collector) readLoop(conn net.Conn) {
+	defer c.wg.Done()
+	defer conn.Close()
+	for {
+		f, err := ReadFrame(conn)
+		if err != nil {
+			return // EOF or Close; per-connection errors end the stream
+		}
+		select {
+		case c.frames <- f:
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// CollectInterval blocks until one frame per router arrives for the given
+// interval, then returns the merged recorder. Frames for other intervals
+// are a protocol violation and reported as errors.
+func (c *Collector) CollectInterval(interval int) (*core.Recorder, error) {
+	rec, _, err := c.collect(interval, nil)
+	return rec, err
+}
+
+// CollectIntervalWithin is CollectInterval with a deadline: when a router
+// dies mid-interval, aggregation proceeds with whatever arrived in time —
+// detection over most of the edge beats no detection, and sketch linearity
+// makes the partial merge exactly the traffic the surviving routers saw.
+// It reports how many routers contributed. At least one frame is required.
+func (c *Collector) CollectIntervalWithin(interval int, timeout time.Duration) (*core.Recorder, int, error) {
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	return c.collect(interval, timer.C)
+}
+
+func (c *Collector) collect(interval int, deadline <-chan time.Time) (*core.Recorder, int, error) {
+	payloads := make([][]byte, 0, c.routers)
+	seen := make(map[uint32]bool, c.routers)
+	for len(payloads) < c.routers {
+		select {
+		case f := <-c.frames:
+			if int(f.Interval) != interval {
+				return nil, 0, fmt.Errorf("aggregate: router %d sent interval %d during %d",
+					f.Router, f.Interval, interval)
+			}
+			if seen[f.Router] {
+				return nil, 0, fmt.Errorf("aggregate: duplicate frame from router %d", f.Router)
+			}
+			seen[f.Router] = true
+			payloads = append(payloads, f.Payload)
+		case <-deadline:
+			if len(payloads) == 0 {
+				return nil, 0, fmt.Errorf("aggregate: no router reported interval %d in time", interval)
+			}
+			rec, err := MergePayloads(c.cfg, payloads)
+			return rec, len(payloads), err
+		case err := <-c.errs:
+			return nil, 0, err
+		case <-c.done:
+			return nil, 0, fmt.Errorf("aggregate: collector closed")
+		}
+	}
+	rec, err := MergePayloads(c.cfg, payloads)
+	return rec, len(payloads), err
+}
+
+// Close shuts the listener down and waits for all goroutines to exit.
+func (c *Collector) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		close(c.done)
+		err = c.ln.Close()
+		c.wg.Wait()
+	})
+	return err
+}
+
+// RouterClient is the edge-router side: it records locally and ships its
+// state each interval.
+type RouterClient struct {
+	id   uint32
+	conn net.Conn
+}
+
+// Dial connects a router to the collector.
+func Dial(id uint32, addr string) (*RouterClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("aggregate: dial %s: %w", addr, err)
+	}
+	return &RouterClient{id: id, conn: conn}, nil
+}
+
+// SendInterval serializes the recorder and ships it as this interval's
+// frame. The caller resets the recorder afterwards (the detector side does
+// this for merged state; each router does it locally).
+func (r *RouterClient) SendInterval(interval int, rec *core.Recorder) error {
+	payload, err := rec.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	return WriteFrame(r.conn, Frame{Router: r.id, Interval: uint32(interval), Payload: payload})
+}
+
+// Close closes the router's connection.
+func (r *RouterClient) Close() error { return r.conn.Close() }

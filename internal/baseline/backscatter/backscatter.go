@@ -1,0 +1,113 @@
+// Package backscatter implements the spoofed-DoS inference of Moore,
+// Voelker and Savage ("Inferring Internet Denial-of-Service Activity",
+// USENIX Security 2001), which the paper uses to validate HiFIND's SYN
+// flooding detections (§5.4). A victim of a randomly spoofed SYN flood
+// answers SYN/ACKs (or RSTs) toward the forged sources, which are spread
+// uniformly over the address space; observing a victim's responses fan out
+// across many unrelated /8 networks is therefore strong evidence of a
+// spoofed flood.
+package backscatter
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hifind/hifind/internal/netmodel"
+)
+
+// Config tunes the analyzer.
+type Config struct {
+	// MinResponses is the minimum number of victim responses before a
+	// verdict is attempted.
+	MinResponses int
+	// MinDistinctSlash8 is how many distinct destination /8 prefixes the
+	// responses must span to count as uniformly spread (random 32-bit
+	// sources hit many /8s almost surely; real clients cluster).
+	MinDistinctSlash8 int
+	// SampleCap bounds per-victim destination samples (reservoir-free
+	// first-N sampling keeps the analyzer's memory bounded).
+	SampleCap int
+}
+
+// DefaultConfig returns the thresholds used by the evaluation harness.
+func DefaultConfig() Config {
+	return Config{MinResponses: 50, MinDistinctSlash8: 20, SampleCap: 4096}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.MinResponses < 1 || c.MinDistinctSlash8 < 1 || c.SampleCap < c.MinResponses {
+		return fmt.Errorf("backscatter: inconsistent config %+v", c)
+	}
+	return nil
+}
+
+type victimState struct {
+	responses int
+	dests     map[netmodel.IPv4]bool
+}
+
+// Analyzer collects victim response patterns. Not safe for concurrent use.
+type Analyzer struct {
+	cfg     Config
+	victims map[netmodel.IPv4]*victimState
+}
+
+// New builds an analyzer.
+func New(cfg Config) (*Analyzer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Analyzer{cfg: cfg, victims: make(map[netmodel.IPv4]*victimState)}, nil
+}
+
+// Observe feeds one packet; only outbound SYN/ACKs and RSTs (victim
+// responses leaving the edge) matter.
+func (a *Analyzer) Observe(pkt netmodel.Packet) {
+	if pkt.Dir != netmodel.Outbound || (!pkt.Flags.IsSYNACK() && !pkt.Flags.IsRST()) {
+		return
+	}
+	st := a.victims[pkt.SrcIP]
+	if st == nil {
+		st = &victimState{dests: make(map[netmodel.IPv4]bool)}
+		a.victims[pkt.SrcIP] = st
+	}
+	st.responses++
+	if len(st.dests) < a.cfg.SampleCap {
+		st.dests[pkt.DstIP] = true
+	}
+}
+
+// Validate reports whether the victim's observed responses look like
+// backscatter from a randomly spoofed flood.
+func (a *Analyzer) Validate(victim netmodel.IPv4) bool {
+	st := a.victims[victim]
+	if st == nil || st.responses < a.cfg.MinResponses {
+		return false
+	}
+	slash8 := make(map[uint8]bool, 64)
+	for dst := range st.dests {
+		slash8[uint8(dst>>24)] = true
+	}
+	return len(slash8) >= a.cfg.MinDistinctSlash8
+}
+
+// Victims lists addresses with at least MinResponses responses, sorted.
+func (a *Analyzer) Victims() []netmodel.IPv4 {
+	out := make([]netmodel.IPv4, 0, len(a.victims))
+	for ip, st := range a.victims {
+		if st.responses >= a.cfg.MinResponses {
+			out = append(out, ip)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Responses returns the observed response count for a victim.
+func (a *Analyzer) Responses(victim netmodel.IPv4) int {
+	if st := a.victims[victim]; st != nil {
+		return st.responses
+	}
+	return 0
+}

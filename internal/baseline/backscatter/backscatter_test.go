@@ -1,0 +1,125 @@
+package backscatter
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/hifind/hifind/internal/netmodel"
+)
+
+func mustNew(t *testing.T) *Analyzer {
+	t.Helper()
+	a, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func response(victim, dst netmodel.IPv4, rst bool) netmodel.Packet {
+	flags := netmodel.FlagSYN | netmodel.FlagACK
+	if rst {
+		flags = netmodel.FlagRST
+	}
+	return netmodel.Packet{SrcIP: victim, DstIP: dst, SrcPort: 80, DstPort: 44444,
+		Flags: flags, Dir: netmodel.Outbound}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if (Config{MinResponses: 100, MinDistinctSlash8: 10, SampleCap: 10}).Validate() == nil {
+		t.Error("cap below min responses accepted")
+	}
+	if (Config{}).Validate() == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+func TestValidatesSpoofedFloodVictim(t *testing.T) {
+	a := mustNew(t)
+	victim := netmodel.MustParseIPv4("129.105.20.20")
+	rng := rand.New(rand.NewSource(1))
+	// Backscatter to uniformly random destinations.
+	for i := 0; i < 500; i++ {
+		a.Observe(response(victim, netmodel.IPv4(rng.Uint32()), i%3 == 0))
+	}
+	if !a.Validate(victim) {
+		t.Fatal("spoofed-flood victim not validated")
+	}
+	if got := a.Victims(); len(got) != 1 || got[0] != victim {
+		t.Errorf("Victims = %v", got)
+	}
+	if a.Responses(victim) != 500 {
+		t.Errorf("Responses = %d", a.Responses(victim))
+	}
+}
+
+func TestRejectsOrdinaryServer(t *testing.T) {
+	a := mustNew(t)
+	server := netmodel.MustParseIPv4("129.105.30.30")
+	// A popular server answers many clients, but clients cluster in a few
+	// networks, not across the whole address space.
+	rng := rand.New(rand.NewSource(2))
+	nets := []netmodel.IPv4{0x0a000000, 0xc0a80000, 0xac100000}
+	for i := 0; i < 500; i++ {
+		base := nets[rng.Intn(len(nets))]
+		a.Observe(response(server, base+netmodel.IPv4(rng.Uint32()%65536), false))
+	}
+	if a.Validate(server) {
+		t.Fatal("clustered client base validated as backscatter")
+	}
+}
+
+func TestRejectsLowVolume(t *testing.T) {
+	a := mustNew(t)
+	victim := netmodel.MustParseIPv4("129.105.40.40")
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 30; i++ { // below MinResponses=50
+		a.Observe(response(victim, netmodel.IPv4(rng.Uint32()), false))
+	}
+	if a.Validate(victim) {
+		t.Error("low-volume victim validated")
+	}
+	if a.Validate(netmodel.MustParseIPv4("1.2.3.4")) {
+		t.Error("unknown victim validated")
+	}
+}
+
+func TestIgnoresInboundAndNonResponses(t *testing.T) {
+	a := mustNew(t)
+	victim := netmodel.MustParseIPv4("129.105.50.50")
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 500; i++ {
+		// Inbound packets and outbound data packets must not count.
+		a.Observe(netmodel.Packet{SrcIP: victim, DstIP: netmodel.IPv4(rng.Uint32()),
+			Flags: netmodel.FlagSYN | netmodel.FlagACK, Dir: netmodel.Inbound})
+		a.Observe(netmodel.Packet{SrcIP: victim, DstIP: netmodel.IPv4(rng.Uint32()),
+			Flags: netmodel.FlagACK, Dir: netmodel.Outbound})
+	}
+	if a.Responses(victim) != 0 {
+		t.Errorf("counted %d non-responses", a.Responses(victim))
+	}
+}
+
+func TestSampleCapBoundsMemory(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SampleCap = 100
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := netmodel.MustParseIPv4("129.105.60.60")
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 10000; i++ {
+		a.Observe(response(victim, netmodel.IPv4(rng.Uint32()), false))
+	}
+	if got := len(a.victims[victim].dests); got > 100 {
+		t.Errorf("sample grew to %d despite cap 100", got)
+	}
+	// Validation still works from the bounded sample.
+	if !a.Validate(victim) {
+		t.Error("capped sample broke validation")
+	}
+}

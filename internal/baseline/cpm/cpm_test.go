@@ -1,0 +1,145 @@
+package cpm
+
+import (
+	"testing"
+
+	"github.com/hifind/hifind/internal/netmodel"
+)
+
+func mustNew(t *testing.T) *Detector {
+	t.Helper()
+	d, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// feedInterval pushes syn SYNs and fin FIN packets then closes the interval.
+func feedInterval(d *Detector, syn, fin int) bool {
+	for i := 0; i < syn; i++ {
+		d.Observe(netmodel.Packet{Flags: netmodel.FlagSYN, Dir: netmodel.Inbound})
+	}
+	for i := 0; i < fin; i++ {
+		d.Observe(netmodel.Packet{Flags: netmodel.FlagFIN | netmodel.FlagACK, Dir: netmodel.Inbound})
+	}
+	return d.EndInterval()
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range []Config{
+		{Drift: 0, Threshold: 1, WarmupIntervals: 1},
+		{Drift: 1, Threshold: 0, WarmupIntervals: 1},
+		{Drift: 1, Threshold: 1, WarmupIntervals: 0},
+	} {
+		if cfg.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestQuietUnderBalancedTraffic(t *testing.T) {
+	d := mustNew(t)
+	for i := 0; i < 30; i++ {
+		if feedInterval(d, 1000, 990) && i > 2 {
+			t.Fatalf("false alarm at interval %d", i)
+		}
+	}
+	if len(d.AlarmIntervals()) != 0 {
+		t.Errorf("alarms: %v", d.AlarmIntervals())
+	}
+}
+
+func TestDetectsSYNFlood(t *testing.T) {
+	d := mustNew(t)
+	for i := 0; i < 10; i++ {
+		feedInterval(d, 1000, 990)
+	}
+	alarmed := false
+	for i := 0; i < 5; i++ {
+		if feedInterval(d, 4000, 990) { // flood adds 3000 SYNs
+			alarmed = true
+		}
+	}
+	if !alarmed {
+		t.Fatal("flood never alarmed")
+	}
+}
+
+func TestCannotDistinguishScansFromFloods(t *testing.T) {
+	// CPM's documented blind spot (paper Table 6 LBL row): scans move the
+	// aggregate SYN−FIN statistic exactly like floods, so a scan-heavy
+	// link alarms despite containing no flooding at all.
+	d := mustNew(t)
+	for i := 0; i < 10; i++ {
+		feedInterval(d, 1000, 990)
+	}
+	alarmed := false
+	for i := 0; i < 5; i++ {
+		// Horizontal scan traffic: lots of unanswered SYNs.
+		if feedInterval(d, 3000, 990) {
+			alarmed = true
+		}
+	}
+	if !alarmed {
+		t.Fatal("CPM should (wrongly, but by design) alarm under heavy scanning")
+	}
+}
+
+func TestMissesFloodBuriedInLargeAggregate(t *testing.T) {
+	// A flood small relative to the link's SYN volume disappears in the
+	// normalized statistic — the interval HiFIND catches but CPM misses
+	// (paper §5.3.1).
+	d := mustNew(t)
+	for i := 0; i < 10; i++ {
+		feedInterval(d, 100000, 99000)
+	}
+	for i := 0; i < 3; i++ {
+		if feedInterval(d, 100600, 99000) { // +600 SYN/min flood, huge link
+			t.Fatal("CPM detected a flood it should not see at this aggregation")
+		}
+	}
+}
+
+func TestAlarmIntervalsRecorded(t *testing.T) {
+	d := mustNew(t)
+	for i := 0; i < 5; i++ {
+		feedInterval(d, 1000, 995)
+	}
+	for i := 0; i < 3; i++ {
+		feedInterval(d, 5000, 995)
+	}
+	if len(d.AlarmIntervals()) == 0 {
+		t.Fatal("no alarms recorded")
+	}
+	for _, iv := range d.AlarmIntervals() {
+		if iv < 5 {
+			t.Errorf("alarm at quiet interval %d", iv)
+		}
+	}
+}
+
+func TestOutboundTrafficIgnored(t *testing.T) {
+	d := mustNew(t)
+	for i := 0; i < 5; i++ {
+		feedInterval(d, 100, 100)
+	}
+	for i := 0; i < 5000; i++ {
+		d.Observe(netmodel.Packet{Flags: netmodel.FlagSYN, Dir: netmodel.Outbound})
+	}
+	if d.EndInterval() {
+		t.Error("outbound SYNs alarmed an inbound monitor")
+	}
+}
+
+func TestMemoryConstant(t *testing.T) {
+	d := mustNew(t)
+	before := d.MemoryBytes()
+	feedInterval(d, 100000, 50000)
+	if d.MemoryBytes() != before {
+		t.Error("CPM memory should be constant")
+	}
+}

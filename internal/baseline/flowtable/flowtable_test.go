@@ -1,0 +1,164 @@
+package flowtable
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/hifind/hifind/internal/netmodel"
+)
+
+func mustNew(t *testing.T) *Detector {
+	t.Helper()
+	d, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func synIn(src, dst netmodel.IPv4, dport uint16) netmodel.Packet {
+	return netmodel.Packet{SrcIP: src, DstIP: dst, SrcPort: 40000, DstPort: dport,
+		Flags: netmodel.FlagSYN, Dir: netmodel.Inbound}
+}
+
+func synAckOut(server, client netmodel.IPv4, sport uint16) netmodel.Packet {
+	return netmodel.Packet{SrcIP: server, DstIP: client, SrcPort: sport, DstPort: 40000,
+		Flags: netmodel.FlagSYN | netmodel.FlagACK, Dir: netmodel.Outbound}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if (Config{Threshold: 0, Alpha: 0.5}).Validate() == nil {
+		t.Error("zero threshold accepted")
+	}
+	if (Config{Threshold: 60, Alpha: 0}).Validate() == nil {
+		t.Error("zero alpha accepted")
+	}
+}
+
+func TestDetectsFloodExactly(t *testing.T) {
+	d := mustNew(t)
+	victim := netmodel.MustParseIPv4("129.105.1.1")
+	attacker := netmodel.MustParseIPv4("203.0.113.1")
+	// Interval 0: baseline quiet.
+	d.Observe(synIn(attacker, victim, 80))
+	d.EndInterval()
+	// Interval 1: flood of 500 unanswered SYNs.
+	for i := 0; i < 500; i++ {
+		d.Observe(synIn(attacker, victim, 80))
+	}
+	got := d.EndInterval()
+	foundDD, foundSD, foundSS := false, false, false
+	for _, det := range got {
+		switch det.Kind {
+		case netmodel.KeyDIPDport:
+			if det.Key == netmodel.PackDIPDport(victim, 80) {
+				foundDD = true
+			}
+		case netmodel.KeySIPDport:
+			if det.Key == netmodel.PackSIPDport(attacker, 80) {
+				foundSD = true
+			}
+		case netmodel.KeySIPDIP:
+			if det.Key == netmodel.PackSIPDIP(attacker, victim) {
+				foundSS = true
+			}
+		}
+	}
+	if !foundDD || !foundSD || !foundSS {
+		t.Fatalf("flood keys missing: dd=%v sd=%v ss=%v (%d detections)",
+			foundDD, foundSD, foundSS, len(got))
+	}
+}
+
+func TestAnsweredTrafficNotDetected(t *testing.T) {
+	d := mustNew(t)
+	server := netmodel.MustParseIPv4("129.105.2.2")
+	for i := 0; i < 3; i++ {
+		for n := 0; n < 500; n++ {
+			client := netmodel.IPv4(0x08000000 + uint32(n))
+			d.Observe(synIn(client, server, 80))
+			d.Observe(synAckOut(server, client, 80))
+		}
+		if got := d.EndInterval(); len(got) != 0 {
+			t.Fatalf("answered traffic detected: %v", got)
+		}
+	}
+}
+
+func TestEWMAAbsorbsSteadyLoad(t *testing.T) {
+	d := mustNew(t)
+	dark := netmodel.MustParseIPv4("129.105.3.3")
+	d.EndInterval() // quiet warmup so the load onset is detectable
+	// Steady 100 unanswered SYNs/interval: the onset interval alarms,
+	// then the forecast absorbs the load.
+	alarms := 0
+	for i := 0; i < 8; i++ {
+		for n := 0; n < 100; n++ {
+			d.Observe(synIn(netmodel.IPv4(0x08000000+uint32(n)), dark, 80))
+		}
+		for _, det := range d.EndInterval() {
+			if det.Kind == netmodel.KeyDIPDport {
+				alarms++
+			}
+		}
+	}
+	if alarms == 0 || alarms > 3 {
+		t.Errorf("steady load alarmed %d times, want 1–3 (onset only)", alarms)
+	}
+}
+
+func TestMemoryGrowsWithSpoofedFlood(t *testing.T) {
+	// Table 9's point: exact tables need an entry per spoofed source.
+	d := mustNew(t)
+	victim := netmodel.MustParseIPv4("129.105.4.4")
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 30000; i++ {
+		d.Observe(synIn(netmodel.IPv4(rng.Uint32()), victim, 80))
+	}
+	if d.Entries() < 30000 {
+		t.Errorf("Entries = %d, want ≥30000 (one per spoofed source)", d.Entries())
+	}
+	if d.MemoryBytes() < 30000*40 {
+		t.Errorf("MemoryBytes = %d suspiciously small", d.MemoryBytes())
+	}
+}
+
+func TestIdleKeysExpire(t *testing.T) {
+	d := mustNew(t)
+	for n := 0; n < 1000; n++ {
+		d.Observe(synIn(netmodel.IPv4(0x08000000+uint32(n)), netmodel.MustParseIPv4("129.105.5.5"), 80))
+	}
+	d.EndInterval()
+	peak := d.Entries()
+	for i := 0; i < 6; i++ {
+		d.EndInterval() // idle intervals
+	}
+	if d.Entries() >= peak {
+		t.Errorf("idle keys never expired: %d → %d", peak, d.Entries())
+	}
+}
+
+func TestDetectionsSorted(t *testing.T) {
+	d := mustNew(t)
+	d.EndInterval()
+	big := netmodel.MustParseIPv4("129.105.6.6")
+	small := netmodel.MustParseIPv4("129.105.7.7")
+	for i := 0; i < 500; i++ {
+		d.Observe(synIn(netmodel.MustParseIPv4("203.0.113.9"), big, 80))
+	}
+	for i := 0; i < 100; i++ {
+		d.Observe(synIn(netmodel.MustParseIPv4("203.0.113.8"), small, 80))
+	}
+	got := d.EndInterval()
+	if len(got) < 2 {
+		t.Fatal("expected multiple detections")
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Error > got[i-1].Error {
+			t.Fatal("detections not sorted by error")
+		}
+	}
+}

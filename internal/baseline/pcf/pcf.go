@@ -1,0 +1,162 @@
+// Package pcf implements Partial Completion Filters (Kompella, Singh,
+// Varghese — "On Scalable Attack Detection in the Network", IMC 2004),
+// cited by the HiFIND paper as [7]: a scalable way to detect keys with
+// many half-open (partially completed) connections. A PCF is a set of
+// independent hash stages of signed counters: connection openings
+// increment a key's bucket in every stage, completions decrement it, and
+// a key is flagged when all of its buckets exceed the threshold — the
+// multistage-filter trick that makes false positives multiplicatively
+// unlikely.
+//
+// The HiFIND paper's point about PCF (§2.1, Table 1 discussion) is that it
+// detects partial-completion anomalies scalably but "does not
+// differentiate among various attacks": keyed by destination it sees
+// floods but not scans; keyed by source it sees scanners but cannot say
+// scan-versus-flood, and it cannot recover keys it was not asked about.
+// This implementation preserves those properties.
+package pcf
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hifind/hifind/internal/netmodel"
+	"github.com/hifind/hifind/internal/sketch"
+)
+
+// Config sizes the filter.
+type Config struct {
+	// Stages is the number of independent hash stages (the original uses
+	// 3–4).
+	Stages int
+	// Buckets per stage; power of two.
+	Buckets int
+	// Threshold is the per-bucket partial-completion count at which a
+	// key's bucket "votes" anomalous.
+	Threshold int32
+	// Key selects the aggregation: KeyDIP detects flooding victims,
+	// KeySIP detects sources with many half-open connections.
+	Key netmodel.KeyKind
+	// MaxFlagged bounds the flagged-key set (PCF flags at update time, so
+	// the set is part of its memory budget).
+	MaxFlagged int
+	// Seed derives the stage hashes.
+	Seed uint64
+}
+
+// DefaultConfig returns a 4-stage victim-oriented filter.
+func DefaultConfig(seed uint64) Config {
+	return Config{Stages: 4, Buckets: 1 << 12, Threshold: 60,
+		Key: netmodel.KeyDIP, MaxFlagged: 4096, Seed: seed}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Stages < 1 {
+		return fmt.Errorf("pcf: stages %d < 1", c.Stages)
+	}
+	if !sketch.IsPowerOfTwo(c.Buckets) || c.Buckets < 2 {
+		return fmt.Errorf("pcf: buckets %d must be a power of two ≥ 2", c.Buckets)
+	}
+	if c.Threshold < 1 {
+		return fmt.Errorf("pcf: threshold %d < 1", c.Threshold)
+	}
+	if c.Key != netmodel.KeyDIP && c.Key != netmodel.KeySIP {
+		return fmt.Errorf("pcf: key %v unsupported (want {SIP} or {DIP})", c.Key)
+	}
+	if c.MaxFlagged < 1 {
+		return fmt.Errorf("pcf: max flagged %d < 1", c.MaxFlagged)
+	}
+	return nil
+}
+
+// Detector is a PCF instance. Not safe for concurrent use.
+type Detector struct {
+	cfg     Config
+	hashes  []sketch.Poly4
+	stages  [][]int32
+	flagged map[netmodel.IPv4]bool
+}
+
+// New builds a detector.
+func New(cfg Config) (*Detector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Detector{
+		cfg:     cfg,
+		hashes:  make([]sketch.Poly4, cfg.Stages),
+		stages:  make([][]int32, cfg.Stages),
+		flagged: make(map[netmodel.IPv4]bool),
+	}
+	state := cfg.Seed
+	for i := range d.hashes {
+		d.hashes[i] = sketch.NewPoly4(&state)
+		d.stages[i] = make([]int32, cfg.Buckets)
+	}
+	return d, nil
+}
+
+// keyOf extracts the configured key's address from a connection.
+func (d *Detector) keyOf(client, server netmodel.IPv4) netmodel.IPv4 {
+	if d.cfg.Key == netmodel.KeySIP {
+		return client
+	}
+	return server
+}
+
+// Observe feeds one packet: inbound SYNs open (increment), outbound
+// SYN/ACKs complete the half-open state (decrement). The flag check runs
+// at update time, as in the original.
+func (d *Detector) Observe(pkt netmodel.Packet) {
+	switch {
+	case pkt.Dir == netmodel.Inbound && pkt.Flags.IsSYN():
+		key := d.keyOf(pkt.SrcIP, pkt.DstIP)
+		votes := 0
+		for i, h := range d.hashes {
+			b := h.HashRange(uint64(key), d.cfg.Buckets)
+			d.stages[i][b]++
+			if d.stages[i][b] > d.cfg.Threshold {
+				votes++
+			}
+		}
+		if votes == d.cfg.Stages && len(d.flagged) < d.cfg.MaxFlagged {
+			d.flagged[key] = true
+		}
+	case pkt.Dir == netmodel.Outbound && pkt.Flags.IsSYNACK():
+		key := d.keyOf(pkt.DstIP, pkt.SrcIP)
+		for i, h := range d.hashes {
+			d.stages[i][h.HashRange(uint64(key), d.cfg.Buckets)]--
+		}
+	}
+}
+
+// Flagged returns the keys flagged so far, sorted.
+func (d *Detector) Flagged() []netmodel.IPv4 {
+	out := make([]netmodel.IPv4, 0, len(d.flagged))
+	for k := range d.flagged {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EndInterval resets the per-interval counters and returns the interval's
+// flagged keys (the flag set also resets — PCF has no cross-interval
+// memory, one of the differences from HiFIND's EWMA pipeline).
+func (d *Detector) EndInterval() []netmodel.IPv4 {
+	out := d.Flagged()
+	for i := range d.stages {
+		row := d.stages[i]
+		for j := range row {
+			row[j] = 0
+		}
+	}
+	d.flagged = make(map[netmodel.IPv4]bool)
+	return out
+}
+
+// MemoryBytes returns the fixed counter footprint plus the bounded flag set.
+func (d *Detector) MemoryBytes() int {
+	return d.cfg.Stages*d.cfg.Buckets*4 + 16*d.cfg.MaxFlagged
+}

@@ -1,0 +1,171 @@
+package pcf
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/hifind/hifind/internal/netmodel"
+)
+
+func mustNew(t *testing.T, cfg Config) *Detector {
+	t.Helper()
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func synIn(src, dst netmodel.IPv4, dport uint16) netmodel.Packet {
+	return netmodel.Packet{SrcIP: src, DstIP: dst, SrcPort: 40000, DstPort: dport,
+		Flags: netmodel.FlagSYN, Dir: netmodel.Inbound}
+}
+
+func synAckOut(server, client netmodel.IPv4, sport uint16) netmodel.Packet {
+	return netmodel.Packet{SrcIP: server, DstIP: client, SrcPort: sport, DstPort: 40000,
+		Flags: netmodel.FlagSYN | netmodel.FlagACK, Dir: netmodel.Outbound}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(1).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Stages: 0, Buckets: 16, Threshold: 10, Key: netmodel.KeyDIP, MaxFlagged: 10},
+		{Stages: 3, Buckets: 100, Threshold: 10, Key: netmodel.KeyDIP, MaxFlagged: 10},
+		{Stages: 3, Buckets: 16, Threshold: 0, Key: netmodel.KeyDIP, MaxFlagged: 10},
+		{Stages: 3, Buckets: 16, Threshold: 10, Key: netmodel.KeySIPDIP, MaxFlagged: 10},
+		{Stages: 3, Buckets: 16, Threshold: 10, Key: netmodel.KeyDIP, MaxFlagged: 0},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestFlagsFloodVictim(t *testing.T) {
+	d := mustNew(t, DefaultConfig(1))
+	victim := netmodel.MustParseIPv4("129.105.1.1")
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ { // spoofed half-open SYNs
+		d.Observe(synIn(netmodel.IPv4(rng.Uint32()), victim, 80))
+	}
+	got := d.Flagged()
+	if len(got) != 1 || got[0] != victim {
+		t.Fatalf("Flagged = %v, want [%s]", got, victim)
+	}
+}
+
+func TestCompletedConnectionsDoNotFlag(t *testing.T) {
+	d := mustNew(t, DefaultConfig(2))
+	server := netmodel.MustParseIPv4("129.105.2.2")
+	for i := 0; i < 500; i++ {
+		client := netmodel.IPv4(0x08000000 + uint32(i))
+		d.Observe(synIn(client, server, 80))
+		d.Observe(synAckOut(server, client, 80))
+	}
+	if got := d.Flagged(); len(got) != 0 {
+		t.Fatalf("busy-but-healthy server flagged: %v", got)
+	}
+}
+
+func TestDIPKeyedFilterMissesScans(t *testing.T) {
+	// The paper's point: a victim-oriented PCF cannot see a horizontal
+	// scan, whose half-open SYNs spread one per destination.
+	d := mustNew(t, DefaultConfig(3))
+	scanner := netmodel.MustParseIPv4("203.0.113.1")
+	for i := 0; i < 500; i++ {
+		d.Observe(synIn(scanner, netmodel.IPv4(0x81690000+uint32(i)), 445))
+	}
+	if got := d.Flagged(); len(got) != 0 {
+		t.Fatalf("DIP-keyed PCF flagged a scan: %v", got)
+	}
+}
+
+func TestSIPKeyedFilterSeesScannersButCannotType(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.Key = netmodel.KeySIP
+	d := mustNew(t, cfg)
+	scanner := netmodel.MustParseIPv4("203.0.113.2")
+	flooder := netmodel.MustParseIPv4("198.51.100.2")
+	for i := 0; i < 200; i++ {
+		d.Observe(synIn(scanner, netmodel.IPv4(0x81690000+uint32(i)), 445))  // scan
+		d.Observe(synIn(flooder, netmodel.MustParseIPv4("129.105.3.3"), 80)) // flood
+	}
+	got := d.Flagged()
+	if len(got) != 2 {
+		t.Fatalf("Flagged = %v, want both sources", got)
+	}
+	// Both look identical to PCF — that indistinguishability is exactly
+	// what HiFIND's 2D sketches add.
+}
+
+func TestEndIntervalResets(t *testing.T) {
+	d := mustNew(t, DefaultConfig(5))
+	victim := netmodel.MustParseIPv4("129.105.4.4")
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		d.Observe(synIn(netmodel.IPv4(rng.Uint32()), victim, 80))
+	}
+	if got := d.EndInterval(); len(got) != 1 {
+		t.Fatalf("interval flagged %v", got)
+	}
+	if got := d.Flagged(); len(got) != 0 {
+		t.Error("flag set survived EndInterval")
+	}
+	d.Observe(synIn(1, victim, 80))
+	if got := d.Flagged(); len(got) != 0 {
+		t.Error("counters survived EndInterval")
+	}
+}
+
+func TestMultistageReducesFalsePositives(t *testing.T) {
+	// With one stage, random background collides keys into hot buckets;
+	// four stages require a key to be hot everywhere at once.
+	mk := func(stages int) int {
+		cfg := DefaultConfig(6)
+		cfg.Stages = stages
+		cfg.Buckets = 1 << 8 // small, to force collisions
+		cfg.Threshold = 20   // just above the ~15.6 per-bucket average load
+		d := mustNew(t, cfg)
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 4000; i++ { // unanswered background probes, all distinct victims
+			d.Observe(synIn(netmodel.IPv4(rng.Uint32()), netmodel.IPv4(0x81690000+rng.Uint32()%20000), 80))
+		}
+		return len(d.Flagged())
+	}
+	one, four := mk(1), mk(4)
+	if four >= one {
+		t.Errorf("4 stages flagged %d keys vs %d with 1 stage; multistage should help", four, one)
+	}
+}
+
+func TestMemoryFixed(t *testing.T) {
+	d := mustNew(t, DefaultConfig(7))
+	before := d.MemoryBytes()
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 50000; i++ {
+		d.Observe(synIn(netmodel.IPv4(rng.Uint32()), netmodel.IPv4(rng.Uint32()|0x81690000), 80))
+	}
+	if d.MemoryBytes() != before {
+		t.Error("PCF memory should be fixed")
+	}
+}
+
+func TestFlaggedSetBounded(t *testing.T) {
+	cfg := DefaultConfig(8)
+	cfg.MaxFlagged = 5
+	cfg.Threshold = 2
+	d := mustNew(t, cfg)
+	rng := rand.New(rand.NewSource(5))
+	for v := 0; v < 100; v++ {
+		victim := netmodel.IPv4(0x81690000 + uint32(v))
+		for i := 0; i < 10; i++ {
+			d.Observe(synIn(netmodel.IPv4(rng.Uint32()), victim, 80))
+		}
+	}
+	if got := len(d.Flagged()); got > 5 {
+		t.Errorf("flag set grew to %d despite cap 5", got)
+	}
+}

@@ -1,0 +1,116 @@
+// Package superspreader implements one-level filtering from Venkataraman,
+// Song, Gibbons and Blum ("New Streaming Algorithms for Fast Detection of
+// Superspreaders", NDSS 2005): find sources that contact many distinct
+// destinations using hash-based distinct sampling in sublinear memory.
+// Table 1 of the HiFIND paper lists it as a baseline that detects fan-out
+// but cannot type attacks — and that false-positives on peer-to-peer
+// hosts, which this implementation deliberately preserves.
+package superspreader
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hifind/hifind/internal/netmodel"
+	"github.com/hifind/hifind/internal/sketch"
+)
+
+// Config tunes the one-level filter.
+type Config struct {
+	// K is the distinct-destination threshold defining a superspreader.
+	K int
+	// SampleRate is the distinct-sampling probability (1/SampleRate of
+	// all (src,dst) pairs are retained).
+	SampleRate int
+	// Seed derives the sampling hash.
+	Seed uint64
+}
+
+// DefaultConfig flags sources contacting ≥200 destinations, sampling 1/16
+// of pairs.
+func DefaultConfig(seed uint64) Config {
+	return Config{K: 200, SampleRate: 16, Seed: seed}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.K < 1 {
+		return fmt.Errorf("superspreader: k %d < 1", c.K)
+	}
+	if c.SampleRate < 1 {
+		return fmt.Errorf("superspreader: sample rate %d < 1", c.SampleRate)
+	}
+	return nil
+}
+
+// Detector runs one-level filtering over inbound SYNs.
+// Not safe for concurrent use.
+type Detector struct {
+	cfg    Config
+	hash   sketch.Poly4
+	sample map[netmodel.IPv4]map[netmodel.IPv4]bool
+}
+
+// New builds a detector.
+func New(cfg Config) (*Detector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	state := cfg.Seed
+	return &Detector{
+		cfg:    cfg,
+		hash:   sketch.NewPoly4(&state),
+		sample: make(map[netmodel.IPv4]map[netmodel.IPv4]bool),
+	}, nil
+}
+
+// Observe feeds one packet; inbound SYNs define the contact graph.
+func (d *Detector) Observe(pkt netmodel.Packet) {
+	if pkt.Dir != netmodel.Inbound || !pkt.Flags.IsSYN() {
+		return
+	}
+	// Hash-based distinct sampling: the decision is a deterministic
+	// function of the pair, so repeated contacts sample identically and
+	// the retained set counts *distinct* destinations.
+	pair := netmodel.PackSIPDIP(pkt.SrcIP, pkt.DstIP)
+	if d.hash.Hash(pair)%uint64(d.cfg.SampleRate) != 0 {
+		return
+	}
+	set := d.sample[pkt.SrcIP]
+	if set == nil {
+		set = make(map[netmodel.IPv4]bool)
+		d.sample[pkt.SrcIP] = set
+	}
+	set[pkt.DstIP] = true
+}
+
+// Superspreaders returns sources whose estimated distinct-destination
+// count reaches K, sorted.
+func (d *Detector) Superspreaders() []netmodel.IPv4 {
+	need := d.cfg.K / d.cfg.SampleRate
+	if need < 1 {
+		need = 1
+	}
+	out := make([]netmodel.IPv4, 0, 16)
+	for src, set := range d.sample {
+		if len(set) >= need {
+			out = append(out, src)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Estimate returns the estimated distinct-destination count for a source.
+func (d *Detector) Estimate(src netmodel.IPv4) int {
+	return len(d.sample[src]) * d.cfg.SampleRate
+}
+
+// MemoryBytes estimates the sample footprint.
+func (d *Detector) MemoryBytes() int {
+	n := 0
+	for _, set := range d.sample {
+		n += 1 + len(set)
+	}
+	return 48 * n
+}

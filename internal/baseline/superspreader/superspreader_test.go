@@ -1,0 +1,119 @@
+package superspreader
+
+import (
+	"testing"
+
+	"github.com/hifind/hifind/internal/netmodel"
+)
+
+func mustNew(t *testing.T, cfg Config) *Detector {
+	t.Helper()
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func synIn(src, dst netmodel.IPv4) netmodel.Packet {
+	return netmodel.Packet{SrcIP: src, DstIP: dst, SrcPort: 40000, DstPort: 80,
+		Flags: netmodel.FlagSYN, Dir: netmodel.Inbound}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(1).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if (Config{K: 0, SampleRate: 16}).Validate() == nil {
+		t.Error("k=0 accepted")
+	}
+	if (Config{K: 100, SampleRate: 0}).Validate() == nil {
+		t.Error("rate=0 accepted")
+	}
+}
+
+func TestDetectsWideScanner(t *testing.T) {
+	d := mustNew(t, Config{K: 200, SampleRate: 16, Seed: 1})
+	scanner := netmodel.MustParseIPv4("203.0.113.1")
+	for i := 0; i < 4000; i++ {
+		d.Observe(synIn(scanner, netmodel.IPv4(0x81690000+uint32(i))))
+	}
+	got := d.Superspreaders()
+	if len(got) != 1 || got[0] != scanner {
+		t.Fatalf("Superspreaders = %v, want [%s]", got, scanner)
+	}
+	est := d.Estimate(scanner)
+	if est < 2000 || est > 8000 {
+		t.Errorf("Estimate = %d, want ≈4000", est)
+	}
+}
+
+func TestNarrowSourceNotFlagged(t *testing.T) {
+	d := mustNew(t, Config{K: 200, SampleRate: 16, Seed: 2})
+	src := netmodel.MustParseIPv4("198.51.100.5")
+	for i := 0; i < 2000; i++ {
+		// 2000 packets but only 10 distinct destinations.
+		d.Observe(synIn(src, netmodel.IPv4(0x81690000+uint32(i%10))))
+	}
+	if got := d.Superspreaders(); len(got) != 0 {
+		t.Fatalf("narrow source flagged: %v", got)
+	}
+}
+
+func TestP2PFalsePositiveByDesign(t *testing.T) {
+	// Table 1's documented weakness: a P2P host contacting thousands of
+	// peers is indistinguishable from a scanner at this abstraction.
+	d := mustNew(t, Config{K: 200, SampleRate: 16, Seed: 3})
+	peer := netmodel.MustParseIPv4("85.10.20.30")
+	for i := 0; i < 4000; i++ {
+		d.Observe(synIn(peer, netmodel.IPv4(0x81690000+uint32(i))))
+	}
+	if got := d.Superspreaders(); len(got) != 1 {
+		t.Fatal("the P2P false positive is part of the documented behaviour")
+	}
+}
+
+func TestDistinctSamplingIsRepeatStable(t *testing.T) {
+	// Repeated contacts to the same destination must not inflate the
+	// estimate: sampling is a deterministic function of the pair.
+	d := mustNew(t, Config{K: 200, SampleRate: 16, Seed: 4})
+	src := netmodel.MustParseIPv4("198.51.100.9")
+	for rep := 0; rep < 100; rep++ {
+		for i := 0; i < 50; i++ {
+			d.Observe(synIn(src, netmodel.IPv4(0x81690000+uint32(i))))
+		}
+	}
+	if est := d.Estimate(src); est > 50*16 {
+		t.Errorf("estimate %d inflated by repeats", est)
+	}
+	if got := d.Superspreaders(); len(got) != 0 {
+		t.Errorf("repeat traffic flagged: %v", got)
+	}
+}
+
+func TestMemorySublinearInTraffic(t *testing.T) {
+	d := mustNew(t, Config{K: 200, SampleRate: 16, Seed: 5})
+	src := netmodel.MustParseIPv4("203.0.113.2")
+	for i := 0; i < 16000; i++ {
+		d.Observe(synIn(src, netmodel.IPv4(0x81690000+uint32(i))))
+	}
+	// ~1/16 of 16000 pairs sampled ⇒ ≈1000 entries ≈ 48KB, far below the
+	// 16000-entry exact set.
+	if d.MemoryBytes() > 48*4000 {
+		t.Errorf("memory %d too large for 1/16 sampling", d.MemoryBytes())
+	}
+}
+
+func TestNonSYNIgnored(t *testing.T) {
+	d := mustNew(t, Config{K: 10, SampleRate: 1, Seed: 6})
+	src := netmodel.MustParseIPv4("203.0.113.3")
+	for i := 0; i < 100; i++ {
+		d.Observe(netmodel.Packet{SrcIP: src, DstIP: netmodel.IPv4(uint32(i)),
+			Flags: netmodel.FlagACK, Dir: netmodel.Inbound})
+		d.Observe(netmodel.Packet{SrcIP: src, DstIP: netmodel.IPv4(uint32(i)),
+			Flags: netmodel.FlagSYN, Dir: netmodel.Outbound})
+	}
+	if d.Estimate(src) != 0 {
+		t.Error("non-SYN or outbound packets counted")
+	}
+}

@@ -1,0 +1,216 @@
+// Package trw implements Threshold Random Walk port-scan detection (Jung,
+// Paxson, Berger, Balakrishnan — "Fast Portscan Detection Using Sequential
+// Hypothesis Testing", IEEE S&P 2004), the flow-level baseline HiFIND is
+// compared against in paper Table 5.
+//
+// TRW keeps, per remote source, a likelihood ratio over the outcomes of
+// that source's first-contact connection attempts: failures push the ratio
+// toward the "scanner" hypothesis, successes toward "benign". The per-
+// source and per-pair state is exactly the unbounded memory that makes TRW
+// vulnerable to spoofed floods (paper §3.5, Table 9), so the implementation
+// accounts for its memory explicitly.
+package trw
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/hifind/hifind/internal/netmodel"
+)
+
+// Config holds the hypothesis-test parameters.
+type Config struct {
+	// Theta0 is P(success | benign), Theta1 is P(success | scanner).
+	// Jung et al. use 0.8 and 0.2.
+	Theta0, Theta1 float64
+	// Alpha and Beta are the false-positive and false-negative targets
+	// that set the decision thresholds η1=(1−β)/α and η0=β/(1−α).
+	Alpha, Beta float64
+	// PendingTimeout is how long a half-open first-contact attempt may
+	// stay unanswered (in capture time) before it counts as a failure.
+	// The outcome ordering matters: successes resolve instantly while
+	// failures resolve at the timeout, so the likelihood walk interleaves
+	// them the way the original paper's connection-outcome oracle does.
+	PendingTimeout time.Duration
+}
+
+// DefaultConfig returns the parameters of the original paper.
+func DefaultConfig() Config {
+	return Config{Theta0: 0.8, Theta1: 0.2, Alpha: 0.01, Beta: 0.01, PendingTimeout: 5 * time.Second}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Theta0 <= 0 || c.Theta0 >= 1 || c.Theta1 <= 0 || c.Theta1 >= 1 {
+		return fmt.Errorf("trw: thetas must lie in (0,1)")
+	}
+	if c.Theta1 >= c.Theta0 {
+		return fmt.Errorf("trw: theta1 %v must be below theta0 %v", c.Theta1, c.Theta0)
+	}
+	if c.Alpha <= 0 || c.Alpha >= 1 || c.Beta <= 0 || c.Beta >= 1 {
+		return fmt.Errorf("trw: alpha/beta must lie in (0,1)")
+	}
+	if c.PendingTimeout <= 0 {
+		return fmt.Errorf("trw: pending timeout %v must be positive", c.PendingTimeout)
+	}
+	return nil
+}
+
+type sourceState struct {
+	lambda  float64
+	decided bool // crossed a threshold; no further updates
+	scanner bool
+}
+
+type pending struct {
+	src  netmodel.IPv4
+	born time.Time
+}
+
+// queued is the timeout-ordered view of the pending set.
+type queued struct {
+	key  uint64
+	born time.Time
+}
+
+// Detector is a TRW scan detector for inbound connections.
+// It is not safe for concurrent use.
+type Detector struct {
+	cfg  Config
+	eta0 float64
+	eta1 float64
+
+	sources map[netmodel.IPv4]*sourceState
+	// contacted marks (src,dst) pairs already used for a first-contact
+	// observation — repeats carry no evidence.
+	contacted map[uint64]bool
+	// pendings holds unresolved first-contact attempts; queue orders them
+	// by birth time for timeout resolution.
+	pendings map[uint64]pending
+	queue    []queued
+
+	scanners []netmodel.IPv4
+}
+
+// New builds a detector.
+func New(cfg Config) (*Detector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Detector{
+		cfg:       cfg,
+		eta0:      cfg.Beta / (1 - cfg.Alpha),
+		eta1:      (1 - cfg.Beta) / cfg.Alpha,
+		sources:   make(map[netmodel.IPv4]*sourceState),
+		contacted: make(map[uint64]bool),
+		pendings:  make(map[uint64]pending),
+	}, nil
+}
+
+// Observe feeds one packet. Inbound SYNs open first-contact attempts;
+// outbound SYN/ACKs resolve them as successes; capture time advancing
+// past a pending attempt's timeout resolves it as a failure.
+func (d *Detector) Observe(pkt netmodel.Packet) {
+	d.resolveExpired(pkt.Timestamp)
+	switch {
+	case pkt.Dir == netmodel.Inbound && pkt.Flags.IsSYN():
+		key := netmodel.PackSIPDIP(pkt.SrcIP, pkt.DstIP)
+		if d.contacted[key] {
+			return
+		}
+		d.contacted[key] = true
+		d.pendings[key] = pending{src: pkt.SrcIP, born: pkt.Timestamp}
+		d.queue = append(d.queue, queued{key: key, born: pkt.Timestamp})
+	case pkt.Dir == netmodel.Outbound && pkt.Flags.IsSYNACK():
+		key := netmodel.PackSIPDIP(pkt.DstIP, pkt.SrcIP) // client, server
+		if p, ok := d.pendings[key]; ok {
+			delete(d.pendings, key)
+			d.update(p.src, true)
+		}
+	}
+}
+
+// resolveExpired fails every pending attempt whose timeout passed before
+// now (capture time).
+func (d *Detector) resolveExpired(now time.Time) {
+	for len(d.queue) > 0 {
+		head := d.queue[0]
+		if now.Sub(head.born) < d.cfg.PendingTimeout {
+			return
+		}
+		d.queue = d.queue[1:]
+		p, ok := d.pendings[head.key]
+		if !ok || !p.born.Equal(head.born) {
+			continue // already resolved (success) or re-registered
+		}
+		delete(d.pendings, head.key)
+		d.update(p.src, false)
+	}
+}
+
+// update advances a source's random walk with one outcome.
+func (d *Detector) update(src netmodel.IPv4, success bool) {
+	st := d.sources[src]
+	if st == nil {
+		st = &sourceState{lambda: 1}
+		d.sources[src] = st
+	}
+	if st.decided {
+		return
+	}
+	if success {
+		st.lambda *= d.cfg.Theta1 / d.cfg.Theta0
+	} else {
+		st.lambda *= (1 - d.cfg.Theta1) / (1 - d.cfg.Theta0)
+	}
+	if st.lambda >= d.eta1 {
+		st.decided, st.scanner = true, true
+		d.scanners = append(d.scanners, src)
+	} else if st.lambda <= d.eta0 {
+		st.decided = true
+	}
+}
+
+// EndInterval flushes every remaining half-open attempt as a failure (the
+// interval is far longer than any connection timeout) and returns sources
+// newly flagged as scanners during the interval.
+func (d *Detector) EndInterval() []netmodel.IPv4 {
+	for _, q := range d.queue {
+		p, ok := d.pendings[q.key]
+		if !ok || !p.born.Equal(q.born) {
+			continue
+		}
+		delete(d.pendings, q.key)
+		d.update(p.src, false)
+	}
+	d.queue = d.queue[:0]
+	out := d.scanners
+	d.scanners = nil
+	return out
+}
+
+// Scanners returns every source flagged so far, sorted for determinism.
+func (d *Detector) Scanners() []netmodel.IPv4 {
+	out := make([]netmodel.IPv4, 0, 64)
+	for src, st := range d.sources {
+		if st.scanner {
+			out = append(out, src)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TrackedSources returns the number of per-source states — the quantity a
+// spoofed flood inflates without bound.
+func (d *Detector) TrackedSources() int { return len(d.sources) }
+
+// MemoryBytes estimates the detector's state footprint: per-source walks,
+// the first-contact pair set, and pending connections. Map overhead is
+// approximated at 48 bytes per entry, matching Table 9's "per-flow state"
+// accounting.
+func (d *Detector) MemoryBytes() int {
+	const entry = 48
+	return entry * (len(d.sources) + len(d.contacted) + len(d.pendings))
+}

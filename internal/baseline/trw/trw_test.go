@@ -1,0 +1,188 @@
+package trw
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/hifind/hifind/internal/netmodel"
+)
+
+func mustNew(t *testing.T, cfg Config) *Detector {
+	t.Helper()
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func synIn(src, dst netmodel.IPv4) netmodel.Packet {
+	return netmodel.Packet{SrcIP: src, DstIP: dst, SrcPort: 40000, DstPort: 80,
+		Flags: netmodel.FlagSYN, Dir: netmodel.Inbound}
+}
+
+func synAckOut(server, client netmodel.IPv4) netmodel.Packet {
+	return netmodel.Packet{SrcIP: server, DstIP: client, SrcPort: 80, DstPort: 40000,
+		Flags: netmodel.FlagSYN | netmodel.FlagACK, Dir: netmodel.Outbound}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Theta0: 0, Theta1: 0.2, Alpha: 0.01, Beta: 0.01, PendingTimeout: time.Second},
+		{Theta0: 0.2, Theta1: 0.8, Alpha: 0.01, Beta: 0.01, PendingTimeout: time.Second},
+		{Theta0: 0.8, Theta1: 0.2, Alpha: 0, Beta: 0.01, PendingTimeout: time.Second},
+		{Theta0: 0.8, Theta1: 0.2, Alpha: 0.01, Beta: 0.01, PendingTimeout: 0},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestScannerFlaggedAfterFailures(t *testing.T) {
+	d := mustNew(t, DefaultConfig())
+	scanner := netmodel.MustParseIPv4("203.0.113.1")
+	// 10 first-contact failures: Λ grows by 4× each, crossing η1=99
+	// after ⌈log4(99)⌉ = 4 failures.
+	for i := 0; i < 10; i++ {
+		d.Observe(synIn(scanner, netmodel.IPv4(0x81690000+uint32(i))))
+	}
+	flagged := d.EndInterval() // timeout resolves the pendings as failures
+	if len(flagged) != 1 || flagged[0] != scanner {
+		t.Fatalf("flagged = %v, want [%s]", flagged, scanner)
+	}
+}
+
+func TestBenignClientNotFlagged(t *testing.T) {
+	d := mustNew(t, DefaultConfig())
+	client := netmodel.MustParseIPv4("198.51.100.10")
+	for i := 0; i < 20; i++ {
+		dst := netmodel.IPv4(0x81690000 + uint32(i))
+		d.Observe(synIn(client, dst))
+		d.Observe(synAckOut(dst, client))
+	}
+	d.EndInterval()
+	if len(d.Scanners()) != 0 {
+		t.Fatalf("benign client flagged: %v", d.Scanners())
+	}
+}
+
+func TestMixedOutcomesNeedMoreEvidence(t *testing.T) {
+	// Alternating success/failure keeps Λ near 1: no decision either way.
+	d := mustNew(t, DefaultConfig())
+	src := netmodel.MustParseIPv4("198.51.100.20")
+	for i := 0; i < 6; i++ {
+		dst := netmodel.IPv4(0x81690000 + uint32(i))
+		d.Observe(synIn(src, dst))
+		if i%2 == 0 {
+			d.Observe(synAckOut(dst, src))
+		}
+	}
+	d.EndInterval()
+	if len(d.Scanners()) != 0 {
+		t.Error("balanced source flagged")
+	}
+}
+
+func TestRepeatContactsCarryNoEvidence(t *testing.T) {
+	d := mustNew(t, DefaultConfig())
+	src := netmodel.MustParseIPv4("198.51.100.30")
+	dst := netmodel.MustParseIPv4("129.105.1.1")
+	// 100 failed retries to ONE destination are one observation, not 100.
+	for i := 0; i < 100; i++ {
+		d.Observe(synIn(src, dst))
+	}
+	d.EndInterval()
+	if len(d.Scanners()) != 0 {
+		t.Error("retries to a single destination flagged as a scan")
+	}
+}
+
+func TestDecisionIsSticky(t *testing.T) {
+	d := mustNew(t, DefaultConfig())
+	scanner := netmodel.MustParseIPv4("203.0.113.2")
+	for i := 0; i < 10; i++ {
+		d.Observe(synIn(scanner, netmodel.IPv4(0x81690000+uint32(i))))
+	}
+	d.EndInterval()
+	// Later successes must not un-flag a decided scanner.
+	for i := 100; i < 110; i++ {
+		dst := netmodel.IPv4(0x81690000 + uint32(i))
+		d.Observe(synIn(scanner, dst))
+		d.Observe(synAckOut(dst, scanner))
+	}
+	d.EndInterval()
+	if got := d.Scanners(); len(got) != 1 {
+		t.Fatalf("decided scanner lost: %v", got)
+	}
+}
+
+func TestMemoryGrowsWithSpoofedSources(t *testing.T) {
+	// The §3.5 vulnerability: every spoofed source costs state.
+	d := mustNew(t, DefaultConfig())
+	rng := rand.New(rand.NewSource(1))
+	before := d.MemoryBytes()
+	for i := 0; i < 20000; i++ {
+		d.Observe(synIn(netmodel.IPv4(rng.Uint32()), netmodel.MustParseIPv4("129.105.1.1")))
+	}
+	d.EndInterval()
+	after := d.MemoryBytes()
+	if after < before+20000*40 {
+		t.Errorf("memory %d → %d; spoofed flood should inflate per-source state", before, after)
+	}
+	if d.TrackedSources() < 19000 {
+		t.Errorf("TrackedSources = %d, want ≈20000", d.TrackedSources())
+	}
+}
+
+func TestPendingTimeoutResolvesInCaptureTime(t *testing.T) {
+	d := mustNew(t, DefaultConfig())
+	scanner := netmodel.MustParseIPv4("203.0.113.3")
+	base := time.Date(2005, 5, 10, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 10; i++ {
+		p := synIn(scanner, netmodel.IPv4(0x81690000+uint32(i)))
+		p.Timestamp = base.Add(time.Duration(i) * 100 * time.Millisecond)
+		d.Observe(p)
+	}
+	if len(d.Scanners()) != 0 {
+		t.Fatal("flagged before any timeout elapsed")
+	}
+	// A later unrelated packet advances capture time past the timeouts.
+	late := synIn(netmodel.MustParseIPv4("8.8.8.8"), netmodel.MustParseIPv4("129.105.1.1"))
+	late.Timestamp = base.Add(time.Minute)
+	d.Observe(late)
+	if got := d.Scanners(); len(got) != 1 || got[0] != scanner {
+		t.Fatalf("Scanners = %v after timeouts, want [%s]", got, scanner)
+	}
+}
+
+func TestSuccessOrderingProtectsBenignBursts(t *testing.T) {
+	// A source whose successes interleave with failures in capture time
+	// (65% answered) should be decided benign, not scanner — the property
+	// that distinguishes timeout-ordered resolution from batch resolution.
+	d := mustNew(t, DefaultConfig())
+	src := netmodel.MustParseIPv4("198.51.100.50")
+	base := time.Date(2005, 5, 10, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 200; i++ {
+		dst := netmodel.IPv4(0x81690000 + uint32(i))
+		p := synIn(src, dst)
+		p.Timestamp = base.Add(time.Duration(i) * 300 * time.Millisecond)
+		d.Observe(p)
+		if i%20 < 13 { // 65% success, resolved immediately
+			r := synAckOut(dst, src)
+			r.Timestamp = p.Timestamp.Add(2 * time.Millisecond)
+			d.Observe(r)
+		}
+	}
+	d.EndInterval()
+	for _, s := range d.Scanners() {
+		if s == src {
+			t.Fatal("mixed-outcome source flagged as scanner")
+		}
+	}
+}

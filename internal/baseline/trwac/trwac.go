@@ -1,0 +1,195 @@
+// Package trwac implements the approximate-cache variant of TRW (Weaver,
+// Staniford, Paxson — "Very Fast Containment of Scanning Worms", USENIX
+// Security 2004). TRW-AC bounds TRW's memory with two fixed hash tables:
+//
+//   - a connection cache indexed by a hash of the (internal, external)
+//     address pair, holding a small tag and connection state;
+//   - an address cache indexed by a hash of the external address, holding
+//     the source's failure-minus-success count.
+//
+// The fixed tables make the detector immune to memory exhaustion, but
+// aliasing in the connection cache makes it lose scan attempts when the
+// cache fills — exactly the false-negative behaviour under spoofed floods
+// that HiFIND's §3.5 analysis (and footnote 1) points out, and that this
+// repository's DoS-resilience experiment reproduces.
+package trwac
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hifind/hifind/internal/netmodel"
+	"github.com/hifind/hifind/internal/sketch"
+)
+
+// Config sizes the caches and sets the scan threshold.
+type Config struct {
+	// ConnCacheBits sizes the connection cache at 2^bits entries (the
+	// paper evaluates 2^20 = 1M entries).
+	ConnCacheBits int
+	// AddrCacheBits sizes the address cache at 2^bits counters.
+	AddrCacheBits int
+	// ScanThreshold is the failure-surplus count at which a source is
+	// flagged (the paper's containment threshold, default 10).
+	ScanThreshold int
+	// Seed derives the cache hash functions.
+	Seed uint64
+}
+
+// DefaultConfig mirrors the original paper's 1M-entry connection cache.
+func DefaultConfig(seed uint64) Config {
+	return Config{ConnCacheBits: 20, AddrCacheBits: 20, ScanThreshold: 10, Seed: seed}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.ConnCacheBits < 4 || c.ConnCacheBits > 30 {
+		return fmt.Errorf("trwac: connection cache bits %d out of [4,30]", c.ConnCacheBits)
+	}
+	if c.AddrCacheBits < 4 || c.AddrCacheBits > 30 {
+		return fmt.Errorf("trwac: address cache bits %d out of [4,30]", c.AddrCacheBits)
+	}
+	if c.ScanThreshold < 1 {
+		return fmt.Errorf("trwac: scan threshold %d < 1", c.ScanThreshold)
+	}
+	return nil
+}
+
+// connection states packed into the cache entry.
+const (
+	stateEmpty uint8 = iota
+	stateHalfOpen
+	stateEstablished
+)
+
+type connEntry struct {
+	tag   uint16 // high hash bits; detects (most) aliasing
+	state uint8
+}
+
+// Detector is a TRW-AC scan detector. Not safe for concurrent use.
+type Detector struct {
+	cfg      Config
+	connHash sketch.Poly4
+	addrHash sketch.Poly4
+	conns    []connEntry
+	scores   []int16
+	flagged  map[netmodel.IPv4]bool
+	// aliased counts SYNs dropped because an established alias occupied
+	// their cache slot — the false-negative mechanism made observable.
+	aliased int64
+}
+
+// New builds a detector.
+func New(cfg Config) (*Detector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	state := cfg.Seed
+	return &Detector{
+		cfg:      cfg,
+		connHash: sketch.NewPoly4(&state),
+		addrHash: sketch.NewPoly4(&state),
+		conns:    make([]connEntry, 1<<uint(cfg.ConnCacheBits)),
+		scores:   make([]int16, 1<<uint(cfg.AddrCacheBits)),
+		flagged:  make(map[netmodel.IPv4]bool),
+	}, nil
+}
+
+// slotAndTag derives the connection-cache slot and tag for a pair.
+func (d *Detector) slotAndTag(src, dst netmodel.IPv4) (int, uint16) {
+	h := d.connHash.Hash(netmodel.PackSIPDIP(src, dst))
+	return int(h & uint64(len(d.conns)-1)), uint16(h >> 40)
+}
+
+// Observe feeds one packet.
+func (d *Detector) Observe(pkt netmodel.Packet) {
+	switch {
+	case pkt.Dir == netmodel.Inbound && pkt.Flags.IsSYN():
+		slot, tag := d.slotAndTag(pkt.SrcIP, pkt.DstIP)
+		e := &d.conns[slot]
+		switch {
+		case e.state == stateEmpty:
+			*e = connEntry{tag: tag, state: stateHalfOpen}
+			d.charge(pkt.SrcIP, +1)
+		case e.tag == tag:
+			// Same pair (or a tag-colliding alias): nothing new to learn.
+		case e.state == stateEstablished:
+			// Slot held by an established alias: the scan attempt is
+			// invisible — the cache-pollution false negative.
+			d.aliased++
+		default:
+			// Half-open alias: evict it (the paper's caches are lossy).
+			*e = connEntry{tag: tag, state: stateHalfOpen}
+			d.charge(pkt.SrcIP, +1)
+		}
+	case pkt.Dir == netmodel.Outbound && pkt.Flags.IsSYNACK():
+		slot, tag := d.slotAndTag(pkt.DstIP, pkt.SrcIP)
+		e := &d.conns[slot]
+		if e.tag == tag && e.state == stateHalfOpen {
+			e.state = stateEstablished
+			d.charge(pkt.DstIP, -2) // a success strongly decredits the walk
+		}
+	}
+}
+
+// charge adjusts a source's failure surplus. Weaver's containment blocks
+// a source while its count sits at or above threshold and unblocks when
+// successes pull it back down, so the flag follows the score in both
+// directions.
+func (d *Detector) charge(src netmodel.IPv4, delta int16) {
+	slot := int(d.addrHash.Hash(uint64(src)) & uint64(len(d.scores)-1))
+	s := d.scores[slot] + delta
+	if s < -20 {
+		s = -20 // bounded credit, as in the original
+	}
+	d.scores[slot] = s
+	if int(s) >= d.cfg.ScanThreshold {
+		d.flagged[src] = true
+	} else {
+		delete(d.flagged, src)
+	}
+}
+
+// Scanners returns flagged sources, sorted.
+func (d *Detector) Scanners() []netmodel.IPv4 {
+	out := make([]netmodel.IPv4, 0, len(d.flagged))
+	for src := range d.flagged {
+		out = append(out, src)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AliasedDrops reports how many scan attempts were lost to cache aliasing.
+func (d *Detector) AliasedDrops() int64 { return d.aliased }
+
+// ConnCacheFill returns the fraction of non-empty connection-cache slots —
+// the quantity a spoofed flood drives toward 1 (paper footnote 1).
+func (d *Detector) ConnCacheFill() float64 {
+	used := 0
+	for _, e := range d.conns {
+		if e.state != stateEmpty {
+			used++
+		}
+	}
+	return float64(used) / float64(len(d.conns))
+}
+
+// MemoryBytes returns the fixed footprint of both caches.
+func (d *Detector) MemoryBytes() int {
+	return len(d.conns)*3 + len(d.scores)*2
+}
+
+// Reset clears all cache state (the original expires entries with a
+// background process; tests use explicit resets instead).
+func (d *Detector) Reset() {
+	for i := range d.conns {
+		d.conns[i] = connEntry{}
+	}
+	for i := range d.scores {
+		d.scores[i] = 0
+	}
+	d.flagged = make(map[netmodel.IPv4]bool)
+	d.aliased = 0
+}

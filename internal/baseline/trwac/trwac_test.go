@@ -1,0 +1,185 @@
+package trwac
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/hifind/hifind/internal/netmodel"
+)
+
+func mustNew(t *testing.T, cfg Config) *Detector {
+	t.Helper()
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func synIn(src, dst netmodel.IPv4) netmodel.Packet {
+	return netmodel.Packet{SrcIP: src, DstIP: dst, SrcPort: 40000, DstPort: 80,
+		Flags: netmodel.FlagSYN, Dir: netmodel.Inbound}
+}
+
+func synAckOut(server, client netmodel.IPv4) netmodel.Packet {
+	return netmodel.Packet{SrcIP: server, DstIP: client, SrcPort: 80, DstPort: 40000,
+		Flags: netmodel.FlagSYN | netmodel.FlagACK, Dir: netmodel.Outbound}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(1).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{ConnCacheBits: 2, AddrCacheBits: 20, ScanThreshold: 10},
+		{ConnCacheBits: 20, AddrCacheBits: 40, ScanThreshold: 10},
+		{ConnCacheBits: 20, AddrCacheBits: 20, ScanThreshold: 0},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestScannerFlagged(t *testing.T) {
+	d := mustNew(t, Config{ConnCacheBits: 16, AddrCacheBits: 16, ScanThreshold: 10, Seed: 1})
+	scanner := netmodel.MustParseIPv4("203.0.113.1")
+	for i := 0; i < 50; i++ {
+		d.Observe(synIn(scanner, netmodel.IPv4(0x81690000+uint32(i))))
+	}
+	got := d.Scanners()
+	if len(got) != 1 || got[0] != scanner {
+		t.Fatalf("Scanners = %v, want [%s]", got, scanner)
+	}
+}
+
+func TestBenignClientNotFlagged(t *testing.T) {
+	d := mustNew(t, Config{ConnCacheBits: 16, AddrCacheBits: 16, ScanThreshold: 10, Seed: 2})
+	client := netmodel.MustParseIPv4("198.51.100.10")
+	for i := 0; i < 50; i++ {
+		dst := netmodel.IPv4(0x81690000 + uint32(i))
+		d.Observe(synIn(client, dst))
+		d.Observe(synAckOut(dst, client))
+	}
+	if got := d.Scanners(); len(got) != 0 {
+		t.Fatalf("benign client flagged: %v", got)
+	}
+}
+
+func TestMemoryIsFixed(t *testing.T) {
+	d := mustNew(t, Config{ConnCacheBits: 16, AddrCacheBits: 16, ScanThreshold: 10, Seed: 3})
+	before := d.MemoryBytes()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		d.Observe(synIn(netmodel.IPv4(rng.Uint32()), netmodel.IPv4(0x81690000+rng.Uint32()%4096)))
+	}
+	if d.MemoryBytes() != before {
+		t.Error("TRW-AC memory is supposed to be fixed")
+	}
+}
+
+func TestSpoofedFloodPollutesCacheAndHidesScans(t *testing.T) {
+	// The paper's footnote-1 scenario: a spoofed flood fills the
+	// connection cache with aliases; a real scanner's attempts then land
+	// on occupied slots and are dropped, so the scanner needs far more
+	// probes to be flagged (or is never flagged).
+	mk := func(seed uint64) *Detector {
+		return mustNew(t, Config{ConnCacheBits: 12, AddrCacheBits: 16, ScanThreshold: 10, Seed: seed})
+	}
+	scanner := netmodel.MustParseIPv4("203.0.113.9")
+	scan := func(d *Detector, probes int) bool {
+		for i := 0; i < probes; i++ {
+			d.Observe(synIn(scanner, netmodel.IPv4(0x81690000+uint32(i))))
+		}
+		for _, s := range d.Scanners() {
+			if s == scanner {
+				return true
+			}
+		}
+		return false
+	}
+
+	clean := mk(7)
+	if !scan(clean, 15) {
+		t.Fatal("scanner undetected even without a flood")
+	}
+
+	polluted := mk(7)
+	rng := rand.New(rand.NewSource(2))
+	// Spoofed flood: fill the 4096-slot cache with established aliases
+	// (SYN then SYN/ACK so entries stick as established).
+	for i := 0; i < 40000; i++ {
+		src := netmodel.IPv4(rng.Uint32())
+		dst := netmodel.IPv4(0x81690000 + rng.Uint32()%65536)
+		polluted.Observe(synIn(src, dst))
+		polluted.Observe(synAckOut(dst, src))
+	}
+	if fill := polluted.ConnCacheFill(); fill < 0.9 {
+		t.Fatalf("flood filled only %.0f%% of the cache", 100*fill)
+	}
+	scan(polluted, 15)
+	if polluted.AliasedDrops() == 0 {
+		t.Error("no aliased drops despite a saturated cache")
+	}
+	// Count how many of the scanner's probes were actually charged by
+	// comparing flag latency: the polluted detector must need more
+	// probes. (With a 4096-slot cache >90% full, ≈90% of probes vanish.)
+	probesNeeded := func(d *Detector) int {
+		for i := 0; i < 500; i++ {
+			d.Observe(synIn(scanner, netmodel.IPv4(0x82000000+uint32(i))))
+			for _, s := range d.Scanners() {
+				if s == scanner {
+					return i + 1
+				}
+			}
+		}
+		return 501
+	}
+	cleanProbes := probesNeeded(mk(8))
+	pollutedDet := mk(8)
+	for i := 0; i < 40000; i++ {
+		src := netmodel.IPv4(rng.Uint32())
+		dst := netmodel.IPv4(0x81690000 + rng.Uint32()%65536)
+		pollutedDet.Observe(synIn(src, dst))
+		pollutedDet.Observe(synAckOut(dst, src))
+	}
+	pollutedProbes := probesNeeded(pollutedDet)
+	if pollutedProbes < cleanProbes*3 {
+		t.Errorf("pollution barely slowed detection: %d vs %d probes", pollutedProbes, cleanProbes)
+	}
+}
+
+func TestSuccessesCreditTheWalk(t *testing.T) {
+	d := mustNew(t, Config{ConnCacheBits: 16, AddrCacheBits: 16, ScanThreshold: 10, Seed: 4})
+	src := netmodel.MustParseIPv4("198.51.100.77")
+	// 9 failures then 5 successes keeps the score below threshold.
+	for i := 0; i < 9; i++ {
+		d.Observe(synIn(src, netmodel.IPv4(0x81690000+uint32(i))))
+	}
+	for i := 100; i < 105; i++ {
+		dst := netmodel.IPv4(0x81690000 + uint32(i))
+		d.Observe(synIn(src, dst))
+		d.Observe(synAckOut(dst, src))
+	}
+	for i := 200; i < 205; i++ {
+		d.Observe(synIn(src, netmodel.IPv4(0x81690000+uint32(i))))
+	}
+	if len(d.Scanners()) != 0 {
+		t.Error("credited source flagged")
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := mustNew(t, Config{ConnCacheBits: 12, AddrCacheBits: 12, ScanThreshold: 5, Seed: 5})
+	for i := 0; i < 20; i++ {
+		d.Observe(synIn(netmodel.MustParseIPv4("203.0.113.5"), netmodel.IPv4(0x81690000+uint32(i))))
+	}
+	if len(d.Scanners()) == 0 {
+		t.Fatal("setup failed")
+	}
+	d.Reset()
+	if len(d.Scanners()) != 0 || d.ConnCacheFill() != 0 || d.AliasedDrops() != 0 {
+		t.Error("Reset incomplete")
+	}
+}

@@ -1,0 +1,530 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/hifind/hifind/internal/netmodel"
+	"github.com/hifind/hifind/internal/revsketch"
+	"github.com/hifind/hifind/internal/sketch"
+	"github.com/hifind/hifind/internal/timeseries"
+)
+
+// DetectorConfig tunes the detection pipeline. NewDetector fills zero
+// fields with the documented defaults.
+type DetectorConfig struct {
+	// Threshold is the forecast-error alarm level in unresponded SYNs per
+	// interval. The paper uses one unresponded SYN per second, i.e. 60
+	// for one-minute intervals.
+	Threshold float64
+	// Alpha is the EWMA smoothing constant of paper eq. (1).
+	Alpha float64
+	// Quorum is the reversible-sketch inference quorum (default H−1).
+	Quorum int
+	// MaxKeysPerStep caps keys recovered per reversible sketch per
+	// interval, bounding detection time under floods (paper §5.5.3 runs a
+	// "top 100 anomalies" stress variant).
+	MaxKeysPerStep int
+	// VerifyFraction scales the threshold for the verifier-sketch check:
+	// an inferred key survives only if its verifier estimate is at least
+	// VerifyFraction×Threshold. It absorbs estimator noise while still
+	// killing modular-hash aliases, whose verifier estimate is ≈0.
+	// Negative disables verification entirely (ablation only).
+	VerifyFraction float64
+	// TwoDTopP and TwoDPhi parameterize the 2D concentration test
+	// (paper §4 example: top 5 of 64 buckets, φ=0.8).
+	TwoDTopP int
+	TwoDPhi  float64
+	// MinPersistIntervals is the number of consecutive intervals a
+	// flooding victim must stay anomalous before an alert is emitted —
+	// the "attacks last some time" half of the §3.4 congestion filter.
+	MinPersistIntervals int
+	// MinSynRatio is the other half: a flooding alert requires
+	// #SYN ≥ MinSynRatio × #SYN/ACK for the victim service (congestion
+	// still answers an appreciable fraction; floods answer almost none).
+	MinSynRatio float64
+	// BlockScanMinKeys is the number of distinct vertical-scan pairs AND
+	// horizontal-scan ports one source must trigger simultaneously before
+	// its scan alerts merge into a single block-scan alert (paper §3.2
+	// lists block scans in the threat model; they surface in steps 2 and
+	// 3 at once). Default 2.
+	BlockScanMinKeys int
+	// DisablePhase2 and DisablePhase3 switch the FP-reduction phases off
+	// for ablation studies; Final then mirrors the earlier phase.
+	DisablePhase2, DisablePhase3 bool
+}
+
+// applyDefaults fills zero-valued fields.
+func (c DetectorConfig) applyDefaults() DetectorConfig {
+	if c.Threshold == 0 {
+		c.Threshold = 60
+	}
+	if c.Alpha == 0 {
+		c.Alpha = timeseries.DefaultAlpha
+	}
+	if c.MaxKeysPerStep == 0 {
+		c.MaxKeysPerStep = 2048
+	}
+	if c.VerifyFraction == 0 {
+		c.VerifyFraction = 0.5
+	}
+	if c.TwoDTopP == 0 {
+		c.TwoDTopP = 5
+	}
+	if c.TwoDPhi == 0 {
+		c.TwoDPhi = 0.8
+	}
+	if c.MinPersistIntervals == 0 {
+		c.MinPersistIntervals = 2
+	}
+	if c.MinSynRatio == 0 {
+		c.MinSynRatio = 3
+	}
+	if c.BlockScanMinKeys == 0 {
+		c.BlockScanMinKeys = 2
+	}
+	return c
+}
+
+// Validate rejects unusable configurations.
+func (c DetectorConfig) Validate() error {
+	if c.Threshold < 0 {
+		return fmt.Errorf("core: negative threshold %v", c.Threshold)
+	}
+	if c.Alpha < 0 || c.Alpha > 1 {
+		return fmt.Errorf("core: alpha %v out of [0,1]", c.Alpha)
+	}
+	if c.TwoDPhi < 0 || c.TwoDPhi > 1 {
+		return fmt.Errorf("core: phi %v out of [0,1]", c.TwoDPhi)
+	}
+	if c.MinSynRatio < 1 {
+		return fmt.Errorf("core: min SYN ratio %v < 1", c.MinSynRatio)
+	}
+	return nil
+}
+
+// Detector is the full HiFIND system: a Recorder plus the per-interval
+// analysis pipeline (EWMA forecasting, three-step detection, 2D
+// classification, FP-reduction heuristics). Per-interval flow is
+//
+//	for each packet { d.Observe(pkt) }
+//	res, err := d.EndInterval()
+//
+// For aggregated multi-router detection, record into per-router Recorders,
+// Merge them, and call EndIntervalWith(merged).
+type Detector struct {
+	cfg DetectorConfig
+	rec *Recorder
+
+	fcSipDport  *timeseries.EWMA
+	fcDipDport  *timeseries.EWMA
+	fcSipDip    *timeseries.EWMA
+	fcVSipDport *timeseries.EWMA
+	fcVDipDport *timeseries.EWMA
+	fcVSipDip   *timeseries.EWMA
+
+	interval int
+	// streaks tracks consecutive anomalous intervals per flooding victim
+	// for the persistence heuristic. Entries are pruned each interval, so
+	// the map is bounded by MaxKeysPerStep — no per-flow state.
+	streaks map[uint64]int
+	// blockScanners remembers sources recently classified as block
+	// scanners (value = remaining intervals): as the EWMA absorbs the
+	// sweep, its tail intervals surface only one or two scan keys, which
+	// still merge under the remembered identity instead of leaking as
+	// fragmentary scan alerts. Bounded like streaks.
+	blockScanners map[netmodel.IPv4]int
+}
+
+// NewDetector builds a detector with its own recorder.
+func NewDetector(rcfg RecorderConfig, dcfg DetectorConfig) (*Detector, error) {
+	dcfg = dcfg.applyDefaults()
+	if err := dcfg.Validate(); err != nil {
+		return nil, err
+	}
+	rec, err := NewRecorder(rcfg)
+	if err != nil {
+		return nil, err
+	}
+	d := &Detector{
+		cfg:           dcfg,
+		rec:           rec,
+		streaks:       make(map[uint64]int),
+		blockScanners: make(map[netmodel.IPv4]int),
+	}
+	mk := func(p revsketch.Params) (*timeseries.EWMA, error) {
+		return timeseries.NewEWMA(dcfg.Alpha, p.Stages, p.Buckets)
+	}
+	mkK := func(p sketch.Params) (*timeseries.EWMA, error) {
+		return timeseries.NewEWMA(dcfg.Alpha, p.Stages, p.Buckets)
+	}
+	if d.fcSipDport, err = mk(rcfg.RS48); err != nil {
+		return nil, err
+	}
+	if d.fcDipDport, err = mk(rcfg.RS48); err != nil {
+		return nil, err
+	}
+	if d.fcSipDip, err = mk(rcfg.RS64); err != nil {
+		return nil, err
+	}
+	if d.fcVSipDport, err = mkK(rcfg.Verifier); err != nil {
+		return nil, err
+	}
+	if d.fcVDipDport, err = mkK(rcfg.Verifier); err != nil {
+		return nil, err
+	}
+	if d.fcVSipDip, err = mkK(rcfg.Verifier); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Config returns the detection configuration (defaults applied).
+func (d *Detector) Config() DetectorConfig { return d.cfg }
+
+// Recorder exposes the detector's own recorder (for inspection and for
+// serializing state to an aggregation site).
+func (d *Detector) Recorder() *Recorder { return d.rec }
+
+// Interval returns the number of completed intervals.
+func (d *Detector) Interval() int { return d.interval }
+
+// Observe records one packet into the detector's own recorder.
+func (d *Detector) Observe(pkt netmodel.Packet) { d.rec.Observe(pkt) }
+
+// ObserveFlow records one flow record.
+func (d *Detector) ObserveFlow(rec netmodel.FlowRecord) { d.rec.ObserveFlow(rec) }
+
+// EndInterval closes the current interval: runs detection over the
+// detector's own recorder and resets it for the next interval.
+func (d *Detector) EndInterval() (IntervalResult, error) {
+	return d.EndIntervalWith(d.rec)
+}
+
+// EndIntervalWith runs detection over the supplied recorder — typically
+// the merge of several routers' recorders — then resets both it and the
+// detector's own recorder. The supplied recorder must share the
+// configuration of the detector's.
+func (d *Detector) EndIntervalWith(rec *Recorder) (IntervalResult, error) {
+	if !d.rec.Compatible(rec) {
+		return IntervalResult{}, fmt.Errorf("core: recorder incompatible with detector")
+	}
+	started := time.Now()
+	res := IntervalResult{Interval: d.interval}
+
+	// Feed this interval's counters to the forecasters; detection needs
+	// every structure's error grid, or none (first interval).
+	errSipDport, ok1, err := d.fcSipDport.Observe(rec.RSSipDport.Snapshot())
+	if err != nil {
+		return IntervalResult{}, err
+	}
+	errDipDport, ok2, err := d.fcDipDport.Observe(rec.RSDipDport.Snapshot())
+	if err != nil {
+		return IntervalResult{}, err
+	}
+	errSipDip, ok3, err := d.fcSipDip.Observe(rec.RSSipDip.Snapshot())
+	if err != nil {
+		return IntervalResult{}, err
+	}
+	errVSipDport, _, err := d.fcVSipDport.Observe(rec.VerSipDport.Snapshot())
+	if err != nil {
+		return IntervalResult{}, err
+	}
+	errVDipDport, _, err := d.fcVDipDport.Observe(rec.VerDipDport.Snapshot())
+	if err != nil {
+		return IntervalResult{}, err
+	}
+	errVSipDip, _, err := d.fcVSipDip.Observe(rec.VerSipDip.Snapshot())
+	if err != nil {
+		return IntervalResult{}, err
+	}
+	if ok1 && ok2 && ok3 {
+		res, err = d.detect(rec, errGrids{
+			sipDport: errSipDport, dipDport: errDipDport, sipDip: errSipDip,
+			vSipDport: errVSipDport, vDipDport: errVDipDport, vSipDip: errVSipDip,
+		})
+		if err != nil {
+			return IntervalResult{}, err
+		}
+		res.Interval = d.interval
+	}
+	rec.Reset()
+	if rec != d.rec {
+		d.rec.Reset()
+	}
+	d.interval++
+	res.DetectionSeconds = time.Since(started).Seconds()
+	return res, nil
+}
+
+// errGrids bundles the forecast-error grids of one interval.
+type errGrids struct {
+	sipDport, dipDport, sipDip    sketch.Grid
+	vSipDport, vDipDport, vSipDip sketch.Grid
+}
+
+// verifierCheck builds the inference Verify callback for one reversible
+// sketch's paired verifier: a candidate key survives only if the
+// verifier's forecast-error estimate confirms at least VerifyFraction of
+// the threshold. Aliases produced by modular-hash collisions have
+// near-zero verifier estimates and die here — inside the inference, so
+// they can never crowd true keys out of the result cap.
+func (d *Detector) verifierCheck(ver *sketch.Sketch, verErr sketch.Grid) func(uint64, float64) bool {
+	if verErr == nil || d.cfg.VerifyFraction < 0 {
+		return nil
+	}
+	total := verErr.Sum(0)
+	floor := d.cfg.VerifyFraction * d.cfg.Threshold
+	return func(key uint64, _ float64) bool {
+		return ver.EstimateGrid(verErr, total, key) >= floor
+	}
+}
+
+// detect runs the three-step algorithm of paper §3.3 plus the Phase 2/3
+// false-positive reduction.
+func (d *Detector) detect(rec *Recorder, g errGrids) (IntervalResult, error) {
+	res := IntervalResult{}
+	opts := revsketch.InferenceOptions{Quorum: d.cfg.Quorum, MaxKeys: d.cfg.MaxKeysPerStep}
+	t := d.cfg.Threshold
+
+	// Step 1 — RS({DIP,Dport}): SYN flooding victims.
+	stepOpts := opts
+	stepOpts.Verify = d.verifierCheck(rec.VerDipDport, g.vDipDport)
+	floodKeys, err := rec.RSDipDport.Inference(g.dipDport, t, stepOpts)
+	if err != nil {
+		return res, err
+	}
+	floodingDIPs := make(map[netmodel.IPv4]bool, len(floodKeys))
+	type floodCand struct {
+		dip  netmodel.IPv4
+		port uint16
+		est  float64
+	}
+	floods := make([]floodCand, 0, len(floodKeys))
+	for _, ke := range floodKeys {
+		dip, port := netmodel.UnpackIPPort(ke.Key)
+		floodingDIPs[dip] = true
+		floods = append(floods, floodCand{dip: dip, port: port, est: ke.Estimate})
+	}
+
+	// Step 2 — RS({SIP,DIP}): attacker→victim pairs. Pairs whose victim is
+	// already a flooding victim identify (non-spoofed) flooding sources;
+	// the rest are vertical-scan candidates.
+	stepOpts.Verify = d.verifierCheck(rec.VerSipDip, g.vSipDip)
+	pairKeys, err := rec.RSSipDip.Inference(g.sipDip, t, stepOpts)
+	if err != nil {
+		return res, err
+	}
+	floodingSIPs := make(map[netmodel.IPv4]bool)
+	attackerOf := make(map[netmodel.IPv4]netmodel.IPv4) // flooding DIP → identified SIP
+	type vscanCand struct {
+		sip, dip netmodel.IPv4
+		est      float64
+		key      uint64
+	}
+	vscans := make([]vscanCand, 0, len(pairKeys))
+	for _, ke := range pairKeys {
+		sip, dip := netmodel.UnpackIPIP(ke.Key)
+		if floodingDIPs[dip] {
+			floodingSIPs[sip] = true
+			attackerOf[dip] = sip
+			continue
+		}
+		vscans = append(vscans, vscanCand{sip: sip, dip: dip, est: ke.Estimate, key: ke.Key})
+	}
+
+	// Step 3 — RS({SIP,Dport}): sources with many unanswered SYNs to one
+	// port. Known flooding sources are floods; the rest are horizontal-
+	// scan candidates.
+	stepOpts.Verify = d.verifierCheck(rec.VerSipDport, g.vSipDport)
+	srcKeys, err := rec.RSSipDport.Inference(g.sipDport, t, stepOpts)
+	if err != nil {
+		return res, err
+	}
+	type hscanCand struct {
+		sip  netmodel.IPv4
+		port uint16
+		est  float64
+		key  uint64
+	}
+	hscans := make([]hscanCand, 0, len(srcKeys))
+	for _, ke := range srcKeys {
+		sip, port := netmodel.UnpackIPPort(ke.Key)
+		if floodingSIPs[sip] {
+			continue // non-spoofed flooding source, already attributed
+		}
+		hscans = append(hscans, hscanCand{sip: sip, port: port, est: ke.Estimate, key: ke.Key})
+	}
+
+	// Phase 1 (raw) alerts.
+	for _, f := range floods {
+		a := Alert{Type: AlertSYNFlood, Interval: d.interval, DIP: f.dip, Port: f.port, Estimate: f.est}
+		if sip, ok := attackerOf[f.dip]; ok {
+			a.SIP = sip
+		} else {
+			a.Spoofed = true
+		}
+		res.Raw = append(res.Raw, a)
+	}
+	for _, v := range vscans {
+		res.Raw = append(res.Raw, Alert{
+			Type: AlertVScan, Interval: d.interval, SIP: v.sip, DIP: v.dip, Estimate: v.est,
+			FanoutEstimate: rec.TwoDSipDipXDport.DistinctYEstimate(v.key, 1),
+		})
+	}
+	for _, h := range hscans {
+		res.Raw = append(res.Raw, Alert{
+			Type: AlertHScan, Interval: d.interval, SIP: h.sip, Port: h.port, Estimate: h.est,
+			FanoutEstimate: rec.TwoDSipDportXDip.DistinctYEstimate(h.key, 1),
+		})
+	}
+
+	// Phase 2 — 2D-sketch classification (§4): a vertical-scan candidate
+	// whose destination-port distribution is concentrated is really a
+	// (stealthy) SYN flood, not a scan; a horizontal-scan candidate whose
+	// destination-IP distribution is concentrated likewise.
+	res.Phase2 = res.Raw
+	if !d.cfg.DisablePhase2 {
+		res.Phase2 = res.Phase2[:0:0]
+		for _, a := range res.Raw {
+			switch a.Type {
+			case AlertVScan:
+				key := netmodel.PackSIPDIP(a.SIP, a.DIP)
+				if rec.TwoDSipDipXDport.Concentrated(key, d.cfg.TwoDTopP, d.cfg.TwoDPhi).Concentrated {
+					continue // reclassified: concentrated ports ⇒ flooding-like, not a scan
+				}
+			case AlertHScan:
+				key := netmodel.PackSIPDport(a.SIP, a.Port)
+				if rec.TwoDSipDportXDip.Concentrated(key, d.cfg.TwoDTopP, d.cfg.TwoDPhi).Concentrated {
+					continue // concentrated destinations ⇒ flooding-like
+				}
+			}
+			res.Phase2 = append(res.Phase2, a)
+		}
+		res.Phase2 = d.mergeBlockScans(res.Phase2)
+	}
+
+	// Phase 3 — flooding FP reduction (§3.4): active-service, SYN ratio
+	// and persistence filters. Scan alerts pass through untouched.
+	res.Final = res.Phase2
+	if !d.cfg.DisablePhase3 {
+		res.Final = res.Final[:0:0]
+		seenVictims := make(map[uint64]bool)
+		for _, a := range res.Phase2 {
+			if a.Type != AlertSYNFlood {
+				res.Final = append(res.Final, a)
+				continue
+			}
+			victim := netmodel.PackDIPDport(a.DIP, a.Port)
+			seenVictims[victim] = true
+			if !rec.Services.Contains(victim) {
+				continue // never answered a SYN: misconfiguration, not a DoS target
+			}
+			if !d.passesSynRatio(rec, victim) {
+				continue // answering too well: congestion/overload, not a flood
+			}
+			d.streaks[victim]++
+			if d.streaks[victim] < d.cfg.MinPersistIntervals {
+				continue // not persistent yet: transient burst
+			}
+			res.Final = append(res.Final, a)
+		}
+		// Drop streaks for victims that stopped being anomalous; bounded
+		// state, and a later unrelated anomaly starts a fresh streak.
+		for k := range d.streaks {
+			if !seenVictims[k] {
+				delete(d.streaks, k)
+			}
+		}
+	}
+	return res, nil
+}
+
+// mergeBlockScans recognizes block scans (paper §3.2's third scan type):
+// one source sweeping an address range × port range triggers step 2 once
+// per address (vertical-scan candidates) and step 3 once per port
+// (horizontal-scan candidates) simultaneously. When a source owns at
+// least BlockScanMinKeys alerts of each kind, the constituents collapse
+// into a single block-scan alert carrying the source and the combined
+// change magnitude, so mitigation blocks the host instead of chasing its
+// per-port shadows.
+func (d *Detector) mergeBlockScans(alerts []Alert) []Alert {
+	type tally struct{ v, h int }
+	bySIP := make(map[netmodel.IPv4]*tally)
+	for _, a := range alerts {
+		if a.Type != AlertVScan && a.Type != AlertHScan {
+			continue
+		}
+		t := bySIP[a.SIP]
+		if t == nil {
+			t = &tally{}
+			bySIP[a.SIP] = t
+		}
+		if a.Type == AlertVScan {
+			t.v++
+		} else {
+			t.h++
+		}
+	}
+	merged := make(map[netmodel.IPv4]bool)
+	for sip, t := range bySIP {
+		if t.v >= d.cfg.BlockScanMinKeys && t.h >= d.cfg.BlockScanMinKeys {
+			merged[sip] = true
+		} else if d.blockScanners[sip] > 0 && t.v+t.h >= 1 {
+			merged[sip] = true // tail of a known block scan
+		}
+	}
+	// Age the memory and refresh it for everything merged this interval.
+	for sip := range d.blockScanners {
+		d.blockScanners[sip]--
+		if d.blockScanners[sip] <= 0 {
+			delete(d.blockScanners, sip)
+		}
+	}
+	const blockMemoryIntervals = 4
+	for sip := range merged {
+		d.blockScanners[sip] = blockMemoryIntervals
+	}
+	if len(merged) == 0 {
+		return alerts
+	}
+	out := alerts[:0]
+	block := make(map[netmodel.IPv4]*Alert, len(merged))
+	for _, a := range alerts {
+		if (a.Type == AlertVScan || a.Type == AlertHScan) && merged[a.SIP] {
+			b := block[a.SIP]
+			if b == nil {
+				b = &Alert{Type: AlertBlockScan, Interval: a.Interval, SIP: a.SIP}
+				block[a.SIP] = b
+			}
+			b.Estimate += a.Estimate
+			b.FanoutEstimate++ // distinct scan keys the block collapsed
+			continue
+		}
+		out = append(out, a)
+	}
+	sips := make([]netmodel.IPv4, 0, len(block))
+	for sip := range block {
+		sips = append(sips, sip)
+	}
+	sort.Slice(sips, func(i, j int) bool { return sips[i] < sips[j] })
+	for _, sip := range sips {
+		out = append(out, *block[sip])
+	}
+	return out
+}
+
+// passesSynRatio applies the §3.4 congestion filter: estimate this
+// interval's #SYN (original sketch) and #SYN−#SYN/ACK (reversible sketch)
+// for the victim service and require SYNs to dominate the answered share.
+func (d *Detector) passesSynRatio(rec *Recorder, victim uint64) bool {
+	syn := rec.OSDipDport.Estimate(victim)
+	unresp := rec.RSDipDport.Estimate(victim)
+	synAck := syn - unresp
+	if synAck <= 0 {
+		return true // nothing answered at all: flood-like (or dark, which
+		// the active-service filter already handled)
+	}
+	return syn >= d.cfg.MinSynRatio*synAck
+}

@@ -1,0 +1,414 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/hifind/hifind/internal/bloom"
+	"github.com/hifind/hifind/internal/netmodel"
+	"github.com/hifind/hifind/internal/revsketch"
+	"github.com/hifind/hifind/internal/sketch"
+	"github.com/hifind/hifind/internal/sketch2d"
+)
+
+// Orientation selects which direction of edge crossing a recorder
+// protects. The paper's deployment watches attacks entering the edge
+// (Ingress: inbound SYNs vs outbound SYN/ACKs); the same machinery pointed
+// the other way detects compromised internal hosts scanning or flooding
+// the outside world.
+type Orientation int
+
+// Orientations. The RecorderConfig zero value means Ingress.
+const (
+	Ingress Orientation = iota + 1
+	Egress
+)
+
+// String names the orientation.
+func (o Orientation) String() string {
+	switch o {
+	case Ingress:
+		return "ingress"
+	case Egress:
+		return "egress"
+	default:
+		return fmt.Sprintf("orientation(%d)", int(o))
+	}
+}
+
+// RecorderConfig sizes the sketch set. The zero value is replaced by the
+// paper's §5.1 configuration (PaperRecorderConfig).
+type RecorderConfig struct {
+	// Seed derives every hash function; recorders sharing a seed are
+	// combinable across routers.
+	Seed uint64
+	// Orientation picks the protected direction (default Ingress).
+	Orientation Orientation
+	// RS48 is the geometry of the two 48-bit reversible sketches
+	// ({SIP,Dport} and {DIP,Dport}); RS64 of the {SIP,DIP} sketch.
+	RS48, RS64 revsketch.Params
+	// Verifier is the geometry of the k-ary verifier sketches paired with
+	// each reversible sketch.
+	Verifier sketch.Params
+	// Original is the geometry of the OS({DIP,Dport}, #SYN) sketch.
+	Original sketch.Params
+	// TwoD is the geometry of the two 2D classification sketches.
+	TwoD sketch2d.Params
+	// ServiceCapacity sizes the active-service Bloom filter.
+	ServiceCapacity int
+}
+
+// PaperRecorderConfig returns the configuration of paper §5.1 (13.2 MB).
+func PaperRecorderConfig(seed uint64) RecorderConfig {
+	return RecorderConfig{
+		Seed:            seed,
+		RS48:            revsketch.Params48(),
+		RS64:            revsketch.Params64(),
+		Verifier:        sketch.Params{Stages: 6, Buckets: 1 << 14},
+		Original:        sketch.Params{Stages: 6, Buckets: 1 << 14},
+		TwoD:            sketch2d.PaperParams(),
+		ServiceCapacity: 1 << 20,
+	}
+}
+
+// TestRecorderConfig returns a scaled-down configuration for fast tests:
+// the same structure set with smaller tables (24-bit reversible keys would
+// not fit real addresses, so key widths stay at 48/64 bits and only bucket
+// counts shrink).
+func TestRecorderConfig(seed uint64) RecorderConfig {
+	cfg := PaperRecorderConfig(seed)
+	// RS64 keeps the paper's 2^16 buckets: its 4-bit chunks are what keep
+	// reverse hashing tractable once several {SIP,DIP} keys are heavy at
+	// once (3-bit chunks saturate and the inference search degenerates).
+	cfg.Verifier.Buckets = 1 << 12
+	cfg.Original.Buckets = 1 << 12
+	cfg.TwoD.XBuckets = 1 << 10
+	cfg.ServiceCapacity = 1 << 16
+	return cfg
+}
+
+// Recorder is the streaming data-recording front end of HiFIND: the three
+// reversible sketches, their verifiers, the original sketch, the two 2D
+// sketches and the active-service Bloom filter (paper §5.1). A Recorder
+// holds one interval's traffic; detection snapshots it and Reset starts
+// the next interval. Recorders are the unit of multi-router aggregation:
+// Merge sums compatible recorders by sketch linearity.
+//
+// Recorder methods are not safe for concurrent use.
+type Recorder struct {
+	cfg RecorderConfig
+
+	// Reversible sketches, value #SYN−#SYN/ACK (paper §3.3).
+	RSSipDport *revsketch.Sketch
+	RSDipDport *revsketch.Sketch
+	RSSipDip   *revsketch.Sketch
+	// Verifier sketches, same keys and value, conventional hashing.
+	VerSipDport *sketch.Sketch
+	VerDipDport *sketch.Sketch
+	VerSipDip   *sketch.Sketch
+	// Original sketch, value #SYN, key {DIP,Dport} — the #SYN side of the
+	// Phase-3 ratio heuristic.
+	OSDipDport *sketch.Sketch
+	// 2D sketches: x={SIP,Dport}×y={DIP} and x={SIP,DIP}×y={Dport}.
+	TwoDSipDportXDip *sketch2d.Sketch
+	TwoDSipDipXDport *sketch2d.Sketch
+	// Services remembers {DIP,Dport} pairs that have produced SYN/ACKs —
+	// cross-interval state for the misconfiguration filter (§3.4).
+	Services *bloom.Filter
+
+	packets        int64
+	memoryAccesses int64
+}
+
+// NewRecorder builds an empty recorder.
+func NewRecorder(cfg RecorderConfig) (*Recorder, error) {
+	if cfg.Seed == 0 {
+		return nil, fmt.Errorf("core: recorder seed must be nonzero (shared across routers)")
+	}
+	if cfg.ServiceCapacity < 1 {
+		return nil, fmt.Errorf("core: service capacity %d < 1", cfg.ServiceCapacity)
+	}
+	if cfg.Orientation == 0 {
+		cfg.Orientation = Ingress
+	}
+	if cfg.Orientation != Ingress && cfg.Orientation != Egress {
+		return nil, fmt.Errorf("core: unknown orientation %d", cfg.Orientation)
+	}
+	r := &Recorder{cfg: cfg}
+	var err error
+	// Distinct derived seeds keep the structures independent while still
+	// being reproducible from the one configured seed.
+	if r.RSSipDport, err = revsketch.New(cfg.RS48, cfg.Seed^0x01); err != nil {
+		return nil, fmt.Errorf("core: RS{SIP,Dport}: %w", err)
+	}
+	if r.RSDipDport, err = revsketch.New(cfg.RS48, cfg.Seed^0x02); err != nil {
+		return nil, fmt.Errorf("core: RS{DIP,Dport}: %w", err)
+	}
+	if r.RSSipDip, err = revsketch.New(cfg.RS64, cfg.Seed^0x03); err != nil {
+		return nil, fmt.Errorf("core: RS{SIP,DIP}: %w", err)
+	}
+	if r.VerSipDport, err = sketch.New(cfg.Verifier, cfg.Seed^0x04); err != nil {
+		return nil, fmt.Errorf("core: verifier {SIP,Dport}: %w", err)
+	}
+	if r.VerDipDport, err = sketch.New(cfg.Verifier, cfg.Seed^0x05); err != nil {
+		return nil, fmt.Errorf("core: verifier {DIP,Dport}: %w", err)
+	}
+	if r.VerSipDip, err = sketch.New(cfg.Verifier, cfg.Seed^0x06); err != nil {
+		return nil, fmt.Errorf("core: verifier {SIP,DIP}: %w", err)
+	}
+	if r.OSDipDport, err = sketch.New(cfg.Original, cfg.Seed^0x07); err != nil {
+		return nil, fmt.Errorf("core: OS{DIP,Dport}: %w", err)
+	}
+	if r.TwoDSipDportXDip, err = sketch2d.New(cfg.TwoD, cfg.Seed^0x08); err != nil {
+		return nil, fmt.Errorf("core: 2D {SIP,Dport}×{DIP}: %w", err)
+	}
+	if r.TwoDSipDipXDport, err = sketch2d.New(cfg.TwoD, cfg.Seed^0x09); err != nil {
+		return nil, fmt.Errorf("core: 2D {SIP,DIP}×{Dport}: %w", err)
+	}
+	if r.Services, err = bloom.New(cfg.ServiceCapacity, 0.01, cfg.Seed^0x0a); err != nil {
+		return nil, fmt.Errorf("core: service filter: %w", err)
+	}
+	return r, nil
+}
+
+// Config returns the recorder configuration.
+func (r *Recorder) Config() RecorderConfig { return r.cfg }
+
+// Observe records one packet. Only two packet classes matter to the
+// #SYN−#SYN/ACK signal (paper §3.3): connection-opening SYNs crossing the
+// edge in the protected direction add one under the connection keys, and
+// the answering SYN/ACKs crossing back subtract one under the same keys
+// (for a SYN/ACK the connection's client is the packet destination).
+// Everything else is ignored.
+func (r *Recorder) Observe(pkt netmodel.Packet) {
+	synDir, ackDir := netmodel.Inbound, netmodel.Outbound
+	if r.cfg.Orientation == Egress {
+		synDir, ackDir = netmodel.Outbound, netmodel.Inbound
+	}
+	switch {
+	case pkt.Dir == synDir && pkt.Flags.IsSYN():
+		r.update(pkt.SrcIP, pkt.DstIP, pkt.DstPort, +1, true)
+	case pkt.Dir == ackDir && pkt.Flags.IsSYNACK():
+		// Connection client = pkt.DstIP, server = pkt.SrcIP:pkt.SrcPort.
+		r.update(pkt.DstIP, pkt.SrcIP, pkt.SrcPort, -1, false)
+		r.Services.Add(netmodel.PackDIPDport(pkt.SrcIP, pkt.SrcPort))
+		r.memoryAccesses += 7 // k≈7 bit-writes for a 1% Bloom filter
+	}
+	r.packets++
+}
+
+// ObserveFlow records a NetFlow-style flow record by replaying its SYN and
+// SYN/ACK counts (the evaluation traces in the paper are NetFlow exports).
+func (r *Recorder) ObserveFlow(rec netmodel.FlowRecord) {
+	if r.cfg.Orientation == Egress {
+		// Flip the record's edge-crossing direction so the shared
+		// accounting below applies unchanged.
+		if rec.Dir == netmodel.Inbound {
+			rec.Dir = netmodel.Outbound
+		} else {
+			rec.Dir = netmodel.Inbound
+		}
+	}
+	if rec.Dir == netmodel.Inbound && rec.SYNs > 0 {
+		for i := 0; i < rec.SYNs; i++ {
+			r.update(rec.SrcIP, rec.DstIP, rec.DstPort, +1, true)
+		}
+		r.packets += int64(rec.SYNs)
+	}
+	if rec.Dir == netmodel.Outbound && rec.SYNACKs > 0 {
+		for i := 0; i < rec.SYNACKs; i++ {
+			r.update(rec.DstIP, rec.SrcIP, rec.SrcPort, -1, false)
+		}
+		r.Services.Add(netmodel.PackDIPDport(rec.SrcIP, rec.SrcPort))
+		r.packets += int64(rec.SYNACKs)
+	}
+}
+
+// update applies one ±1 to every structure under connection (sip,dip,dport).
+func (r *Recorder) update(sip, dip netmodel.IPv4, dport uint16, v int32, countSYN bool) {
+	kSipDport := netmodel.PackSIPDport(sip, dport)
+	kDipDport := netmodel.PackDIPDport(dip, dport)
+	kSipDip := netmodel.PackSIPDIP(sip, dip)
+
+	r.RSSipDport.Update(kSipDport, v)
+	r.RSDipDport.Update(kDipDport, v)
+	r.RSSipDip.Update(kSipDip, v)
+	r.VerSipDport.Update(kSipDport, v)
+	r.VerDipDport.Update(kDipDport, v)
+	r.VerSipDip.Update(kSipDip, v)
+	if countSYN {
+		r.OSDipDport.Update(kDipDport, 1)
+	}
+	r.TwoDSipDportXDip.Update(kSipDport, uint64(dip), v)
+	r.TwoDSipDipXDport.Update(kSipDip, uint64(dport), v)
+
+	// Counter writes per packet: 6 per RS ×3, 6 per verifier ×3, 5 per 2D
+	// ×2, plus 6 for the OS on SYNs — the fixed per-packet access budget
+	// of paper §5.5.2 (no per-flow state anywhere).
+	acc := int64(3*r.cfg.RS48.Stages + 3*r.cfg.Verifier.Stages + 2*r.cfg.TwoD.Stages)
+	if countSYN {
+		acc += int64(r.cfg.Original.Stages)
+	}
+	r.memoryAccesses += acc
+}
+
+// Packets returns how many packets were observed.
+func (r *Recorder) Packets() int64 { return r.packets }
+
+// MemoryAccesses returns the cumulative counter-write count, for the
+// per-packet access benchmarks.
+func (r *Recorder) MemoryAccesses() int64 { return r.memoryAccesses }
+
+// MemoryBytes totals the counter memory of every structure, the number
+// compared in paper Table 9.
+func (r *Recorder) MemoryBytes() int {
+	return r.RSSipDport.MemoryBytes() + r.RSDipDport.MemoryBytes() + r.RSSipDip.MemoryBytes() +
+		r.VerSipDport.MemoryBytes() + r.VerDipDport.MemoryBytes() + r.VerSipDip.MemoryBytes() +
+		r.OSDipDport.MemoryBytes() +
+		r.TwoDSipDportXDip.MemoryBytes() + r.TwoDSipDipXDport.MemoryBytes()
+}
+
+// Reset clears per-interval counters. The active-service memory is
+// long-lived and survives (misconfigured destinations must stay
+// distinguishable from services that were active in earlier intervals).
+func (r *Recorder) Reset() {
+	r.RSSipDport.Reset()
+	r.RSDipDport.Reset()
+	r.RSSipDip.Reset()
+	r.VerSipDport.Reset()
+	r.VerDipDport.Reset()
+	r.VerSipDip.Reset()
+	r.OSDipDport.Reset()
+	r.TwoDSipDportXDip.Reset()
+	r.TwoDSipDipXDport.Reset()
+	r.packets = 0
+}
+
+// Compatible reports whether two recorders share seed and geometry and can
+// therefore be merged.
+func (r *Recorder) Compatible(o *Recorder) bool {
+	return r.cfg == o.cfg
+}
+
+// Merge sums other recorders into r (coefficient 1 each): the multi-router
+// aggregation of paper §3.1. All operands must be compatible.
+func (r *Recorder) Merge(others ...*Recorder) error {
+	for n, o := range others {
+		if !r.Compatible(o) {
+			return fmt.Errorf("core: merge operand %d incompatible", n)
+		}
+		var err error
+		merge := func(dst, src *revsketch.Sketch) *revsketch.Sketch {
+			if err != nil {
+				return dst
+			}
+			var out *revsketch.Sketch
+			out, err = revsketch.Combine([]int32{1, 1}, []*revsketch.Sketch{dst, src})
+			return out
+		}
+		mergeK := func(dst, src *sketch.Sketch) *sketch.Sketch {
+			if err != nil {
+				return dst
+			}
+			var out *sketch.Sketch
+			out, err = sketch.Combine([]int32{1, 1}, []*sketch.Sketch{dst, src})
+			return out
+		}
+		merge2D := func(dst, src *sketch2d.Sketch) *sketch2d.Sketch {
+			if err != nil {
+				return dst
+			}
+			var out *sketch2d.Sketch
+			out, err = sketch2d.Combine([]int32{1, 1}, []*sketch2d.Sketch{dst, src})
+			return out
+		}
+		r.RSSipDport = merge(r.RSSipDport, o.RSSipDport)
+		r.RSDipDport = merge(r.RSDipDport, o.RSDipDport)
+		r.RSSipDip = merge(r.RSSipDip, o.RSSipDip)
+		r.VerSipDport = mergeK(r.VerSipDport, o.VerSipDport)
+		r.VerDipDport = mergeK(r.VerDipDport, o.VerDipDport)
+		r.VerSipDip = mergeK(r.VerSipDip, o.VerSipDip)
+		r.OSDipDport = mergeK(r.OSDipDport, o.OSDipDport)
+		r.TwoDSipDportXDip = merge2D(r.TwoDSipDportXDip, o.TwoDSipDportXDip)
+		r.TwoDSipDipXDport = merge2D(r.TwoDSipDipXDport, o.TwoDSipDipXDport)
+		if err != nil {
+			return fmt.Errorf("core: merge: %w", err)
+		}
+		if err := r.Services.Union(o.Services); err != nil {
+			return fmt.Errorf("core: merge: %w", err)
+		}
+		r.packets += o.packets
+	}
+	return nil
+}
+
+// MarshalBinary serializes every structure for transport to an
+// aggregation site. The encoding is a sequence of length-prefixed blocks.
+func (r *Recorder) MarshalBinary() ([]byte, error) {
+	blocks := make([][]byte, 0, 10)
+	appendBlock := func(data []byte, err error) error {
+		if err != nil {
+			return err
+		}
+		blocks = append(blocks, data)
+		return nil
+	}
+	marshals := []func() ([]byte, error){
+		r.RSSipDport.MarshalBinary, r.RSDipDport.MarshalBinary, r.RSSipDip.MarshalBinary,
+		r.VerSipDport.MarshalBinary, r.VerDipDport.MarshalBinary, r.VerSipDip.MarshalBinary,
+		r.OSDipDport.MarshalBinary,
+		r.TwoDSipDportXDip.MarshalBinary, r.TwoDSipDipXDport.MarshalBinary,
+		r.Services.MarshalBinary,
+	}
+	for _, m := range marshals {
+		if err := appendBlock(m()); err != nil {
+			return nil, fmt.Errorf("core: marshal recorder: %w", err)
+		}
+	}
+	size := 8
+	for _, b := range blocks {
+		size += 4 + len(b)
+	}
+	out := make([]byte, 0, size)
+	out = binary.LittleEndian.AppendUint64(out, uint64(r.packets))
+	for _, b := range blocks {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(b)))
+		out = append(out, b...)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary loads serialized state into a recorder constructed with
+// the same configuration.
+func (r *Recorder) UnmarshalBinary(data []byte) error {
+	if len(data) < 8 {
+		return fmt.Errorf("core: recorder data truncated")
+	}
+	r.packets = int64(binary.LittleEndian.Uint64(data))
+	data = data[8:]
+	unmarshals := []func([]byte) error{
+		r.RSSipDport.UnmarshalBinary, r.RSDipDport.UnmarshalBinary, r.RSSipDip.UnmarshalBinary,
+		r.VerSipDport.UnmarshalBinary, r.VerDipDport.UnmarshalBinary, r.VerSipDip.UnmarshalBinary,
+		r.OSDipDport.UnmarshalBinary,
+		r.TwoDSipDportXDip.UnmarshalBinary, r.TwoDSipDipXDport.UnmarshalBinary,
+		r.Services.UnmarshalBinary,
+	}
+	for i, u := range unmarshals {
+		if len(data) < 4 {
+			return fmt.Errorf("core: recorder block %d missing", i)
+		}
+		n := int(binary.LittleEndian.Uint32(data))
+		data = data[4:]
+		if len(data) < n {
+			return fmt.Errorf("core: recorder block %d truncated", i)
+		}
+		if err := u(data[:n]); err != nil {
+			return fmt.Errorf("core: recorder block %d: %w", i, err)
+		}
+		data = data[n:]
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("core: %d trailing bytes after recorder blocks", len(data))
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+// Package cusum implements the non-parametric CUSUM change-point detector
+// used by the CPM baseline (Wang, Zhang, Shin — "Detecting SYN flooding
+// attacks", INFOCOM 2002). CUSUM accumulates the positive excess of a
+// normalized statistic over its expected upper bound and raises an alarm
+// when the accumulation crosses a threshold; it detects abrupt sustained
+// increases while staying quiet under noisy but mean-stable input.
+package cusum
+
+import "fmt"
+
+// Detector is a one-sided non-parametric CUSUM. The input statistic X(t)
+// is assumed to hover below Mean in normal operation; Drift (a in the CPM
+// paper) is subtracted each step so that only sustained excursions
+// accumulate, and Threshold is the alarm level for the accumulated sum.
+type Detector struct {
+	drift     float64
+	threshold float64
+	sum       float64
+	alarms    int
+}
+
+// New builds a detector. drift must be positive (it is what pulls the sum
+// back to zero under normal traffic); threshold must be positive.
+func New(drift, threshold float64) (*Detector, error) {
+	if drift <= 0 {
+		return nil, fmt.Errorf("cusum: drift %v must be positive", drift)
+	}
+	if threshold <= 0 {
+		return nil, fmt.Errorf("cusum: threshold %v must be positive", threshold)
+	}
+	return &Detector{drift: drift, threshold: threshold}, nil
+}
+
+// Step feeds one interval's statistic and reports whether the detector is
+// in the alarm state after the update:
+//
+//	S(t) = max(0, S(t−1) + X(t) − drift),  alarm iff S(t) > threshold
+func (d *Detector) Step(x float64) bool {
+	d.sum += x - d.drift
+	if d.sum < 0 {
+		d.sum = 0
+	}
+	alarm := d.sum > d.threshold
+	if alarm {
+		d.alarms++
+	}
+	return alarm
+}
+
+// Sum returns the accumulated statistic.
+func (d *Detector) Sum() float64 { return d.sum }
+
+// Alarms returns how many Step calls ended in the alarm state.
+func (d *Detector) Alarms() int { return d.alarms }
+
+// Reset clears the accumulation and alarm count.
+func (d *Detector) Reset() {
+	d.sum = 0
+	d.alarms = 0
+}

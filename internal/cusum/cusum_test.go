@@ -1,0 +1,121 @@
+package cusum
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 1); err == nil {
+		t.Error("zero drift accepted")
+	}
+	if _, err := New(-1, 1); err == nil {
+		t.Error("negative drift accepted")
+	}
+	if _, err := New(1, 0); err == nil {
+		t.Error("zero threshold accepted")
+	}
+}
+
+func TestQuietUnderNormalTraffic(t *testing.T) {
+	d, err := New(0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		// Statistic fluctuates around 0.2, well under the drift.
+		if d.Step(0.2 + 0.2*rng.Float64()) {
+			t.Fatalf("false alarm at step %d (sum %v)", i, d.Sum())
+		}
+	}
+	if d.Alarms() != 0 {
+		t.Errorf("Alarms = %d", d.Alarms())
+	}
+}
+
+func TestDetectsSustainedShift(t *testing.T) {
+	d, err := New(0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		d.Step(0.1)
+	}
+	fired := -1
+	for i := 0; i < 20; i++ {
+		if d.Step(2.0) { // attack shifts the statistic to 2.0
+			fired = i
+			break
+		}
+	}
+	if fired < 0 {
+		t.Fatal("sustained shift never alarmed")
+	}
+	// S grows by 1.5 per step; threshold 5 ⇒ alarm on the 4th step.
+	if fired > 5 {
+		t.Errorf("alarm after %d steps, want ≤5", fired+1)
+	}
+}
+
+func TestSingleSpikeDoesNotAlarm(t *testing.T) {
+	d, err := New(0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Step(4.0) // one spike, below threshold accumulation
+	if d.Step(0.1) {
+		t.Error("isolated spike alarmed")
+	}
+	// Drift drains the spike away.
+	for i := 0; i < 20; i++ {
+		d.Step(0.1)
+	}
+	if d.Sum() != 0 {
+		t.Errorf("sum %v, want drained to 0", d.Sum())
+	}
+}
+
+func TestSumNeverNegative(t *testing.T) {
+	d, err := New(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		d.Step(-3)
+		if d.Sum() < 0 {
+			t.Fatal("sum went negative")
+		}
+	}
+}
+
+func TestAlarmPersistsWhileElevated(t *testing.T) {
+	d, err := New(0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alarms := 0
+	for i := 0; i < 10; i++ {
+		if d.Step(3) {
+			alarms++
+		}
+	}
+	if alarms < 8 {
+		t.Errorf("alarm flapped: only %d/10 intervals alarmed", alarms)
+	}
+	if d.Alarms() != alarms {
+		t.Error("Alarms counter mismatch")
+	}
+}
+
+func TestReset(t *testing.T) {
+	d, err := New(0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Step(10)
+	d.Reset()
+	if d.Sum() != 0 || d.Alarms() != 0 {
+		t.Error("Reset incomplete")
+	}
+}

@@ -1,0 +1,307 @@
+package evalx
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hifind/hifind/internal/core"
+	"github.com/hifind/hifind/internal/netmodel"
+	"github.com/hifind/hifind/internal/trace"
+)
+
+func mkAlert(t core.AlertType, sip, dip netmodel.IPv4, port uint16, est float64, interval int) core.Alert {
+	return core.Alert{Type: t, SIP: sip, DIP: dip, Port: port, Estimate: est, Interval: interval}
+}
+
+func TestDedupKeepsHighestEstimate(t *testing.T) {
+	a1 := mkAlert(core.AlertHScan, 7, 0, 445, 100, 1)
+	a2 := mkAlert(core.AlertHScan, 7, 0, 445, 250, 2)
+	a3 := mkAlert(core.AlertHScan, 8, 0, 445, 50, 2)
+	results := []core.IntervalResult{
+		{Interval: 1, Raw: []core.Alert{a1}},
+		{Interval: 2, Raw: []core.Alert{a2, a3}},
+	}
+	got := Dedup(results, PhaseRaw)
+	if len(got) != 2 {
+		t.Fatalf("dedup kept %d alerts, want 2", len(got))
+	}
+	if got[a1.Key()].Estimate != 250 {
+		t.Error("dedup did not keep the highest estimate")
+	}
+}
+
+func TestPhaseSelectors(t *testing.T) {
+	r := core.IntervalResult{
+		Raw:    []core.Alert{mkAlert(core.AlertVScan, 1, 2, 0, 10, 0)},
+		Phase2: []core.Alert{},
+		Final:  []core.Alert{mkAlert(core.AlertSYNFlood, 0, 3, 80, 99, 0)},
+	}
+	results := []core.IntervalResult{r}
+	if len(Dedup(results, PhaseRaw)) != 1 || len(Dedup(results, Phase2)) != 0 || len(Dedup(results, PhaseFinal)) != 1 {
+		t.Error("phase selection wrong")
+	}
+	for _, p := range []Phase{PhaseRaw, Phase2, PhaseFinal} {
+		if p.String() == "" {
+			t.Error("empty phase name")
+		}
+	}
+}
+
+func TestCountTypes(t *testing.T) {
+	alerts := map[core.AlertKey]core.Alert{}
+	add := func(a core.Alert) { alerts[a.Key()] = a }
+	add(mkAlert(core.AlertSYNFlood, 0, 1, 80, 1, 0))
+	add(mkAlert(core.AlertSYNFlood, 0, 2, 80, 1, 0))
+	add(mkAlert(core.AlertHScan, 3, 0, 22, 1, 0))
+	add(mkAlert(core.AlertVScan, 4, 5, 0, 1, 0))
+	c := CountTypes(alerts)
+	if c.Flood != 2 || c.HScan != 1 || c.VScan != 1 {
+		t.Errorf("CountTypes = %+v", c)
+	}
+}
+
+func testAttacks() []trace.Attack {
+	return []trace.Attack{
+		{Type: trace.SYNFlood, Victim: 100, Ports: []uint16{80}, Rate: 1, Cause: "flood"},
+		{Type: trace.SYNFlood, Victim: 200, Ports: []uint16{443}, Targets: 3, Rate: 1,
+			Attackers: []netmodel.IPv4{55}, Cause: "cluster flood"},
+		{Type: trace.HorizontalScan, Attackers: []netmodel.IPv4{7}, Victim: 0,
+			Ports: []uint16{1433}, Targets: 1000, Rate: 1, Cause: "SQLSnake"},
+		{Type: trace.VerticalScan, Attackers: []netmodel.IPv4{9}, Victim: 300,
+			Ports: []uint16{1, 2, 3}, Rate: 1, Cause: "survey"},
+		{Type: trace.Misconfig, Victim: 400, Ports: []uint16{80}, Rate: 1, Cause: "stale"},
+	}
+}
+
+func TestMatcherTypesMustAgree(t *testing.T) {
+	m := NewMatcher(testAttacks())
+	tests := []struct {
+		name  string
+		alert core.Alert
+		want  bool
+	}{
+		{"flood on victim", mkAlert(core.AlertSYNFlood, 0, 100, 80, 1, 0), true},
+		{"flood wrong port", mkAlert(core.AlertSYNFlood, 0, 100, 22, 1, 0), false},
+		{"flood on cluster member", mkAlert(core.AlertSYNFlood, 0, 201, 443, 1, 0), true},
+		{"flood past cluster", mkAlert(core.AlertSYNFlood, 0, 203, 443, 1, 0), false},
+		{"flood on misconfig dark host is FP", mkAlert(core.AlertSYNFlood, 0, 400, 80, 1, 0), false},
+		{"hscan right source+port", mkAlert(core.AlertHScan, 7, 0, 1433, 1, 0), true},
+		{"hscan wrong source", mkAlert(core.AlertHScan, 8, 0, 1433, 1, 0), false},
+		{"vscan right pair", mkAlert(core.AlertVScan, 9, 300, 0, 1, 0), true},
+		{"vscan wrong victim", mkAlert(core.AlertVScan, 9, 301, 0, 1, 0), false},
+		{"vscan alert on flood is FP", mkAlert(core.AlertVScan, 55, 200, 0, 1, 0), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, got := m.Match(tt.alert); got != tt.want {
+				t.Errorf("Match = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEvaluateOutcome(t *testing.T) {
+	m := NewMatcher(testAttacks())
+	alerts := map[core.AlertKey]core.Alert{}
+	add := func(a core.Alert) { alerts[a.Key()] = a }
+	add(mkAlert(core.AlertSYNFlood, 0, 100, 80, 1, 0)) // TP
+	add(mkAlert(core.AlertHScan, 7, 0, 1433, 1, 0))    // TP
+	add(mkAlert(core.AlertSYNFlood, 0, 400, 80, 1, 0)) // FP (misconfig)
+	out := m.Evaluate(alerts)
+	if out.TruePositives != 2 || out.FalsePositives != 1 {
+		t.Errorf("Evaluate = %+v", out)
+	}
+	// Missed: the cluster flood and the vscan (both true attacks).
+	if len(out.MissedAttacks) != 2 {
+		t.Errorf("missed %d attacks, want 2", len(out.MissedAttacks))
+	}
+}
+
+func TestScannerIPsAndOverlap(t *testing.T) {
+	alerts := map[core.AlertKey]core.Alert{}
+	add := func(a core.Alert) { alerts[a.Key()] = a }
+	add(mkAlert(core.AlertHScan, 5, 0, 22, 1, 0))
+	add(mkAlert(core.AlertHScan, 5, 0, 80, 1, 0)) // same source, second port
+	add(mkAlert(core.AlertHScan, 6, 0, 22, 1, 0))
+	add(mkAlert(core.AlertVScan, 7, 8, 0, 1, 0))
+	ips := ScannerIPs(alerts)
+	if len(ips) != 2 {
+		t.Fatalf("ScannerIPs = %v", ips)
+	}
+	if OverlapIPs(ips, []netmodel.IPv4{5, 9}) != 1 {
+		t.Error("OverlapIPs wrong")
+	}
+	if OverlapIPs(nil, ips) != 0 {
+		t.Error("empty overlap wrong")
+	}
+}
+
+func TestFloodIntervalsAndOverlap(t *testing.T) {
+	results := []core.IntervalResult{
+		{Interval: 0},
+		{Interval: 1, Final: []core.Alert{mkAlert(core.AlertSYNFlood, 0, 1, 80, 1, 1)}},
+		{Interval: 2, Final: []core.Alert{mkAlert(core.AlertHScan, 2, 0, 22, 1, 2)}},
+		{Interval: 3, Final: []core.Alert{
+			mkAlert(core.AlertSYNFlood, 0, 1, 80, 1, 3),
+			mkAlert(core.AlertSYNFlood, 0, 2, 80, 1, 3),
+		}},
+	}
+	got := FloodIntervals(results)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("FloodIntervals = %v", got)
+	}
+	if OverlapInts(got, []int{3, 4}) != 1 {
+		t.Error("OverlapInts wrong")
+	}
+}
+
+func TestRankHScans(t *testing.T) {
+	m := NewMatcher(testAttacks())
+	alerts := map[core.AlertKey]core.Alert{}
+	a := mkAlert(core.AlertHScan, 7, 0, 1433, 500, 0)
+	a.FanoutEstimate = 60
+	b := mkAlert(core.AlertHScan, 99, 0, 4444, 900, 0)
+	b.FanoutEstimate = 10
+	alerts[a.Key()] = a
+	alerts[b.Key()] = b
+	rows := RankHScans(alerts, m)
+	if len(rows) != 2 {
+		t.Fatalf("RankHScans = %v", rows)
+	}
+	if rows[0].SIP != 99 || rows[1].SIP != 7 {
+		t.Error("not sorted by change difference")
+	}
+	if rows[1].Cause != "SQLSnake" {
+		t.Errorf("cause join failed: %q", rows[1].Cause)
+	}
+	if rows[1].Fanout != 1000 {
+		t.Errorf("fanout should prefer ground-truth sweep size: %d", rows[1].Fanout)
+	}
+	if !strings.Contains(rows[0].Cause, "unknown") {
+		t.Errorf("unmatched scan cause: %q", rows[0].Cause)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := &Histogram{BinWidth: 10}
+	for _, v := range []int{1, 2, 3, 15, 250, 255} {
+		h.Add(v)
+	}
+	if h.Counts[0] != 3 || h.Counts[10] != 1 || h.Counts[250] != 2 {
+		t.Errorf("histogram = %v", h.Counts)
+	}
+	bins := h.Bins()
+	if len(bins) != 3 || bins[0] != 0 || bins[2] != 250 {
+		t.Errorf("bins = %v", bins)
+	}
+}
+
+func TestUniquePortHistogramBimodal(t *testing.T) {
+	// A flood (1 port) and a vertical scan (300 ports) must land in
+	// well-separated bins — the Figure 4 claim.
+	cfg := trace.Config{
+		Seed:            3,
+		Start:           time.Date(2005, 5, 10, 0, 0, 0, 0, time.UTC),
+		Interval:        time.Minute,
+		Intervals:       3,
+		InternalPrefix:  netmodel.MustParseIPv4("129.105.0.0"),
+		Servers:         10,
+		BackgroundFlows: 300,
+		FailRate:        0.03,
+	}
+	ports := make([]uint16, 300)
+	for i := range ports {
+		ports[i] = uint16(1 + i)
+	}
+	cfg.Attacks = []trace.Attack{
+		{Type: trace.SYNFlood, Attackers: []netmodel.IPv4{netmodel.MustParseIPv4("198.51.100.1")},
+			Victim: netmodel.MustParseIPv4("129.105.140.1"), Ports: []uint16{80},
+			StartInterval: 0, EndInterval: 2, Rate: 300, ResponseRate: 0.05, Cause: "flood"},
+		{Type: trace.VerticalScan, Attackers: []netmodel.IPv4{netmodel.MustParseIPv4("198.51.100.2")},
+			Victim: netmodel.MustParseIPv4("129.105.140.2"), Ports: ports,
+			StartInterval: 0, EndInterval: 2, Rate: 300, ResponseRate: 0.02, Cause: "vscan"},
+	}
+	g, err := trace.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := UniquePortHistogram(g, 50, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Counts[0] == 0 {
+		t.Error("flood mode (bin 0) empty")
+	}
+	highMode := 0
+	for bin, n := range h.Counts {
+		if bin >= 100 {
+			highMode += n
+		}
+	}
+	if highMode == 0 {
+		t.Errorf("scan mode empty: %v", h.Counts)
+	}
+	midMode := 0
+	for bin, n := range h.Counts {
+		if bin >= 20 && bin < 100 {
+			midMode += n
+		}
+	}
+	if midMode != 0 {
+		t.Errorf("distribution not bimodal: %d pairs in the valley (%v)", midMode, h.Counts)
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	out := FormatTable([]string{"a", "bbbb"}, [][]string{{"xxxxx", "y"}, {"1", "2"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines", len(lines))
+	}
+	if !strings.Contains(lines[0], "bbbb") || !strings.Contains(lines[2], "xxxxx") {
+		t.Errorf("table malformed:\n%s", out)
+	}
+}
+
+func TestDetectionLatencies(t *testing.T) {
+	attacks := []trace.Attack{
+		{Type: trace.SYNFlood, Victim: 100, Ports: []uint16{80}, Rate: 1,
+			StartInterval: 3, EndInterval: 8, Cause: "flood"},
+		{Type: trace.HorizontalScan, Attackers: []netmodel.IPv4{7}, Victim: 0,
+			Ports: []uint16{22}, Targets: 100, Rate: 1,
+			StartInterval: 5, EndInterval: 9, Cause: "scan"},
+		{Type: trace.Misconfig, Victim: 400, Ports: []uint16{80}, Rate: 1,
+			StartInterval: 0, EndInterval: 9, Cause: "benign"},
+	}
+	m := NewMatcher(attacks)
+	results := []core.IntervalResult{
+		{Interval: 4},
+		{Interval: 5, Final: []core.Alert{mkAlert(core.AlertSYNFlood, 0, 100, 80, 10, 5)}},
+		{Interval: 6, Final: []core.Alert{
+			mkAlert(core.AlertSYNFlood, 0, 100, 80, 10, 6),
+			mkAlert(core.AlertHScan, 7, 0, 22, 10, 6),
+		}},
+	}
+	reports := DetectionLatencies(results, m, attacks)
+	// Benign anomalies are excluded; two true attacks reported.
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d, want 2", len(reports))
+	}
+	if reports[0].DetectedAt != 5 || reports[0].Latency != 2 {
+		t.Errorf("flood latency = %+v", reports[0])
+	}
+	if reports[1].DetectedAt != 6 || reports[1].Latency != 1 {
+		t.Errorf("scan latency = %+v", reports[1])
+	}
+	// An attack never alerted reports -1.
+	missedAttacks := append(attacks, trace.Attack{
+		Type: trace.VerticalScan, Attackers: []netmodel.IPv4{9}, Victim: 300,
+		Ports: []uint16{1}, Rate: 1, StartInterval: 0, EndInterval: 2, Cause: "missed",
+	})
+	reports = DetectionLatencies(results, NewMatcher(missedAttacks), missedAttacks)
+	last := reports[len(reports)-1]
+	if last.DetectedAt != -1 || last.Latency != -1 {
+		t.Errorf("missed attack report = %+v", last)
+	}
+}

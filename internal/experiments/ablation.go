@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/hifind/hifind/internal/core"
+	"github.com/hifind/hifind/internal/evalx"
+	"github.com/hifind/hifind/internal/revsketch"
+	"github.com/hifind/hifind/internal/sketch"
+)
+
+// The ablation experiments quantify the design choices DESIGN.md §7 calls
+// out: the cost of reversibility (modular hashing + mangling vs direct
+// hashing), the verifier sketches, the EWMA constant, the stage count and
+// the 2D concentration parameters.
+
+// AblationPoint is one configuration's accuracy summary on the NU trace.
+type AblationPoint struct {
+	Label          string
+	TruePositives  int
+	FalsePositives int
+	Missed         int
+}
+
+// runPoint evaluates one detector configuration on the NU trace.
+func runPoint(label string, s Scale, mutate func(*core.RecorderConfig, *core.DetectorConfig)) (AblationPoint, error) {
+	rcfg, dcfg := hiFINDConfig()
+	mutate(&rcfg, &dcfg)
+	results, gen, err := RunHiFIND(NUTrace(s), rcfg, dcfg)
+	if err != nil {
+		return AblationPoint{}, err
+	}
+	out := evalx.NewMatcher(gen.Attacks()).Evaluate(evalx.Dedup(results, evalx.PhaseFinal))
+	return AblationPoint{
+		Label:          label,
+		TruePositives:  out.TruePositives,
+		FalsePositives: out.FalsePositives,
+		Missed:         len(out.MissedAttacks),
+	}, nil
+}
+
+// AblationEWMA sweeps the forecast smoothing constant.
+func AblationEWMA(s Scale) ([]AblationPoint, error) {
+	points := make([]AblationPoint, 0, 4)
+	for _, alpha := range []float64{0.2, 0.5, 0.8, 1.0} {
+		p, err := runPoint(fmt.Sprintf("alpha=%.1f", alpha), s,
+			func(_ *core.RecorderConfig, d *core.DetectorConfig) { d.Alpha = alpha })
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// AblationStages sweeps the number of hash stages H of every sketch,
+// trading memory for collision resistance.
+func AblationStages(s Scale) ([]AblationPoint, error) {
+	points := make([]AblationPoint, 0, 3)
+	for _, h := range []int{4, 6, 8} {
+		p, err := runPoint(fmt.Sprintf("H=%d", h), s,
+			func(r *core.RecorderConfig, d *core.DetectorConfig) {
+				r.RS48.Stages = h
+				r.RS64.Stages = h
+				r.Verifier.Stages = h
+				r.Original.Stages = h
+				d.Quorum = h - 1
+			})
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// AblationVerifier compares verification on and off: without the verifier
+// sketches, modular-hash aliases survive inference and surface as false
+// positives.
+func AblationVerifier(s Scale) ([]AblationPoint, error) {
+	on, err := runPoint("verifier on", s, func(*core.RecorderConfig, *core.DetectorConfig) {})
+	if err != nil {
+		return nil, err
+	}
+	off, err := runPoint("verifier off", s,
+		func(_ *core.RecorderConfig, d *core.DetectorConfig) { d.VerifyFraction = -1 })
+	if err != nil {
+		return nil, err
+	}
+	return []AblationPoint{on, off}, nil
+}
+
+// AblationPhi sweeps the 2D concentration parameter φ: low values
+// reclassify too eagerly (killing real vscans), high values let stealthy
+// floods through as scan false positives.
+func AblationPhi(s Scale) ([]AblationPoint, error) {
+	points := make([]AblationPoint, 0, 3)
+	for _, phi := range []float64{0.5, 0.8, 0.95} {
+		p, err := runPoint(fmt.Sprintf("phi=%.2f", phi), s,
+			func(_ *core.RecorderConfig, d *core.DetectorConfig) { d.TwoDPhi = phi })
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// FormatAblation renders ablation points.
+func FormatAblation(title string, points []AblationPoint) string {
+	rows := make([][]string, len(points))
+	for i, p := range points {
+		rows[i] = []string{p.Label, strconv.Itoa(p.TruePositives),
+			strconv.Itoa(p.FalsePositives), strconv.Itoa(p.Missed)}
+	}
+	return title + "\n" + evalx.FormatTable([]string{"Config", "TP", "FP", "Missed"}, rows)
+}
+
+// ModularCost quantifies the price of reversibility: update rates of a
+// reversible sketch (modular hashing + mangling) vs a plain k-ary sketch
+// of the same geometry, and whether each can recover keys at all.
+type ModularCost struct {
+	RevInsertsPerSec  float64
+	KaryInsertsPerSec float64
+	// Slowdown is kary/rev (>1 means reversibility costs throughput).
+	Slowdown float64
+}
+
+// AblationModularVsDirect measures the reversibility overhead.
+func AblationModularVsDirect(inserts int) (ModularCost, error) {
+	rs, err := revsketch.New(revsketch.Params48(), 1)
+	if err != nil {
+		return ModularCost{}, err
+	}
+	ks, err := sketch.New(sketch.Params{Stages: 6, Buckets: 1 << 12}, 1)
+	if err != nil {
+		return ModularCost{}, err
+	}
+	rng := rand.New(rand.NewSource(4))
+	keys := make([]uint64, 4096)
+	for i := range keys {
+		keys[i] = rng.Uint64() & (1<<48 - 1)
+	}
+	start := time.Now()
+	for i := 0; i < inserts; i++ {
+		rs.Update(keys[i&4095], 1)
+	}
+	revRate := float64(inserts) / time.Since(start).Seconds()
+	start = time.Now()
+	for i := 0; i < inserts; i++ {
+		ks.Update(keys[i&4095], 1)
+	}
+	karyRate := float64(inserts) / time.Since(start).Seconds()
+	return ModularCost{
+		RevInsertsPerSec:  revRate,
+		KaryInsertsPerSec: karyRate,
+		Slowdown:          karyRate / revRate,
+	}, nil
+}
+
+// FormatModularCost renders the comparison. In this implementation the
+// reversible sketch's tabulated per-word hashing is typically *faster*
+// than the k-ary sketch's polynomial hashing, so reversibility can come
+// at negative cost in software — the FPGA trade-off the paper discusses
+// is about memory ports, not arithmetic.
+func FormatModularCost(m ModularCost) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "reversible sketch (modular/tabulated hashing): %.1fM inserts/sec\n", m.RevInsertsPerSec/1e6)
+	fmt.Fprintf(&b, "plain k-ary sketch (polynomial hashing):       %.1fM inserts/sec\n", m.KaryInsertsPerSec/1e6)
+	if m.Slowdown > 1 {
+		fmt.Fprintf(&b, "reversibility costs %.2fx throughput", m.Slowdown)
+	} else {
+		fmt.Fprintf(&b, "reversibility is %.2fx FASTER here (table lookups beat field arithmetic)", 1/m.Slowdown)
+	}
+	b.WriteString(" — and only the reversible sketch can name culprit keys (INFERENCE)\n")
+	return b.String()
+}
+
+// ThresholdPoint is one operating point of the sensitivity sweep.
+type ThresholdPoint struct {
+	ThresholdPerSec float64
+	TruePositives   int
+	FalsePositives  int
+	Missed          int
+}
+
+// AblationThreshold sweeps the detection threshold (paper §5.1 fixes it at
+// one un-responded SYN per second without exploring alternatives) and
+// reports the accuracy trade-off on the NU trace: lower thresholds catch
+// slower scans but start surfacing background noise, higher thresholds
+// miss at-threshold attacks.
+func AblationThreshold(s Scale) ([]ThresholdPoint, error) {
+	points := make([]ThresholdPoint, 0, 5)
+	for _, perSec := range []float64{0.25, 0.5, 1, 2, 4} {
+		rcfg, dcfg := hiFINDConfig()
+		dcfg.Threshold = perSec * 60
+		results, gen, err := RunHiFIND(NUTrace(s), rcfg, dcfg)
+		if err != nil {
+			return nil, err
+		}
+		out := evalx.NewMatcher(gen.Attacks()).Evaluate(evalx.Dedup(results, evalx.PhaseFinal))
+		points = append(points, ThresholdPoint{
+			ThresholdPerSec: perSec,
+			TruePositives:   out.TruePositives,
+			FalsePositives:  out.FalsePositives,
+			Missed:          len(out.MissedAttacks),
+		})
+	}
+	return points, nil
+}
+
+// FormatThreshold renders the sweep.
+func FormatThreshold(points []ThresholdPoint) string {
+	rows := make([][]string, len(points))
+	for i, p := range points {
+		rows[i] = []string{
+			fmt.Sprintf("%.2f SYN/s", p.ThresholdPerSec),
+			strconv.Itoa(p.TruePositives),
+			strconv.Itoa(p.FalsePositives),
+			strconv.Itoa(p.Missed),
+		}
+	}
+	return "detection threshold sensitivity:\n" +
+		evalx.FormatTable([]string{"Threshold", "TP", "FP", "Missed"}, rows)
+}

@@ -1,0 +1,262 @@
+// Package mitigate turns HiFIND alerts into enforceable filter rules —
+// the step the paper motivates throughout ("use the key characteristics
+// of the culprit flows revealed by the reversible sketches to mitigate
+// the attacks", §3.1) but leaves to the network operator. The engine maps
+// each alert type to the narrowest rule its keys justify:
+//
+//	horizontal/block scan → drop SYNs from the scanner
+//	vertical scan         → drop SYNs from the scanner to the victim
+//	non-spoofed flood     → drop SYNs from the attacker to the victim service
+//	spoofed flood         → rate-limit SYNs to the victim service
+//	                        (sources are forged, so only the victim key
+//	                        is actionable — a SYN-proxy stand-in)
+//
+// Rules expire after a configurable number of intervals unless the alert
+// recurs, so mitigation follows the attack rather than accreting state —
+// the same bounded-memory discipline as the detector.
+package mitigate
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hifind/hifind/internal/core"
+	"github.com/hifind/hifind/internal/netmodel"
+)
+
+// Action is what a rule does to matching SYNs.
+type Action int
+
+// Actions.
+const (
+	// BlockSource drops connection-opening SYNs from a source address.
+	BlockSource Action = iota + 1
+	// BlockPair drops SYNs from one source to one destination.
+	BlockPair
+	// RateLimitService admits at most Budget SYNs per interval toward a
+	// {DIP,Dport} service and drops the excess.
+	RateLimitService
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case BlockSource:
+		return "block-source"
+	case BlockPair:
+		return "block-pair"
+	case RateLimitService:
+		return "rate-limit-service"
+	default:
+		return fmt.Sprintf("action(%d)", int(a))
+	}
+}
+
+// Rule is one installed mitigation.
+type Rule struct {
+	Action Action
+	SIP    netmodel.IPv4 // BlockSource, BlockPair
+	DIP    netmodel.IPv4 // BlockPair, RateLimitService
+	Port   uint16        // RateLimitService, BlockPair (0 = any)
+	// Budget is the per-interval SYN allowance for RateLimitService.
+	Budget int
+	// TTL is the number of EndInterval ticks the rule survives without
+	// being refreshed by a recurring alert.
+	TTL int
+
+	used int // budget consumed this interval
+	hits int64
+}
+
+// key identifies a rule for refresh/dedup.
+type ruleKey struct {
+	action Action
+	sip    netmodel.IPv4
+	dip    netmodel.IPv4
+	port   uint16
+}
+
+// Config tunes the engine.
+type Config struct {
+	// TTLIntervals is how long a rule survives without refresh (default 5).
+	TTLIntervals int
+	// FloodBudget is the per-interval SYN allowance RateLimitService
+	// leaves a flooded service (default 100 — enough for legitimate
+	// clients, three orders below a serious flood).
+	FloodBudget int
+	// MaxRules caps installed rules, preserving bounded memory even if
+	// alerts are somehow inflated (default 4096).
+	MaxRules int
+}
+
+func (c Config) withDefaults() Config {
+	if c.TTLIntervals == 0 {
+		c.TTLIntervals = 5
+	}
+	if c.FloodBudget == 0 {
+		c.FloodBudget = 100
+	}
+	if c.MaxRules == 0 {
+		c.MaxRules = 4096
+	}
+	return c
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	if c.TTLIntervals < 0 || c.FloodBudget < 0 || c.MaxRules < 0 {
+		return fmt.Errorf("mitigate: negative config value: %+v", c)
+	}
+	return nil
+}
+
+// Engine holds the installed rules. Not safe for concurrent use.
+type Engine struct {
+	cfg     Config
+	rules   map[ruleKey]*Rule
+	dropped int64
+}
+
+// New builds an engine.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg.withDefaults(), rules: make(map[ruleKey]*Rule)}, nil
+}
+
+// Apply installs or refreshes rules for a batch of final alerts.
+func (e *Engine) Apply(alerts []core.Alert) {
+	for _, a := range alerts {
+		r, ok := e.ruleFor(a)
+		if !ok {
+			continue
+		}
+		k := ruleKey{action: r.Action, sip: r.SIP, dip: r.DIP, port: r.Port}
+		if existing := e.rules[k]; existing != nil {
+			existing.TTL = e.cfg.TTLIntervals // refresh
+			continue
+		}
+		if len(e.rules) >= e.cfg.MaxRules {
+			continue // bounded state; oldest rules will expire naturally
+		}
+		e.rules[k] = &r
+	}
+}
+
+// ruleFor maps one alert to its mitigation.
+func (e *Engine) ruleFor(a core.Alert) (Rule, bool) {
+	switch a.Type {
+	case core.AlertHScan, core.AlertBlockScan:
+		return Rule{Action: BlockSource, SIP: a.SIP, TTL: e.cfg.TTLIntervals}, true
+	case core.AlertVScan:
+		return Rule{Action: BlockPair, SIP: a.SIP, DIP: a.DIP, TTL: e.cfg.TTLIntervals}, true
+	case core.AlertSYNFlood:
+		if a.Spoofed {
+			return Rule{
+				Action: RateLimitService, DIP: a.DIP, Port: a.Port,
+				Budget: e.cfg.FloodBudget, TTL: e.cfg.TTLIntervals,
+			}, true
+		}
+		return Rule{Action: BlockPair, SIP: a.SIP, DIP: a.DIP, Port: a.Port,
+			TTL: e.cfg.TTLIntervals}, true
+	default:
+		return Rule{}, false
+	}
+}
+
+// Admit decides whether a packet passes the installed rules. Only
+// connection-opening inbound SYNs are ever dropped: established traffic,
+// handshake replies and everything else always pass, so mitigation can
+// never cut existing connections.
+func (e *Engine) Admit(pkt netmodel.Packet) bool {
+	if pkt.Dir != netmodel.Inbound || !pkt.Flags.IsSYN() {
+		return true
+	}
+	if r := e.rules[ruleKey{action: BlockSource, sip: pkt.SrcIP}]; r != nil {
+		r.hits++
+		e.dropped++
+		return false
+	}
+	if r := e.rules[ruleKey{action: BlockPair, sip: pkt.SrcIP, dip: pkt.DstIP}]; r != nil {
+		r.hits++
+		e.dropped++
+		return false
+	}
+	if r := e.rules[ruleKey{action: BlockPair, sip: pkt.SrcIP, dip: pkt.DstIP, port: pkt.DstPort}]; r != nil {
+		r.hits++
+		e.dropped++
+		return false
+	}
+	if r := e.rules[ruleKey{action: RateLimitService, dip: pkt.DstIP, port: pkt.DstPort}]; r != nil {
+		r.used++
+		if r.used > r.Budget {
+			r.hits++
+			e.dropped++
+			return false
+		}
+	}
+	return true
+}
+
+// Tick advances rule lifetimes at the end of a detection interval:
+// rate-limit budgets reset and unrefreshed rules expire.
+func (e *Engine) Tick() {
+	for k, r := range e.rules {
+		r.used = 0
+		r.TTL--
+		if r.TTL <= 0 {
+			delete(e.rules, k)
+		}
+	}
+}
+
+// Rules returns the installed rules, sorted for stable output.
+func (e *Engine) Rules() []Rule {
+	out := make([]Rule, 0, len(e.rules))
+	for _, r := range e.rules {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Action != out[j].Action {
+			return out[i].Action < out[j].Action
+		}
+		if out[i].SIP != out[j].SIP {
+			return out[i].SIP < out[j].SIP
+		}
+		if out[i].DIP != out[j].DIP {
+			return out[i].DIP < out[j].DIP
+		}
+		return out[i].Port < out[j].Port
+	})
+	return out
+}
+
+// Dropped returns the total SYNs dropped so far.
+func (e *Engine) Dropped() int64 { return e.dropped }
+
+// Hits returns the drop count of one rule, 0 if not installed.
+func (e *Engine) Hits(r Rule) int64 {
+	if installed := e.rules[ruleKey{action: r.Action, sip: r.SIP, dip: r.DIP, port: r.Port}]; installed != nil {
+		return installed.hits
+	}
+	return 0
+}
+
+// String renders a rule.
+func (r Rule) String() string {
+	switch r.Action {
+	case BlockSource:
+		return fmt.Sprintf("drop SYNs from %s (ttl %d)", r.SIP, r.TTL)
+	case BlockPair:
+		if r.Port != 0 {
+			return fmt.Sprintf("drop SYNs %s -> %s:%d (ttl %d)", r.SIP, r.DIP, r.Port, r.TTL)
+		}
+		return fmt.Sprintf("drop SYNs %s -> %s (ttl %d)", r.SIP, r.DIP, r.TTL)
+	case RateLimitService:
+		return fmt.Sprintf("rate-limit SYNs to %s:%d at %d/interval (ttl %d)",
+			r.DIP, r.Port, r.Budget, r.TTL)
+	default:
+		return "unknown rule"
+	}
+}

@@ -1,0 +1,188 @@
+package mitigate
+
+import (
+	"testing"
+
+	"github.com/hifind/hifind/internal/core"
+	"github.com/hifind/hifind/internal/netmodel"
+)
+
+func mustNew(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func synIn(src, dst netmodel.IPv4, dport uint16) netmodel.Packet {
+	return netmodel.Packet{SrcIP: src, DstIP: dst, SrcPort: 40000, DstPort: dport,
+		Flags: netmodel.FlagSYN, Dir: netmodel.Inbound}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if _, err := New(Config{TTLIntervals: -1}); err == nil {
+		t.Error("negative TTL accepted")
+	}
+	if _, err := New(Config{}); err != nil {
+		t.Errorf("defaults rejected: %v", err)
+	}
+}
+
+func TestHScanBlocksSource(t *testing.T) {
+	e := mustNew(t, Config{})
+	scanner := netmodel.MustParseIPv4("203.0.113.1")
+	e.Apply([]core.Alert{{Type: core.AlertHScan, SIP: scanner, Port: 445}})
+	if e.Admit(synIn(scanner, 99, 445)) {
+		t.Error("scanner SYN admitted")
+	}
+	if e.Admit(synIn(scanner, 100, 80)) {
+		t.Error("scanner SYN to another port admitted (BlockSource is source-wide)")
+	}
+	if !e.Admit(synIn(netmodel.MustParseIPv4("8.8.8.8"), 99, 445)) {
+		t.Error("bystander SYN dropped")
+	}
+	if e.Dropped() != 2 {
+		t.Errorf("Dropped = %d", e.Dropped())
+	}
+}
+
+func TestVScanBlocksPairOnly(t *testing.T) {
+	e := mustNew(t, Config{})
+	scanner := netmodel.MustParseIPv4("203.0.113.2")
+	victim := netmodel.MustParseIPv4("129.105.1.1")
+	e.Apply([]core.Alert{{Type: core.AlertVScan, SIP: scanner, DIP: victim}})
+	if e.Admit(synIn(scanner, victim, 1234)) {
+		t.Error("pair SYN admitted")
+	}
+	if !e.Admit(synIn(scanner, victim+1, 1234)) {
+		t.Error("scanner blocked toward an unrelated host (vscan rule is pair-scoped)")
+	}
+}
+
+func TestNonSpoofedFloodBlocksPairService(t *testing.T) {
+	e := mustNew(t, Config{})
+	attacker := netmodel.MustParseIPv4("198.51.100.1")
+	victim := netmodel.MustParseIPv4("129.105.2.2")
+	e.Apply([]core.Alert{{Type: core.AlertSYNFlood, SIP: attacker, DIP: victim, Port: 80}})
+	if e.Admit(synIn(attacker, victim, 80)) {
+		t.Error("flood SYN admitted")
+	}
+	if !e.Admit(synIn(attacker, victim, 443)) {
+		t.Error("attacker blocked on an unalerted service")
+	}
+}
+
+func TestSpoofedFloodRateLimitsVictim(t *testing.T) {
+	e := mustNew(t, Config{FloodBudget: 10})
+	victim := netmodel.MustParseIPv4("129.105.3.3")
+	e.Apply([]core.Alert{{Type: core.AlertSYNFlood, DIP: victim, Port: 25, Spoofed: true}})
+	admitted := 0
+	for i := 0; i < 100; i++ {
+		if e.Admit(synIn(netmodel.IPv4(0x08000000+uint32(i)), victim, 25)) {
+			admitted++
+		}
+	}
+	if admitted != 10 {
+		t.Errorf("admitted %d SYNs, want budget 10", admitted)
+	}
+	// Budget resets at the interval boundary.
+	e.Tick()
+	if !e.Admit(synIn(netmodel.MustParseIPv4("9.9.9.9"), victim, 25)) {
+		t.Error("budget did not reset after Tick")
+	}
+	// Other services on the victim are untouched.
+	if !e.Admit(synIn(netmodel.MustParseIPv4("9.9.9.10"), victim, 80)) {
+		t.Error("rate limit leaked to another port")
+	}
+}
+
+func TestNonSYNTrafficAlwaysPasses(t *testing.T) {
+	e := mustNew(t, Config{})
+	scanner := netmodel.MustParseIPv4("203.0.113.3")
+	e.Apply([]core.Alert{{Type: core.AlertHScan, SIP: scanner, Port: 22}})
+	ack := netmodel.Packet{SrcIP: scanner, DstIP: 5, SrcPort: 40000, DstPort: 22,
+		Flags: netmodel.FlagACK, Dir: netmodel.Inbound}
+	if !e.Admit(ack) {
+		t.Error("established traffic dropped")
+	}
+	outSyn := synIn(scanner, 5, 22)
+	outSyn.Dir = netmodel.Outbound
+	if !e.Admit(outSyn) {
+		t.Error("outbound traffic dropped by an inbound rule")
+	}
+}
+
+func TestRulesExpireUnlessRefreshed(t *testing.T) {
+	e := mustNew(t, Config{TTLIntervals: 2})
+	scanner := netmodel.MustParseIPv4("203.0.113.4")
+	alert := core.Alert{Type: core.AlertHScan, SIP: scanner, Port: 22}
+	e.Apply([]core.Alert{alert})
+	e.Tick()
+	if len(e.Rules()) != 1 {
+		t.Fatal("rule expired too early")
+	}
+	e.Apply([]core.Alert{alert}) // refresh
+	e.Tick()
+	e.Tick()
+	if len(e.Rules()) != 0 {
+		t.Errorf("refreshed rule outlived its TTL: %v", e.Rules())
+	}
+	if e.Admit(synIn(scanner, 9, 22)) == false {
+		t.Error("expired rule still dropping")
+	}
+}
+
+func TestBlockScanBlocksSource(t *testing.T) {
+	e := mustNew(t, Config{})
+	scanner := netmodel.MustParseIPv4("203.0.113.5")
+	e.Apply([]core.Alert{{Type: core.AlertBlockScan, SIP: scanner}})
+	if e.Admit(synIn(scanner, 1, 1)) {
+		t.Error("block scanner admitted")
+	}
+}
+
+func TestMaxRulesBoundsState(t *testing.T) {
+	e := mustNew(t, Config{MaxRules: 10})
+	for i := 0; i < 100; i++ {
+		e.Apply([]core.Alert{{Type: core.AlertHScan, SIP: netmodel.IPv4(i), Port: 22}})
+	}
+	if got := len(e.Rules()); got > 10 {
+		t.Errorf("rules grew to %d despite cap 10", got)
+	}
+}
+
+func TestDuplicateAlertsRefreshNotDuplicate(t *testing.T) {
+	e := mustNew(t, Config{})
+	a := core.Alert{Type: core.AlertHScan, SIP: 7, Port: 22}
+	e.Apply([]core.Alert{a, a, a})
+	if len(e.Rules()) != 1 {
+		t.Errorf("duplicate alerts installed %d rules", len(e.Rules()))
+	}
+}
+
+func TestHitsAndRendering(t *testing.T) {
+	e := mustNew(t, Config{})
+	scanner := netmodel.MustParseIPv4("203.0.113.6")
+	e.Apply([]core.Alert{{Type: core.AlertHScan, SIP: scanner}})
+	e.Admit(synIn(scanner, 1, 80))
+	e.Admit(synIn(scanner, 2, 80))
+	rules := e.Rules()
+	if len(rules) != 1 {
+		t.Fatal("rule missing")
+	}
+	if e.Hits(rules[0]) != 2 {
+		t.Errorf("Hits = %d", e.Hits(rules[0]))
+	}
+	for _, r := range []Rule{
+		{Action: BlockSource, SIP: 1},
+		{Action: BlockPair, SIP: 1, DIP: 2},
+		{Action: BlockPair, SIP: 1, DIP: 2, Port: 80},
+		{Action: RateLimitService, DIP: 2, Port: 80, Budget: 5},
+	} {
+		if r.String() == "" || r.Action.String() == "" {
+			t.Error("empty rendering")
+		}
+	}
+}

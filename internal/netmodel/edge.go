@@ -1,0 +1,76 @@
+package netmodel
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// EdgeNetwork describes the monitored edge network as a set of IPv4
+// prefixes. HiFIND sits at edge routers (paper Figure 1) and needs to know
+// whether a packet is entering or leaving the edge to update its sketches
+// from incoming SYNs and outgoing SYN/ACKs; trace replay (pcap input)
+// recovers that direction from addresses using this classifier.
+type EdgeNetwork struct {
+	prefixes []prefix
+}
+
+type prefix struct {
+	addr IPv4
+	mask IPv4
+}
+
+// NewEdgeNetwork parses CIDR prefixes like "129.105.0.0/16". At least one
+// prefix is required.
+func NewEdgeNetwork(cidrs ...string) (*EdgeNetwork, error) {
+	if len(cidrs) == 0 {
+		return nil, fmt.Errorf("edge network: no prefixes")
+	}
+	e := &EdgeNetwork{prefixes: make([]prefix, 0, len(cidrs))}
+	for _, c := range cidrs {
+		slash := strings.IndexByte(c, '/')
+		if slash < 0 {
+			return nil, fmt.Errorf("edge network: %q missing prefix length", c)
+		}
+		addr, err := ParseIPv4(c[:slash])
+		if err != nil {
+			return nil, fmt.Errorf("edge network: %w", err)
+		}
+		n, err := strconv.Atoi(c[slash+1:])
+		if err != nil || n < 0 || n > 32 {
+			return nil, fmt.Errorf("edge network: bad prefix length in %q", c)
+		}
+		var mask IPv4
+		if n > 0 {
+			mask = IPv4(^uint32(0) << (32 - uint(n)))
+		}
+		e.prefixes = append(e.prefixes, prefix{addr: addr & mask, mask: mask})
+	}
+	return e, nil
+}
+
+// Contains reports whether the address belongs to the edge network.
+func (e *EdgeNetwork) Contains(ip IPv4) bool {
+	for _, p := range e.prefixes {
+		if ip&p.mask == p.addr {
+			return true
+		}
+	}
+	return false
+}
+
+// Classify derives a packet direction from its addresses: a packet whose
+// destination is inside the edge is Inbound, one whose source is inside is
+// Outbound. Internal-to-internal and external-to-external packets return
+// (0, false) and should be ignored by the recorder.
+func (e *EdgeNetwork) Classify(src, dst IPv4) (Direction, bool) {
+	srcIn, dstIn := e.Contains(src), e.Contains(dst)
+	switch {
+	case dstIn && !srcIn:
+		return Inbound, true
+	case srcIn && !dstIn:
+		return Outbound, true
+	default:
+		return 0, false
+	}
+}

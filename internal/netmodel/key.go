@@ -1,0 +1,132 @@
+package netmodel
+
+import "fmt"
+
+// The sketch keys from paper Table 3. Each key packs TCP/IP header fields
+// into the low bits of a uint64 so the reversible sketch can treat every
+// key uniformly as an n-bit integer split into words.
+//
+//	{SIP,Dport}  48 bits: SIP<<16 | Dport
+//	{DIP,Dport}  48 bits: DIP<<16 | Dport
+//	{SIP,DIP}    64 bits: SIP<<32 | DIP
+//
+// The single-field keys {SIP}, {DIP}, {Dport} are used by the 2D sketch's
+// y dimension and by baselines.
+
+// KeyKind identifies which header fields a packed key holds.
+type KeyKind int
+
+// Key kinds, mirroring paper Table 3.
+const (
+	KeySIPDport KeyKind = iota + 1
+	KeyDIPDport
+	KeySIPDIP
+	KeySIP
+	KeyDIP
+	KeyDport
+)
+
+// String names the key kind using the paper's notation.
+func (k KeyKind) String() string {
+	switch k {
+	case KeySIPDport:
+		return "{SIP,Dport}"
+	case KeyDIPDport:
+		return "{DIP,Dport}"
+	case KeySIPDIP:
+		return "{SIP,DIP}"
+	case KeySIP:
+		return "{SIP}"
+	case KeyDIP:
+		return "{DIP}"
+	case KeyDport:
+		return "{Dport}"
+	default:
+		return fmt.Sprintf("keykind(%d)", int(k))
+	}
+}
+
+// Bits returns the packed width of the key in bits.
+func (k KeyKind) Bits() int {
+	switch k {
+	case KeySIPDport, KeyDIPDport:
+		return 48
+	case KeySIPDIP:
+		return 64
+	case KeySIP, KeyDIP:
+		return 32
+	case KeyDport:
+		return 16
+	default:
+		return 0
+	}
+}
+
+// PackSIPDport packs a 48-bit {SIP,Dport} key.
+func PackSIPDport(sip IPv4, dport uint16) uint64 {
+	return uint64(sip)<<16 | uint64(dport)
+}
+
+// PackDIPDport packs a 48-bit {DIP,Dport} key.
+func PackDIPDport(dip IPv4, dport uint16) uint64 {
+	return uint64(dip)<<16 | uint64(dport)
+}
+
+// PackSIPDIP packs a 64-bit {SIP,DIP} key.
+func PackSIPDIP(sip, dip IPv4) uint64 {
+	return uint64(sip)<<32 | uint64(dip)
+}
+
+// UnpackIPPort splits a 48-bit {IP,port} key produced by PackSIPDport or
+// PackDIPDport.
+func UnpackIPPort(key uint64) (IPv4, uint16) {
+	return IPv4(key >> 16), uint16(key)
+}
+
+// UnpackIPIP splits a 64-bit {SIP,DIP} key produced by PackSIPDIP.
+func UnpackIPIP(key uint64) (IPv4, IPv4) {
+	return IPv4(key >> 32), IPv4(key)
+}
+
+// KeyOf extracts the packed key of the requested kind from a packet.
+// The extraction is flow-oriented: for an outbound SYN/ACK the "source"
+// of the *connection* is the packet's destination, so callers that want
+// connection-oriented keys must normalize direction first (the HiFIND
+// recorder does; see internal/core).
+func KeyOf(kind KeyKind, sip, dip IPv4, dport uint16) uint64 {
+	switch kind {
+	case KeySIPDport:
+		return PackSIPDport(sip, dport)
+	case KeyDIPDport:
+		return PackDIPDport(dip, dport)
+	case KeySIPDIP:
+		return PackSIPDIP(sip, dip)
+	case KeySIP:
+		return uint64(sip)
+	case KeyDIP:
+		return uint64(dip)
+	case KeyDport:
+		return uint64(dport)
+	default:
+		return 0
+	}
+}
+
+// FormatKey renders a packed key of the given kind in human-readable form,
+// e.g. "10.0.0.1:80" for {DIP,Dport} or "10.0.0.1->10.0.0.2" for {SIP,DIP}.
+func FormatKey(kind KeyKind, key uint64) string {
+	switch kind {
+	case KeySIPDport, KeyDIPDport:
+		ip, port := UnpackIPPort(key)
+		return fmt.Sprintf("%s:%d", ip, port)
+	case KeySIPDIP:
+		s, d := UnpackIPIP(key)
+		return fmt.Sprintf("%s->%s", s, d)
+	case KeySIP, KeyDIP:
+		return IPv4(key).String()
+	case KeyDport:
+		return fmt.Sprintf("port %d", key)
+	default:
+		return fmt.Sprintf("key %#x", key)
+	}
+}

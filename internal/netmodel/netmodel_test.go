@@ -1,0 +1,203 @@
+package netmodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseIPv4(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    IPv4
+		wantErr bool
+	}{
+		{in: "0.0.0.0", want: 0},
+		{in: "255.255.255.255", want: 0xffffffff},
+		{in: "10.0.0.1", want: 0x0a000001},
+		{in: "192.168.1.200", want: 0xc0a801c8},
+		{in: "1.2.3", wantErr: true},
+		{in: "256.0.0.1", wantErr: true},
+		{in: "a.b.c.d", wantErr: true},
+		{in: "", wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.in, func(t *testing.T) {
+			got, err := ParseIPv4(tt.in)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatalf("ParseIPv4(%q) = %v, want error", tt.in, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseIPv4(%q): %v", tt.in, err)
+			}
+			if got != tt.want {
+				t.Errorf("ParseIPv4(%q) = %#x, want %#x", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestIPv4StringRoundTrip(t *testing.T) {
+	f := func(ip uint32) bool {
+		parsed, err := ParseIPv4(IPv4(ip).String())
+		return err == nil && parsed == IPv4(ip)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIPv4Octets(t *testing.T) {
+	got := MustParseIPv4("1.2.3.4").Octets()
+	want := [4]byte{1, 2, 3, 4}
+	if got != want {
+		t.Errorf("Octets() = %v, want %v", got, want)
+	}
+}
+
+func TestTCPFlagClassification(t *testing.T) {
+	tests := []struct {
+		name                      string
+		flags                     TCPFlags
+		syn, synack, isFIN, isRST bool
+	}{
+		{name: "pure SYN", flags: FlagSYN, syn: true},
+		{name: "SYN/ACK", flags: FlagSYN | FlagACK, synack: true},
+		{name: "pure ACK", flags: FlagACK},
+		{name: "FIN/ACK", flags: FlagFIN | FlagACK, isFIN: true},
+		{name: "RST", flags: FlagRST, isRST: true},
+		{name: "SYN+ECE+CWR (ECN setup)", flags: FlagSYN | FlagECE | FlagCWR, syn: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.flags.IsSYN(); got != tt.syn {
+				t.Errorf("IsSYN() = %v, want %v", got, tt.syn)
+			}
+			if got := tt.flags.IsSYNACK(); got != tt.synack {
+				t.Errorf("IsSYNACK() = %v, want %v", got, tt.synack)
+			}
+			if got := tt.flags.IsFIN(); got != tt.isFIN {
+				t.Errorf("IsFIN() = %v, want %v", got, tt.isFIN)
+			}
+			if got := tt.flags.IsRST(); got != tt.isRST {
+				t.Errorf("IsRST() = %v, want %v", got, tt.isRST)
+			}
+		})
+	}
+}
+
+func TestTCPFlagsString(t *testing.T) {
+	if got := (FlagSYN | FlagACK).String(); got != "SYN|ACK" {
+		t.Errorf("String() = %q, want %q", got, "SYN|ACK")
+	}
+	if got := TCPFlags(0).String(); got != "none" {
+		t.Errorf("String() = %q, want %q", got, "none")
+	}
+}
+
+func TestKeyPackingRoundTrip(t *testing.T) {
+	f := func(a, b uint32, p uint16) bool {
+		sip, dip := IPv4(a), IPv4(b)
+		gotIP, gotPort := UnpackIPPort(PackSIPDport(sip, p))
+		if gotIP != sip || gotPort != p {
+			return false
+		}
+		gotIP, gotPort = UnpackIPPort(PackDIPDport(dip, p))
+		if gotIP != dip || gotPort != p {
+			return false
+		}
+		gotS, gotD := UnpackIPIP(PackSIPDIP(sip, dip))
+		return gotS == sip && gotD == dip
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyBitsWithinKind(t *testing.T) {
+	tests := []struct {
+		kind KeyKind
+		want int
+	}{
+		{KeySIPDport, 48},
+		{KeyDIPDport, 48},
+		{KeySIPDIP, 64},
+		{KeySIP, 32},
+		{KeyDIP, 32},
+		{KeyDport, 16},
+	}
+	for _, tt := range tests {
+		if got := tt.kind.Bits(); got != tt.want {
+			t.Errorf("%v.Bits() = %d, want %d", tt.kind, got, tt.want)
+		}
+	}
+}
+
+func TestKeyOfUsesRequestedFields(t *testing.T) {
+	sip := MustParseIPv4("1.2.3.4")
+	dip := MustParseIPv4("5.6.7.8")
+	const dport = 80
+	tests := []struct {
+		kind KeyKind
+		want uint64
+	}{
+		{KeySIPDport, PackSIPDport(sip, dport)},
+		{KeyDIPDport, PackDIPDport(dip, dport)},
+		{KeySIPDIP, PackSIPDIP(sip, dip)},
+		{KeySIP, uint64(sip)},
+		{KeyDIP, uint64(dip)},
+		{KeyDport, dport},
+	}
+	for _, tt := range tests {
+		if got := KeyOf(tt.kind, sip, dip, dport); got != tt.want {
+			t.Errorf("KeyOf(%v) = %#x, want %#x", tt.kind, got, tt.want)
+		}
+	}
+}
+
+func TestKeysStayWithinDeclaredWidth(t *testing.T) {
+	f := func(a, b uint32, p uint16) bool {
+		if PackSIPDport(IPv4(a), p)>>48 != 0 {
+			return false
+		}
+		if PackDIPDport(IPv4(b), p)>>48 != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatKey(t *testing.T) {
+	sip := MustParseIPv4("1.2.3.4")
+	dip := MustParseIPv4("5.6.7.8")
+	tests := []struct {
+		kind KeyKind
+		key  uint64
+		want string
+	}{
+		{KeyDIPDport, PackDIPDport(dip, 443), "5.6.7.8:443"},
+		{KeySIPDport, PackSIPDport(sip, 22), "1.2.3.4:22"},
+		{KeySIPDIP, PackSIPDIP(sip, dip), "1.2.3.4->5.6.7.8"},
+		{KeySIP, uint64(sip), "1.2.3.4"},
+		{KeyDport, 8080, "port 8080"},
+	}
+	for _, tt := range tests {
+		if got := FormatKey(tt.kind, tt.key); got != tt.want {
+			t.Errorf("FormatKey(%v) = %q, want %q", tt.kind, got, tt.want)
+		}
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Inbound.String() != "inbound" || Outbound.String() != "outbound" {
+		t.Error("direction names wrong")
+	}
+	if Direction(0).String() != "direction(0)" {
+		t.Error("zero direction should render as invalid")
+	}
+}

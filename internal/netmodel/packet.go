@@ -1,0 +1,172 @@
+// Package netmodel defines the flow-level traffic model shared by every
+// HiFIND subsystem: TCP packet events, the compact flow keys used by the
+// sketches, and NetFlow-style flow records.
+//
+// HiFIND's detection algorithm (paper §3.3) only needs the TCP control
+// plane: who sent a SYN, who answered with a SYN/ACK, and the coarse
+// FIN/RST signals used by baselines such as CPM. A Packet therefore
+// carries the 4-tuple, the TCP flags, a timestamp and the wire length;
+// payload bytes never matter to any algorithm in this repository.
+package netmodel
+
+import (
+	"fmt"
+	"time"
+)
+
+// IPv4 is an IPv4 address in host byte order. Using a fixed-width integer
+// instead of net.IP keeps packet events allocation-free on the hot path
+// and makes the sketch key packing explicit.
+type IPv4 uint32
+
+// ParseIPv4 converts dotted-quad text to an IPv4. It exists so traces and
+// examples can use readable literals; the hot path never parses strings.
+func ParseIPv4(s string) (IPv4, error) {
+	var a, b, c, d int
+	if _, err := fmt.Sscanf(s, "%d.%d.%d.%d", &a, &b, &c, &d); err != nil {
+		return 0, fmt.Errorf("parse ipv4 %q: %w", s, err)
+	}
+	for _, v := range []int{a, b, c, d} {
+		if v < 0 || v > 255 {
+			return 0, fmt.Errorf("parse ipv4 %q: octet %d out of range", s, v)
+		}
+	}
+	return IPv4(a)<<24 | IPv4(b)<<16 | IPv4(c)<<8 | IPv4(d), nil
+}
+
+// MustParseIPv4 is ParseIPv4 for tests and package-level tables; it panics
+// on malformed input and must not be used with untrusted data.
+func MustParseIPv4(s string) IPv4 {
+	ip, err := ParseIPv4(s)
+	if err != nil {
+		panic(err)
+	}
+	return ip
+}
+
+// String renders the address as dotted quad.
+func (ip IPv4) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+// Octets returns the four address bytes, most significant first.
+func (ip IPv4) Octets() [4]byte {
+	return [4]byte{byte(ip >> 24), byte(ip >> 16), byte(ip >> 8), byte(ip)}
+}
+
+// TCPFlags is the TCP flag byte (FIN..CWR). Only the handshake-relevant
+// bits are given names; the rest pass through untouched.
+type TCPFlags uint8
+
+// TCP flag bits as they appear on the wire.
+const (
+	FlagFIN TCPFlags = 1 << iota
+	FlagSYN
+	FlagRST
+	FlagPSH
+	FlagACK
+	FlagURG
+	FlagECE
+	FlagCWR
+)
+
+// IsSYN reports whether the packet is a connection-opening SYN
+// (SYN set, ACK clear).
+func (f TCPFlags) IsSYN() bool { return f&FlagSYN != 0 && f&FlagACK == 0 }
+
+// IsSYNACK reports whether the packet is the second handshake step
+// (SYN and ACK both set).
+func (f TCPFlags) IsSYNACK() bool { return f&FlagSYN != 0 && f&FlagACK != 0 }
+
+// IsFIN reports whether the FIN bit is set.
+func (f TCPFlags) IsFIN() bool { return f&FlagFIN != 0 }
+
+// IsRST reports whether the RST bit is set.
+func (f TCPFlags) IsRST() bool { return f&FlagRST != 0 }
+
+// String lists the set flag names, e.g. "SYN|ACK".
+func (f TCPFlags) String() string {
+	names := []struct {
+		bit  TCPFlags
+		name string
+	}{
+		{FlagFIN, "FIN"}, {FlagSYN, "SYN"}, {FlagRST, "RST"}, {FlagPSH, "PSH"},
+		{FlagACK, "ACK"}, {FlagURG, "URG"}, {FlagECE, "ECE"}, {FlagCWR, "CWR"},
+	}
+	out := ""
+	for _, n := range names {
+		if f&n.bit == 0 {
+			continue
+		}
+		if out != "" {
+			out += "|"
+		}
+		out += n.name
+	}
+	if out == "" {
+		out = "none"
+	}
+	return out
+}
+
+// Direction distinguishes traffic entering the monitored edge network from
+// traffic leaving it. HiFIND updates sketches from incoming SYNs and
+// outgoing SYN/ACKs (paper §3.3 step 1), so the recorder must know which
+// side of the edge a packet was seen on.
+type Direction int
+
+// Directions. Enums start at 1 so the zero value is invalid and cannot be
+// mistaken for a real direction.
+const (
+	// Inbound packets travel from the Internet into the monitored network.
+	Inbound Direction = iota + 1
+	// Outbound packets travel from the monitored network to the Internet.
+	Outbound
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	switch d {
+	case Inbound:
+		return "inbound"
+	case Outbound:
+		return "outbound"
+	default:
+		return fmt.Sprintf("direction(%d)", int(d))
+	}
+}
+
+// Packet is one observed TCP packet event. SrcIP/DstIP/SrcPort/DstPort are
+// as seen on the wire (i.e. for an outbound SYN/ACK the server is the
+// source). Wire is the on-the-wire length in bytes, used only for
+// throughput accounting.
+type Packet struct {
+	Timestamp time.Time
+	SrcIP     IPv4
+	DstIP     IPv4
+	SrcPort   uint16
+	DstPort   uint16
+	Flags     TCPFlags
+	Dir       Direction
+	Wire      int
+}
+
+// FlowRecord is a NetFlow-style aggregate of one unidirectional flow, the
+// export format both evaluation traces in the paper arrive in. HiFIND can
+// consume either packets or flow records; a record with SYNs>0 contributes
+// its SYN count exactly like that many SYN packets.
+type FlowRecord struct {
+	Start   time.Time
+	End     time.Time
+	SrcIP   IPv4
+	DstIP   IPv4
+	SrcPort uint16
+	DstPort uint16
+	Dir     Direction
+	Packets int
+	Bytes   int
+	SYNs    int // connection-opening SYNs observed in the flow
+	SYNACKs int // SYN/ACK responses observed in the flow
+	FINs    int
+	RSTs    int
+}

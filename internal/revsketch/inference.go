@@ -1,0 +1,452 @@
+package revsketch
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"github.com/hifind/hifind/internal/sketch"
+)
+
+// KeyEstimate is one key recovered by INFERENCE with its estimated value.
+type KeyEstimate struct {
+	Key      uint64
+	Estimate float64
+}
+
+// InferenceOptions tunes the reverse-hashing search. The zero value asks
+// for the defaults documented on each field.
+type InferenceOptions struct {
+	// Quorum is the number of stages in which a key's bucket must be
+	// heavy for the key to be output (H−r in the paper; misses absorb
+	// hash collisions that drag one stage's bucket under the threshold).
+	// Default: Stages−1.
+	Quorum int
+	// MaxHeavyBuckets caps heavy buckets per stage; if more exceed the
+	// threshold the largest are kept. Bounds worst-case search time under
+	// massive attacks. Default: 4096.
+	MaxHeavyBuckets int
+	// MaxNodes caps DFS node expansions as a safety valve against
+	// adversarially dense heavy-bucket sets. Default: 4 000 000.
+	MaxNodes int
+	// MaxOps caps total candidate-enumeration work (reverse-map entries
+	// touched). When many keys are heavy simultaneously the per-word
+	// chunk space saturates and the search degenerates toward exhaustive
+	// enumeration — the regime behind the paper's 46.9-second stress
+	// detection times. The budget makes inference return its best results
+	// so far instead of stalling the pipeline. Units are 64-word bitset
+	// operations; the default of 200 000 000 bounds one inference to
+	// roughly half a second. Raise it for offline forensics on heavily
+	// saturated intervals.
+	MaxOps int64
+	// MaxKeys caps the number of keys returned (largest estimates first).
+	// Default: 4096.
+	MaxKeys int
+	// Verify, when set, is consulted for every candidate key before it is
+	// accepted. HiFIND passes its verifier-sketch check here so that
+	// modular-hash aliases are rejected *before* MaxKeys truncation —
+	// otherwise a storm of aliases could crowd out true keys.
+	Verify func(key uint64, estimate float64) bool
+}
+
+func (o InferenceOptions) withDefaults(stages int) InferenceOptions {
+	if o.Quorum == 0 {
+		o.Quorum = stages - 1
+	}
+	if o.Quorum < 1 {
+		o.Quorum = 1
+	}
+	if o.Quorum > stages {
+		o.Quorum = stages
+	}
+	if o.MaxHeavyBuckets == 0 {
+		o.MaxHeavyBuckets = 4096
+	}
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 4_000_000
+	}
+	if o.MaxOps == 0 {
+		o.MaxOps = 200_000_000
+	}
+	if o.MaxKeys == 0 {
+		o.MaxKeys = 4096
+	}
+	return o
+}
+
+// Inference performs the reverse-hashing INFERENCE of paper Table 2 on an
+// external value grid sharing the sketch's geometry — in HiFIND the EWMA
+// forecast-error grid — returning every key whose estimated value is at
+// least threshold, largest first.
+//
+// Algorithm: per stage, collect the heavy buckets (value ≥ threshold).
+// Because bucket indices are concatenations of per-word chunks, candidate
+// keys are grown word by word; a partial candidate keeps, per stage, the
+// subset of heavy buckets whose chunk prefix matches the per-stage hashes
+// of the words chosen so far. A branch dies when fewer than Quorum stages
+// retain compatible buckets. Recovered keys are un-mangled and their values
+// re-estimated from the grid; keys whose estimate falls under the threshold
+// (false candidates from chunk collisions) are dropped — the same role the
+// paper's verifier sketches play, which internal/core layers on top.
+func (s *Sketch) Inference(g sketch.Grid, threshold float64, opts InferenceOptions) ([]KeyEstimate, error) {
+	if g.Stages() != s.params.Stages || g.Buckets() != s.params.Buckets {
+		return nil, fmt.Errorf("revsketch: inference grid %dx%d does not match sketch %dx%d",
+			g.Stages(), g.Buckets(), s.params.Stages, s.params.Buckets)
+	}
+	if threshold <= 0 {
+		return nil, fmt.Errorf("revsketch: inference threshold %v must be positive", threshold)
+	}
+	opts = opts.withDefaults(s.params.Stages)
+	s.buildReverseTables()
+
+	heavy := make([][]uint32, s.params.Stages)
+	for j := 0; j < s.params.Stages; j++ {
+		heavy[j] = heavyBuckets(g[j], threshold, opts.MaxHeavyBuckets)
+	}
+
+	words64 := (1<<uint(s.params.wordBits()) + 63) / 64
+	run := &inferenceRun{
+		s:      s,
+		grid:   g,
+		totals: GridTotals(g),
+		thresh: threshold,
+		opts:   opts,
+		prefix: make([]uint32, 0, s.params.Words),
+		seen:   make(map[uint64]bool),
+	}
+	run.stageBuf = make([][]uint64, s.params.Stages)
+	for j := range run.stageBuf {
+		run.stageBuf[j] = make([]uint64, words64)
+	}
+	for i := range run.planes {
+		run.planes[i] = make([]uint64, words64)
+	}
+	// Per-depth arenas for the narrowed compatibility sets: siblings at
+	// one depth reuse the same backing arrays, eliminating the hot path's
+	// allocations.
+	run.arena = make([][][]uint32, s.params.Words)
+	for d := range run.arena {
+		run.arena[d] = make([][]uint32, s.params.Stages)
+		for j := range run.arena[d] {
+			run.arena[d][j] = make([]uint32, 0, opts.MaxHeavyBuckets)
+		}
+	}
+	run.dfs(0, heavy)
+
+	sort.Slice(run.out, func(a, b int) bool {
+		if run.out[a].Estimate != run.out[b].Estimate {
+			return run.out[a].Estimate > run.out[b].Estimate
+		}
+		return run.out[a].Key < run.out[b].Key // deterministic tie-break
+	})
+	if len(run.out) > opts.MaxKeys {
+		run.out = run.out[:opts.MaxKeys]
+	}
+	return run.out, nil
+}
+
+// InferenceCounts runs Inference directly over the sketch's own counters,
+// for callers that detect on raw per-interval values instead of forecast
+// errors (tests, simple deployments).
+func (s *Sketch) InferenceCounts(threshold float64, opts InferenceOptions) ([]KeyEstimate, error) {
+	g := sketch.NewGrid(s.params.Stages, s.params.Buckets)
+	if err := g.AddCounts(s.counts, 1); err != nil {
+		return nil, err
+	}
+	return s.Inference(g, threshold, opts)
+}
+
+// heavyBuckets returns the indices of buckets with value ≥ threshold,
+// keeping only the cap largest when more qualify.
+func heavyBuckets(row []float64, threshold float64, cap int) []uint32 {
+	idx := make([]uint32, 0, 64)
+	for i, v := range row {
+		if v >= threshold {
+			idx = append(idx, uint32(i))
+		}
+	}
+	if len(idx) > cap {
+		sort.Slice(idx, func(a, b int) bool { return row[idx[a]] > row[idx[b]] })
+		idx = idx[:cap]
+		sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
+	}
+	return idx
+}
+
+// buildReverseTables constructs chunk→word bitsets on first use.
+func (s *Sketch) buildReverseTables() {
+	if s.revBits != nil {
+		return
+	}
+	chunkSpace := 1 << uint(s.params.chunkBits())
+	wordSpace := 1 << uint(s.params.wordBits())
+	words64 := (wordSpace + 63) / 64
+	s.revBits = make([][][][]uint64, s.params.Stages)
+	for j := range s.revBits {
+		s.revBits[j] = make([][][]uint64, s.params.Words)
+		for i := range s.revBits[j] {
+			tab := s.wordTab[j][i]
+			sets := make([][]uint64, chunkSpace)
+			backing := make([]uint64, chunkSpace*words64)
+			for c := range sets {
+				sets[c] = backing[c*words64 : (c+1)*words64 : (c+1)*words64]
+			}
+			for w := 0; w < wordSpace; w++ {
+				sets[tab[w]][w>>6] |= 1 << (uint(w) & 63)
+			}
+			s.revBits[j][i] = sets
+		}
+	}
+}
+
+// inferenceRun holds the state of one reverse-hashing search.
+type inferenceRun struct {
+	s      *Sketch
+	grid   sketch.Grid
+	totals []float64
+	thresh float64
+	opts   InferenceOptions
+	nodes  int
+	ops    int64
+	// stageBuf holds, per stage, the bitset of words allowed at the
+	// current position (OR of the allowed chunks' bitsets); planes are the
+	// carry-save counter bit-planes used to find words allowed in at least
+	// Quorum stages, 64 candidates at a time.
+	stageBuf [][]uint64
+	planes   [4][]uint64
+	prefix   []uint32     // words chosen so far
+	arena    [][][]uint32 // per-depth, per-stage compat buffers
+	seen     map[uint64]bool
+	out      []KeyEstimate
+}
+
+// dfs extends the current word prefix by every viable next word.
+// compat[j] holds the heavy buckets of stage j whose chunk prefix matches
+// the chosen words; an empty slice means the stage is dead on this branch.
+func (r *inferenceRun) dfs(depth int, compat [][]uint32) {
+	if r.nodes >= r.opts.MaxNodes || r.ops >= r.opts.MaxOps || len(r.out) >= r.opts.MaxKeys*4 {
+		return
+	}
+	r.nodes++
+	p := r.s.params
+	if depth == p.Words {
+		r.emit()
+		return
+	}
+	cb := uint(p.chunkBits())
+	shift := uint(depth) * cb
+	chunkMask := uint32(1)<<cb - 1
+
+	// Build, per live stage, the bitset of words whose chunk at this
+	// position matches some compatible bucket; then keep words allowed in
+	// at least Quorum stages using a bit-parallel carry-save counter.
+	// chunkVal tracks, per stage and chunk, the largest grid value among
+	// the compatible buckets carrying that chunk — the best-first search
+	// heuristic below ranks candidate words by it.
+	words64 := len(r.planes[0])
+	var stageSets [16][]uint64 // stages ≤ 8 in practice; 16 is headroom
+	var stageIdx [16]int
+	var chunkVal [16][16]float64
+	nStages := 0
+	var chunkSeen [16]bool // chunkBits ≤ 4 for all supported geometries
+	for j := 0; j < p.Stages; j++ {
+		if len(compat[j]) == 0 {
+			continue
+		}
+		chunkSeen = [16]bool{}
+		distinct := make([]uint32, 0, 16)
+		for _, b := range compat[j] {
+			c := b >> shift & chunkMask
+			if v := r.grid[j][b]; v > chunkVal[nStages][c] || !chunkSeen[c] {
+				chunkVal[nStages][c] = v
+			}
+			if !chunkSeen[c] {
+				chunkSeen[c] = true
+				distinct = append(distinct, c)
+			}
+		}
+		stageIdx[nStages] = j
+		if len(distinct) == 1 {
+			// Single chunk: use the precomputed bitset directly.
+			stageSets[nStages] = r.s.revBits[j][depth][distinct[0]]
+		} else {
+			buf := r.stageBuf[nStages]
+			first := r.s.revBits[j][depth][distinct[0]]
+			copy(buf, first)
+			for _, c := range distinct[1:] {
+				set := r.s.revBits[j][depth][c]
+				for k := range buf {
+					buf[k] |= set[k]
+				}
+			}
+			r.ops += int64(len(distinct) * words64)
+			stageSets[nStages] = buf
+		}
+		nStages++
+	}
+	// Carry-save addition of the stage bitsets: planes hold the per-word
+	// count in binary (plane i = bit i of the count).
+	for i := range r.planes {
+		clear(r.planes[i])
+	}
+	for si := 0; si < nStages; si++ {
+		set := stageSets[si]
+		p0, p1, p2, p3 := r.planes[0], r.planes[1], r.planes[2], r.planes[3]
+		for k := 0; k < words64; k++ {
+			x := set[k]
+			c0 := p0[k] & x
+			p0[k] ^= x
+			c1 := p1[k] & c0
+			p1[k] ^= c0
+			c2 := p2[k] & c1
+			p2[k] ^= c1
+			p3[k] |= c2
+		}
+	}
+	r.ops += int64(nStages * words64)
+	// Mask of words with count ≥ Quorum (counts fit in 4 bits; stages ≤ 15).
+	viable := r.stageBuf[0] // reuse as output; stage 0's set is consumed
+	quorumMask(r.planes, r.opts.Quorum, viable)
+
+	type scored struct {
+		w     uint32
+		score float64
+	}
+	cands := make([]scored, 0, 64)
+	for k := 0; k < words64; k++ {
+		bitsW := viable[k]
+		for bitsW != 0 {
+			w := uint32(k<<6) + uint32(trailingZeros64(bitsW))
+			bitsW &= bitsW - 1
+			// Best-first heuristic: sum, over live stages, the strongest
+			// compatible bucket this word keeps alive. True keys keep
+			// their own heavy buckets alive in (almost) every stage, so
+			// they outrank chance alignments and are explored first —
+			// which is what makes budget-truncated searches return the
+			// top anomalies rather than an arbitrary prefix (the paper's
+			// top-100 stress mode).
+			var sc float64
+			for si := 0; si < nStages; si++ {
+				sc += chunkVal[si][r.s.wordTab[stageIdx[si]][depth][w]&uint8(chunkMask)]
+			}
+			cands = append(cands, scored{w: w, score: sc})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].score != cands[b].score {
+			return cands[a].score > cands[b].score
+		}
+		return cands[a].w < cands[b].w
+	})
+	next := make([][]uint32, p.Stages)
+	for _, cand := range cands {
+		w := cand.w
+		// Narrow each stage's compatible buckets to those matching w's
+		// chunk, into this depth's arena (siblings overwrite it after the
+		// recursive call returns, so no aliasing survives).
+		alive := 0
+		for j := 0; j < p.Stages; j++ {
+			next[j] = nil
+			if len(compat[j]) == 0 {
+				continue
+			}
+			want := uint32(r.s.wordTab[j][depth][w])
+			kept := r.arena[depth][j][:0]
+			for _, b := range compat[j] {
+				if b>>shift&chunkMask == want {
+					kept = append(kept, b)
+				}
+			}
+			if len(kept) > 0 {
+				next[j] = kept
+				alive++
+			}
+		}
+		if alive < r.opts.Quorum {
+			continue
+		}
+		r.prefix = append(r.prefix, w)
+		r.dfs(depth+1, next)
+		r.prefix = r.prefix[:len(r.prefix)-1]
+		if r.nodes >= r.opts.MaxNodes || r.ops >= r.opts.MaxOps {
+			return
+		}
+	}
+}
+
+// emit reconstructs the key from the completed word prefix, re-estimates
+// its value from the grid, and records it if it clears the threshold.
+func (r *inferenceRun) emit() {
+	mangled := r.s.joinWords(r.prefix)
+	key := r.s.mangler.Unmangle(mangled)
+	if r.seen[key] {
+		return
+	}
+	r.seen[key] = true
+	est := r.s.EstimateGrid(r.grid, r.totals, key)
+	if est < r.thresh {
+		return
+	}
+	if r.opts.Verify != nil && !r.opts.Verify(key, est) {
+		return
+	}
+	r.out = append(r.out, KeyEstimate{Key: key, Estimate: est})
+}
+
+// quorumMask writes into out the mask of bit positions whose 4-bit
+// carry-save count (planes[3..0]) is at least quorum. Counts reach the
+// number of live stages, which Params caps well below 16.
+func quorumMask(planes [4][]uint64, quorum int, out []uint64) {
+	p0, p1, p2, p3 := planes[0], planes[1], planes[2], planes[3]
+	for k := range out {
+		b0, b1, b2, b3 := p0[k], p1[k], p2[k], p3[k]
+		var m uint64
+		// ge(q) over the 4-bit counter, unrolled per quorum value.
+		switch {
+		case quorum <= 1:
+			m = b0 | b1 | b2 | b3
+		case quorum == 2:
+			m = b1 | b2 | b3
+		case quorum == 3:
+			m = (b1 & b0) | b2 | b3
+		case quorum == 4:
+			m = b2 | b3
+		case quorum == 5:
+			m = (b2 & (b1 | b0)) | b3
+		case quorum == 6:
+			m = (b2 & b1) | b3
+		case quorum == 7:
+			m = (b2 & b1 & b0) | b3
+		default: // quorum ≥ 8
+			m = b3
+			if quorum > 8 {
+				// count = 8 + lower bits; need lower ≥ quorum−8.
+				switch quorum - 8 {
+				case 1:
+					m &= b0 | b1 | b2
+				case 2:
+					m &= b1 | b2
+				case 3:
+					m &= (b1 & b0) | b2
+				case 4:
+					m &= b2
+				case 5:
+					m &= b2 & (b1 | b0)
+				case 6:
+					m &= b2 & b1
+				case 7:
+					m &= b2 & b1 & b0
+				default:
+					m = 0
+				}
+			}
+		}
+		out[k] = m
+	}
+}
+
+// trailingZeros64 is bits.TrailingZeros64 without the import churn in this
+// hot file.
+func trailingZeros64(x uint64) int {
+	return bits.TrailingZeros64(x)
+}

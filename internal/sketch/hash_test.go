@@ -1,0 +1,200 @@
+package sketch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMod61(t *testing.T) {
+	tests := []struct {
+		in, want uint64
+	}{
+		{0, 0},
+		{1, 1},
+		{mersenne61, 0},
+		{mersenne61 + 1, 1},
+		{mersenne61 - 1, mersenne61 - 1},
+		{^uint64(0), 7}, // 2^64−1 = 8·(2^61−1) + 7
+	}
+	for _, tt := range tests {
+		if got := mod61(tt.in); got != tt.want {
+			t.Errorf("mod61(%d) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestMulMod61MatchesBigIntSemantics(t *testing.T) {
+	// Verify against schoolbook double-and-add multiplication mod p.
+	slowMul := func(a, b uint64) uint64 {
+		a, b = mod61(a), mod61(b)
+		var acc uint64
+		for b > 0 {
+			if b&1 == 1 {
+				acc = mod61(acc + a)
+			}
+			a = mod61(a << 1)
+			b >>= 1
+		}
+		return acc
+	}
+	f := func(a, b uint64) bool {
+		return mulMod61(mod61(a), mod61(b)) == slowMul(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	s1, s2 := uint64(42), uint64(42)
+	for i := 0; i < 100; i++ {
+		if SplitMix64(&s1) != SplitMix64(&s2) {
+			t.Fatal("same seed must generate same stream")
+		}
+	}
+	s3 := uint64(43)
+	if s1 == s3 {
+		t.Fatal("states should differ")
+	}
+}
+
+func TestPoly4Deterministic(t *testing.T) {
+	s1, s2 := uint64(7), uint64(7)
+	p1, p2 := NewPoly4(&s1), NewPoly4(&s2)
+	for x := uint64(0); x < 1000; x++ {
+		if p1.Hash(x) != p2.Hash(x) {
+			t.Fatalf("same-seed polynomials disagree at %d", x)
+		}
+	}
+}
+
+func TestPoly4RangeBounds(t *testing.T) {
+	state := uint64(1)
+	p := NewPoly4(&state)
+	for _, n := range []int{2, 64, 4096, 65536} {
+		for x := uint64(0); x < 10000; x += 37 {
+			if got := p.HashRange(x, n); int(got) >= n {
+				t.Fatalf("HashRange(%d, %d) = %d out of range", x, n, got)
+			}
+		}
+	}
+}
+
+func TestPoly4RangeUniformity(t *testing.T) {
+	// Sequential keys (the worst realistic input) should spread close to
+	// uniformly over the buckets: chi-square against df=n−1.
+	state := uint64(99)
+	p := NewPoly4(&state)
+	const n, samples = 64, 64000
+	var counts [n]int
+	for x := uint64(0); x < samples; x++ {
+		counts[p.HashRange(x, n)]++
+	}
+	expected := float64(samples) / n
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 99.9th percentile of chi-square with 63 dof ≈ 106.
+	if chi2 > 110 {
+		t.Errorf("chi-square %.1f too high for uniform hashing", chi2)
+	}
+}
+
+func TestPoly4StagesIndependent(t *testing.T) {
+	state := uint64(5)
+	p1 := NewPoly4(&state)
+	p2 := NewPoly4(&state)
+	same := 0
+	const n = 4096
+	for x := uint64(0); x < 1000; x++ {
+		if p1.HashRange(x, n) == p2.HashRange(x, n) {
+			same++
+		}
+	}
+	// Expected collisions ≈ 1000/4096 < 1; allow generous slack.
+	if same > 10 {
+		t.Errorf("%d/1000 collisions between independent stages", same)
+	}
+}
+
+func TestIsPowerOfTwo(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 4096, 1 << 30} {
+		if !IsPowerOfTwo(n) {
+			t.Errorf("IsPowerOfTwo(%d) = false", n)
+		}
+	}
+	for _, n := range []int{0, -2, 3, 6, 4097} {
+		if IsPowerOfTwo(n) {
+			t.Errorf("IsPowerOfTwo(%d) = true", n)
+		}
+	}
+}
+
+func TestLog2(t *testing.T) {
+	for i := 0; i < 32; i++ {
+		if got := Log2(1 << i); got != i {
+			t.Errorf("Log2(2^%d) = %d", i, got)
+		}
+	}
+}
+
+func TestManglerBijective(t *testing.T) {
+	for _, bitsN := range []int{16, 32, 48, 64} {
+		state := uint64(bitsN)
+		m, err := NewMangler(bitsN, &state)
+		if err != nil {
+			t.Fatalf("NewMangler(%d): %v", bitsN, err)
+		}
+		mask := ^uint64(0)
+		if bitsN < 64 {
+			mask = 1<<uint(bitsN) - 1
+		}
+		f := func(k uint64) bool {
+			k &= mask
+			img := m.Mangle(k)
+			return img&mask == img && m.Unmangle(img) == k
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("bits=%d: %v", bitsN, err)
+		}
+	}
+}
+
+func TestManglerMixesClusteredKeys(t *testing.T) {
+	// Sequential IPs (one subnet) must not stay sequential after mangling:
+	// check the images spread over the top byte of the key space.
+	state := uint64(11)
+	m, err := NewMangler(48, &state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	for k := uint64(0); k < 256; k++ {
+		seen[m.Mangle(k)>>40] = true
+	}
+	if len(seen) < 32 {
+		t.Errorf("only %d distinct top bytes after mangling 256 sequential keys", len(seen))
+	}
+}
+
+func TestManglerRejectsBadWidth(t *testing.T) {
+	state := uint64(1)
+	if _, err := NewMangler(0, &state); err == nil {
+		t.Error("width 0 accepted")
+	}
+	if _, err := NewMangler(65, &state); err == nil {
+		t.Error("width 65 accepted")
+	}
+}
+
+func TestInvertOdd(t *testing.T) {
+	f := func(x uint64) bool {
+		x |= 1
+		return x*invertOdd(x) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,74 @@
+package sketch
+
+import "fmt"
+
+// Mangler is the "IP mangling" bijection of the reversible-sketch papers
+// (Schweller et al., IMC 2004 / Infocom 2006). Modular hashing splits a
+// key into words that are hashed independently, which would let highly
+// clustered keys (real IP space is heavily clustered) collide in bursts.
+// Mangling mixes the whole key through an invertible transform first so
+// the words the modular hash sees are effectively uniform.
+//
+// The original papers use multiplication in GF(2^n); this implementation
+// substitutes an odd-multiplier affine transform modulo 2^n:
+//
+//	mangle(k)   = ((k·A) mod 2^n) ⊕ B
+//	unmangle(m) = ((m ⊕ B)·A⁻¹) mod 2^n
+//
+// Both are mixing bijections, and no HiFIND algorithm depends on which
+// bijection is used — only on invertibility (see DESIGN.md §2).
+type Mangler struct {
+	bits uint
+	mask uint64
+	mul  uint64 // odd multiplier
+	inv  uint64 // multiplicative inverse of mul modulo 2^bits
+	xor  uint64
+}
+
+// NewMangler builds a mangler for keys of the given width (1..64 bits),
+// drawing its constants from the splitmix state.
+func NewMangler(keyBits int, state *uint64) (Mangler, error) {
+	if keyBits < 1 || keyBits > 64 {
+		return Mangler{}, fmt.Errorf("mangler: key width %d out of range [1,64]", keyBits)
+	}
+	mask := ^uint64(0)
+	if keyBits < 64 {
+		mask = uint64(1)<<uint(keyBits) - 1
+	}
+	mul := (SplitMix64(state) | 1) & mask // odd ⇒ invertible mod 2^n
+	if mul == 1 && keyBits > 1 {
+		mul = 3 // identity multiplier would defeat the mixing purpose
+	}
+	return Mangler{
+		bits: uint(keyBits),
+		mask: mask,
+		mul:  mul,
+		inv:  invertOdd(mul) & mask,
+		xor:  SplitMix64(state) & mask,
+	}, nil
+}
+
+// Mangle maps a key to its mixed image. The key must fit in the mangler's
+// declared width; higher bits are ignored.
+func (m Mangler) Mangle(key uint64) uint64 {
+	return (key * m.mul & m.mask) ^ m.xor
+}
+
+// Unmangle inverts Mangle.
+func (m Mangler) Unmangle(mangled uint64) uint64 {
+	return (mangled ^ m.xor) * m.inv & m.mask
+}
+
+// Bits returns the key width the mangler operates on.
+func (m Mangler) Bits() int { return int(m.bits) }
+
+// invertOdd computes the multiplicative inverse of an odd x modulo 2^64
+// by Newton iteration; masking the result gives the inverse modulo any
+// smaller power of two.
+func invertOdd(x uint64) uint64 {
+	inv := x // correct to 3 bits
+	for i := 0; i < 5; i++ {
+		inv *= 2 - x*inv // doubles the number of correct bits
+	}
+	return inv
+}

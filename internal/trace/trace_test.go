@@ -1,0 +1,495 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"github.com/hifind/hifind/internal/netmodel"
+)
+
+func minimalConfig() Config {
+	return Config{
+		Seed:            1,
+		Start:           time.Date(2005, 5, 10, 0, 0, 0, 0, time.UTC),
+		Interval:        time.Minute,
+		Intervals:       5,
+		InternalPrefix:  netmodel.MustParseIPv4("129.105.0.0"),
+		Servers:         20,
+		BackgroundFlows: 200,
+		OutboundFlows:   50,
+		FailRate:        0.05,
+	}
+}
+
+func mustGen(t *testing.T, cfg Config) *Generator {
+	t.Helper()
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := minimalConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero intervals", func(c *Config) { c.Intervals = 0 }},
+		{"zero interval length", func(c *Config) { c.Interval = 0 }},
+		{"no servers", func(c *Config) { c.Servers = 0 }},
+		{"bad fail rate", func(c *Config) { c.FailRate = 1.5 }},
+		{"attack out of range", func(c *Config) {
+			c.Attacks = []Attack{{Type: SYNFlood, Ports: []uint16{80}, Rate: 1, StartInterval: 0, EndInterval: 99}}
+		}},
+		{"attack zero rate", func(c *Config) {
+			c.Attacks = []Attack{{Type: SYNFlood, Ports: []uint16{80}, StartInterval: 0, EndInterval: 1}}
+		}},
+		{"attack no ports", func(c *Config) {
+			c.Attacks = []Attack{{Type: SYNFlood, Rate: 5, StartInterval: 0, EndInterval: 1}}
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := minimalConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	cfg := minimalConfig()
+	a, b := mustGen(t, cfg), mustGen(t, cfg)
+	for i := 0; i < cfg.Intervals; i++ {
+		pa, err := a.GenerateInterval(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := b.GenerateInterval(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pa) != len(pb) {
+			t.Fatalf("interval %d: %d vs %d packets", i, len(pa), len(pb))
+		}
+		for j := range pa {
+			if pa[j] != pb[j] {
+				t.Fatalf("interval %d packet %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestIntervalsIndependentOfOrder(t *testing.T) {
+	cfg := minimalConfig()
+	g := mustGen(t, cfg)
+	late, err := g.GenerateInterval(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generating other intervals first must not change interval 3.
+	g2 := mustGen(t, cfg)
+	for _, i := range []int{4, 0, 2, 1} {
+		if _, err := g2.GenerateInterval(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	late2, err := g2.GenerateInterval(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(late) != len(late2) {
+		t.Fatal("interval content depends on generation order")
+	}
+}
+
+func TestGenerateIntervalBounds(t *testing.T) {
+	g := mustGen(t, minimalConfig())
+	if _, err := g.GenerateInterval(-1); err == nil {
+		t.Error("negative interval accepted")
+	}
+	if _, err := g.GenerateInterval(99); err == nil {
+		t.Error("out-of-range interval accepted")
+	}
+}
+
+func TestPacketsAreTimeSortedAndInInterval(t *testing.T) {
+	cfg := minimalConfig()
+	g := mustGen(t, cfg)
+	for i := 0; i < cfg.Intervals; i++ {
+		pkts, err := g.GenerateInterval(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo := cfg.Start.Add(time.Duration(i) * cfg.Interval)
+		hi := lo.Add(cfg.Interval + time.Second) // handshake replies may spill slightly
+		for j, p := range pkts {
+			if j > 0 && p.Timestamp.Before(pkts[j-1].Timestamp) {
+				t.Fatalf("interval %d not time-sorted at %d", i, j)
+			}
+			if p.Timestamp.Before(lo) || p.Timestamp.After(hi) {
+				t.Fatalf("interval %d packet at %v outside [%v,%v]", i, p.Timestamp, lo, hi)
+			}
+		}
+	}
+}
+
+func TestBackgroundFlowsMostlySucceed(t *testing.T) {
+	cfg := minimalConfig()
+	cfg.BackgroundFlows = 1000
+	cfg.OutboundFlows = 0
+	g := mustGen(t, cfg)
+	pkts, err := g.GenerateInterval(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, synack := 0, 0
+	for _, p := range pkts {
+		if p.Flags.IsSYN() && p.Dir == netmodel.Inbound {
+			syn++
+		}
+		if p.Flags.IsSYNACK() && p.Dir == netmodel.Outbound {
+			synack++
+		}
+	}
+	if syn != 1000 {
+		t.Errorf("inbound SYNs = %d, want 1000", syn)
+	}
+	ratio := float64(synack) / float64(syn)
+	if ratio < 0.9 || ratio > 1.0 {
+		t.Errorf("success ratio %.2f, want ≈0.95", ratio)
+	}
+}
+
+func TestFloodInjection(t *testing.T) {
+	cfg := minimalConfig()
+	victim := netmodel.MustParseIPv4("129.105.200.1")
+	cfg.Attacks = []Attack{{
+		Type: SYNFlood, Spoofed: true, Victim: victim, Ports: []uint16{80},
+		StartInterval: 1, EndInterval: 3, Rate: 500, ResponseRate: 0.1,
+		Cause: "test flood",
+	}}
+	g := mustGen(t, cfg)
+	for i := 0; i < cfg.Intervals; i++ {
+		pkts, err := g.GenerateInterval(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		floodSYNs := 0
+		distinctSrc := map[netmodel.IPv4]bool{}
+		for _, p := range pkts {
+			if p.DstIP == victim && p.Flags.IsSYN() {
+				floodSYNs++
+				distinctSrc[p.SrcIP] = true
+			}
+		}
+		active := i >= 1 && i <= 3
+		if active && floodSYNs < 500 {
+			t.Errorf("interval %d: %d flood SYNs, want ≥500", i, floodSYNs)
+		}
+		if !active && floodSYNs > 20 {
+			t.Errorf("interval %d: %d stray flood SYNs", i, floodSYNs)
+		}
+		if active && len(distinctSrc) < 450 {
+			t.Errorf("interval %d: spoofed flood used only %d sources", i, len(distinctSrc))
+		}
+	}
+}
+
+func TestNonSpoofedFloodUsesConfiguredAttackers(t *testing.T) {
+	cfg := minimalConfig()
+	attacker := netmodel.MustParseIPv4("198.51.100.7")
+	victim := netmodel.MustParseIPv4("129.105.200.2")
+	cfg.Attacks = []Attack{{
+		Type: SYNFlood, Attackers: []netmodel.IPv4{attacker}, Victim: victim,
+		Ports: []uint16{443}, StartInterval: 0, EndInterval: 4, Rate: 200,
+		ResponseRate: 0.1, Cause: "test",
+	}}
+	g := mustGen(t, cfg)
+	pkts, err := g.GenerateInterval(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, p := range pkts {
+		if p.DstIP == victim && p.Flags.IsSYN() {
+			if p.SrcIP != attacker {
+				t.Fatalf("flood SYN from %s, want %s", p.SrcIP, attacker)
+			}
+			n++
+		}
+	}
+	if n != 200 {
+		t.Errorf("flood SYNs = %d, want 200", n)
+	}
+}
+
+func TestClusterFloodSpreadsVictims(t *testing.T) {
+	cfg := minimalConfig()
+	victim := netmodel.MustParseIPv4("129.105.200.8")
+	cfg.Attacks = []Attack{{
+		Type: SYNFlood, Attackers: []netmodel.IPv4{netmodel.MustParseIPv4("198.51.100.9")},
+		Victim: victim, Ports: []uint16{443}, Targets: 3,
+		StartInterval: 0, EndInterval: 2, Rate: 150, ResponseRate: 0, Cause: "cluster",
+	}}
+	g := mustGen(t, cfg)
+	pkts, err := g.GenerateInterval(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perVictim := map[netmodel.IPv4]int{}
+	for _, p := range pkts {
+		if p.Flags.IsSYN() && p.DstIP >= victim && p.DstIP < victim+3 {
+			perVictim[p.DstIP]++
+		}
+	}
+	if len(perVictim) != 3 {
+		t.Fatalf("cluster flood hit %d victims, want 3", len(perVictim))
+	}
+	for ip, n := range perVictim {
+		if n != 50 {
+			t.Errorf("victim %s got %d SYNs, want 50", ip, n)
+		}
+	}
+}
+
+func TestHScanSweepsTargets(t *testing.T) {
+	cfg := minimalConfig()
+	cfg.Intervals = 6
+	scanner := netmodel.MustParseIPv4("203.0.113.5")
+	base := netmodel.MustParseIPv4("129.105.0.0")
+	cfg.Attacks = []Attack{{
+		Type: HorizontalScan, Attackers: []netmodel.IPv4{scanner}, Victim: base,
+		Ports: []uint16{1433}, Targets: 500, StartInterval: 0, EndInterval: 4,
+		Rate: 100, ResponseRate: 0, Cause: "test scan",
+	}}
+	g := mustGen(t, cfg)
+	seen := map[netmodel.IPv4]bool{}
+	for i := 0; i <= 4; i++ {
+		pkts, err := g.GenerateInterval(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pkts {
+			if p.SrcIP == scanner && p.Flags.IsSYN() {
+				if p.DstPort != 1433 {
+					t.Fatalf("hscan used port %d", p.DstPort)
+				}
+				seen[p.DstIP] = true
+			}
+		}
+	}
+	if len(seen) != 500 {
+		t.Errorf("hscan touched %d hosts, want 500", len(seen))
+	}
+}
+
+func TestVScanSweepsPorts(t *testing.T) {
+	cfg := minimalConfig()
+	scanner := netmodel.MustParseIPv4("203.0.113.9")
+	victim := netmodel.MustParseIPv4("129.105.130.10")
+	ports := make([]uint16, 300)
+	for i := range ports {
+		ports[i] = uint16(1 + i)
+	}
+	cfg.Attacks = []Attack{{
+		Type: VerticalScan, Attackers: []netmodel.IPv4{scanner}, Victim: victim,
+		Ports: ports, StartInterval: 0, EndInterval: 3, Rate: 100,
+		ResponseRate: 0, Cause: "test vscan",
+	}}
+	g := mustGen(t, cfg)
+	seen := map[uint16]bool{}
+	for i := 0; i <= 3; i++ {
+		pkts, err := g.GenerateInterval(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pkts {
+			if p.SrcIP == scanner && p.Flags.IsSYN() {
+				if p.DstIP != victim {
+					t.Fatalf("vscan hit %s, want %s", p.DstIP, victim)
+				}
+				seen[p.DstPort] = true
+			}
+		}
+	}
+	if len(seen) != 300 {
+		t.Errorf("vscan touched %d ports, want 300", len(seen))
+	}
+}
+
+func TestMisconfigNeverAnswered(t *testing.T) {
+	cfg := minimalConfig()
+	victim := netmodel.MustParseIPv4("129.105.1.1")
+	cfg.Attacks = []Attack{{
+		Type: Misconfig, Victim: victim, Ports: []uint16{80},
+		StartInterval: 0, EndInterval: 4, Rate: 100, Cause: "dark",
+	}}
+	g := mustGen(t, cfg)
+	pkts, err := g.GenerateInterval(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkts {
+		if p.SrcIP == victim && p.Flags.IsSYNACK() {
+			t.Fatal("dark destination answered a SYN")
+		}
+	}
+}
+
+func TestStreamVisitsAllIntervals(t *testing.T) {
+	cfg := minimalConfig()
+	g := mustGen(t, cfg)
+	var n, outOfOrder int
+	var last time.Time
+	err := g.Stream(func(p netmodel.Packet) error {
+		if p.Timestamp.Before(last) {
+			outOfOrder++
+		}
+		last = p.Timestamp
+		n++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("stream produced nothing")
+	}
+	// Handshake replies may interleave at interval boundaries, but gross
+	// disorder would indicate broken interval sequencing.
+	if outOfOrder > n/10 {
+		t.Errorf("%d/%d packets out of order", outOfOrder, n)
+	}
+}
+
+func TestAttackMetadata(t *testing.T) {
+	a := Attack{Type: HorizontalScan, StartInterval: 2, EndInterval: 5}
+	if a.Duration() != 4 {
+		t.Errorf("Duration = %d", a.Duration())
+	}
+	if a.ActiveIn(1) || !a.ActiveIn(2) || !a.ActiveIn(5) || a.ActiveIn(6) {
+		t.Error("ActiveIn wrong")
+	}
+	if !HorizontalScan.IsTrueAttack() || Misconfig.IsTrueAttack() || FlashCrowd.IsTrueAttack() {
+		t.Error("IsTrueAttack wrong")
+	}
+	for at := SYNFlood; at <= Misconfig; at++ {
+		if at.String() == "" {
+			t.Error("empty type name")
+		}
+	}
+}
+
+func TestNUPresetShape(t *testing.T) {
+	cfg := NUConfig(7, 20, 1)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("NU preset invalid: %v", err)
+	}
+	var floods, hscans, vscans, anomalies int
+	for _, a := range cfg.Attacks {
+		switch {
+		case a.Type == SYNFlood:
+			floods++
+		case a.Type == HorizontalScan:
+			hscans++
+		case a.Type == VerticalScan:
+			vscans++
+		case !a.Type.IsTrueAttack():
+			anomalies++
+		}
+	}
+	if floods == 0 || hscans == 0 || vscans == 0 || anomalies == 0 {
+		t.Errorf("NU preset missing event classes: floods=%d hscans=%d vscans=%d anomalies=%d",
+			floods, hscans, vscans, anomalies)
+	}
+	if hscans <= vscans {
+		t.Error("NU preset should be hscan-dominated like the paper's Table 4")
+	}
+	g := mustGen(t, cfg)
+	pkts, err := g.GenerateInterval(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) < cfg.BackgroundFlows {
+		t.Errorf("interval 5 has only %d packets", len(pkts))
+	}
+}
+
+func TestLBLPresetHasNoRealFloods(t *testing.T) {
+	cfg := LBLConfig(9, 20, 1)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("LBL preset invalid: %v", err)
+	}
+	for _, a := range cfg.Attacks {
+		if a.Type == SYNFlood {
+			t.Fatalf("LBL preset contains a SYN flood: %+v", a)
+		}
+	}
+}
+
+func TestPresetScaling(t *testing.T) {
+	small := NUConfig(7, 20, 1)
+	big := NUConfig(7, 20, 3)
+	if len(big.Attacks) <= len(small.Attacks) {
+		t.Errorf("scale 3 produced %d attacks vs %d at scale 1", len(big.Attacks), len(small.Attacks))
+	}
+	tiny := PresetScale{Floods: 2, HScans: 10}.scaled(0.1)
+	if tiny.Floods != 1 || tiny.HScans != 1 {
+		t.Errorf("scaling floor broken: %+v", tiny)
+	}
+	if tiny.VScans != 0 {
+		t.Error("zero counts must stay zero")
+	}
+}
+
+func TestServicesAccessor(t *testing.T) {
+	g := mustGen(t, minimalConfig())
+	svcs := g.Services()
+	if len(svcs) != 20 {
+		t.Fatalf("Services() returned %d", len(svcs))
+	}
+	edge := g.Edge()
+	for _, s := range svcs {
+		if !edge.Contains(s.Addr) {
+			t.Errorf("service %s outside edge", s.Addr)
+		}
+	}
+}
+
+func TestDiurnalModulation(t *testing.T) {
+	cfg := minimalConfig()
+	cfg.Intervals = 8
+	cfg.BackgroundFlows = 1000
+	cfg.DiurnalAmplitude = 0.5
+	g := mustGen(t, cfg)
+	counts := make([]int, cfg.Intervals)
+	for i := range counts {
+		pkts, err := g.GenerateInterval(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pkts {
+			if p.Flags.IsSYN() && p.Dir == netmodel.Inbound {
+				counts[i]++
+			}
+		}
+	}
+	// Peak (quarter cycle) must sit well above the trough (three quarters).
+	peak, trough := counts[2], counts[6]
+	if peak < trough+cfg.BackgroundFlows/2 {
+		t.Errorf("diurnal swing missing: peak %d trough %d", peak, trough)
+	}
+	bad := minimalConfig()
+	bad.DiurnalAmplitude = 1.5
+	if bad.Validate() == nil {
+		t.Error("amplitude 1.5 accepted")
+	}
+}

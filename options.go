@@ -1,0 +1,199 @@
+package hifind
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hifind/hifind/internal/core"
+)
+
+// config carries everything an option can set.
+type config struct {
+	seed     uint64
+	interval time.Duration
+	// thresholdPerSecond is the paper's detection threshold unit: one
+	// un-responded SYN per second by default (§5.1); the per-interval
+	// threshold is derived from it and the interval length.
+	thresholdPerSecond float64
+	alpha              float64
+	compact            bool
+	quorum             int
+	maxKeys            int
+	disablePhase2      bool
+	disablePhase3      bool
+	minPersist         int
+	minSynRatio        float64
+	egress             bool
+}
+
+func defaultConfig() config {
+	return config{
+		seed:               0x48694649, // "HiFI"; override for multi-site deployments
+		interval:           time.Minute,
+		thresholdPerSecond: 1,
+		alpha:              0.5,
+	}
+}
+
+// Option customizes a Detector or Recorder.
+type Option func(*config) error
+
+// WithSeed sets the hash seed. Every HiFIND instance that participates in
+// one aggregated deployment must share the seed, or their sketches cannot
+// be combined.
+func WithSeed(seed uint64) Option {
+	return func(c *config) error {
+		if seed == 0 {
+			return fmt.Errorf("hifind: seed must be nonzero")
+		}
+		c.seed = seed
+		return nil
+	}
+}
+
+// WithInterval sets the measurement interval length (default one minute,
+// the paper's setting). It scales the detection threshold: the paper's
+// unit is un-responded SYNs per second.
+func WithInterval(d time.Duration) Option {
+	return func(c *config) error {
+		if d <= 0 {
+			return fmt.Errorf("hifind: non-positive interval %v", d)
+		}
+		c.interval = d
+		return nil
+	}
+}
+
+// WithThresholdPerSecond sets the detection threshold in un-responded
+// SYNs per second (default 1, as in paper §5.1).
+func WithThresholdPerSecond(t float64) Option {
+	return func(c *config) error {
+		if t <= 0 {
+			return fmt.Errorf("hifind: non-positive threshold %v", t)
+		}
+		c.thresholdPerSecond = t
+		return nil
+	}
+}
+
+// WithAlpha sets the EWMA smoothing constant of the forecast model
+// (paper eq. 1), in (0,1].
+func WithAlpha(a float64) Option {
+	return func(c *config) error {
+		if a <= 0 || a > 1 {
+			return fmt.Errorf("hifind: alpha %v out of (0,1]", a)
+		}
+		c.alpha = a
+		return nil
+	}
+}
+
+// WithEgressMonitoring points the detector at traffic *leaving* the edge:
+// outbound SYNs versus inbound SYN/ACKs. Use a second detector with this
+// option alongside the default ingress one to catch compromised internal
+// hosts scanning or flooding the outside world.
+func WithEgressMonitoring() Option {
+	return func(c *config) error {
+		c.egress = true
+		return nil
+	}
+}
+
+// WithCompactSketches shrinks every sketch below the paper's 13.2 MB
+// configuration (≈1.5 MB total). Accuracy degrades gracefully; intended
+// for tests and memory-constrained deployments.
+func WithCompactSketches() Option {
+	return func(c *config) error {
+		c.compact = true
+		return nil
+	}
+}
+
+// WithQuorum sets the reversible-sketch inference quorum (default: one
+// less than the number of stages).
+func WithQuorum(q int) Option {
+	return func(c *config) error {
+		if q < 1 {
+			return fmt.Errorf("hifind: quorum %d < 1", q)
+		}
+		c.quorum = q
+		return nil
+	}
+}
+
+// WithMaxKeysPerStep caps the culprit keys recovered per detection step
+// per interval (default 2048; the paper's stress test uses a top-100
+// variant).
+func WithMaxKeysPerStep(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("hifind: max keys %d < 1", n)
+		}
+		c.maxKeys = n
+		return nil
+	}
+}
+
+// WithoutClassification disables Phase 2 (2D-sketch reclassification of
+// port scans) — an ablation switch.
+func WithoutClassification() Option {
+	return func(c *config) error {
+		c.disablePhase2 = true
+		return nil
+	}
+}
+
+// WithoutFloodHeuristics disables Phase 3 (SYN-flooding false-positive
+// reduction) — an ablation switch.
+func WithoutFloodHeuristics() Option {
+	return func(c *config) error {
+		c.disablePhase3 = true
+		return nil
+	}
+}
+
+// WithFloodPersistence sets how many consecutive anomalous intervals a
+// flooding victim needs before an alert is emitted (default 2).
+func WithFloodPersistence(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("hifind: persistence %d < 1", n)
+		}
+		c.minPersist = n
+		return nil
+	}
+}
+
+// WithMinSynRatio sets the congestion filter's required #SYN : #SYN/ACK
+// ratio (default 3).
+func WithMinSynRatio(r float64) Option {
+	return func(c *config) error {
+		if r < 1 {
+			return fmt.Errorf("hifind: SYN ratio %v < 1", r)
+		}
+		c.minSynRatio = r
+		return nil
+	}
+}
+
+// build materializes the internal configurations.
+func (c config) build() (core.RecorderConfig, core.DetectorConfig) {
+	rcfg := core.PaperRecorderConfig(c.seed)
+	if c.compact {
+		rcfg = core.TestRecorderConfig(c.seed)
+	}
+	if c.egress {
+		rcfg.Orientation = core.Egress
+	}
+	dcfg := core.DetectorConfig{
+		Threshold:           c.thresholdPerSecond * c.interval.Seconds(),
+		Alpha:               c.alpha,
+		Quorum:              c.quorum,
+		MaxKeysPerStep:      c.maxKeys,
+		MinPersistIntervals: c.minPersist,
+		MinSynRatio:         c.minSynRatio,
+		DisablePhase2:       c.disablePhase2,
+		DisablePhase3:       c.disablePhase3,
+	}
+	return rcfg, dcfg
+}
