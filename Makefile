@@ -1,0 +1,42 @@
+GO ?= go
+
+# Default target: everything CI runs.
+.PHONY: check
+check: build vet lint test race
+
+.PHONY: build
+build:
+	$(GO) build ./...
+
+.PHONY: test
+test:
+	$(GO) test ./...
+
+.PHONY: race
+race:
+	$(GO) test -race ./...
+
+.PHONY: vet
+vet:
+	$(GO) vet ./...
+
+# hifindlint is this repository's own analyzer (internal/analyze): it
+# enforces the sketch-path invariants — allocation-free UPDATE/ESTIMATE/
+# COMBINE, seeded randomness, no exact float comparison, mutex discipline,
+# checked Close/Flush/Write at I/O boundaries. Suppress a finding with
+# `//lint:ignore <rule> <reason>` on or above the line.
+.PHONY: lint
+lint:
+	$(GO) run ./cmd/hifindlint ./...
+
+# Short fuzz pass over the malformed-input surfaces; CI-sized. Leave the
+# time off (go test -fuzz=FuzzReadPacket ./internal/pcap) to fuzz for real.
+FUZZTIME ?= 10s
+.PHONY: fuzz-short
+fuzz-short:
+	$(GO) test -fuzz FuzzReadPacket -fuzztime $(FUZZTIME) ./internal/pcap
+	$(GO) test -fuzz FuzzInference -fuzztime $(FUZZTIME) ./internal/revsketch
+
+.PHONY: bench
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -1,0 +1,139 @@
+// Command hifindlint runs the repo's custom static-analysis rules
+// (internal/analyze) over the module: alloc-free sketch hot paths,
+// deterministic seeding, float-comparison hygiene, mutex copy/guard
+// discipline, and checked Close/Flush/Write at the I/O boundaries.
+//
+// Usage:
+//
+//	hifindlint [-rules] [packages]
+//
+// With no arguments (or "./...") the whole module is analyzed. Findings
+// print as file:line:col: rule: message and the exit status is 1 when
+// any survive. Suppress an individual finding by putting
+//
+//	//lint:ignore <RuleID> reason
+//
+// on the flagged line or the line above it; the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/hifind/hifind/internal/analyze"
+)
+
+func main() {
+	rules := flag.Bool("rules", false, "list the available rules and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: hifindlint [-rules] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analyze.Analyzers()
+	if *rules {
+		for _, a := range analyzers {
+			fmt.Printf("%-22s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fatal(err)
+	}
+	mod, err := analyze.LoadModule(root)
+	if err != nil {
+		fatal(err)
+	}
+	paths, err := selectPackages(mod, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+
+	var findings []analyze.Finding
+	for _, path := range paths {
+		pkg, err := mod.Load(path)
+		if err != nil {
+			fatal(err)
+		}
+		findings = append(findings, analyze.RunPackage(pkg, analyzers)...)
+	}
+	for _, f := range findings {
+		if rel, err := filepath.Rel(root, f.Pos.Filename); err == nil {
+			f.Pos.Filename = rel
+		}
+		fmt.Println(f)
+	}
+	fmt.Fprintf(os.Stderr, "hifindlint: %d packages, %d rules, %d findings\n",
+		len(paths), len(analyzers), len(findings))
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("hifindlint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// selectPackages resolves command-line patterns to module import paths.
+// Supported: no args or "./..." (everything), "dir/..." (subtree), and
+// plain directory paths relative to the module root.
+func selectPackages(mod *analyze.Module, args []string) ([]string, error) {
+	all := mod.Packages()
+	if len(args) == 0 {
+		return all, nil
+	}
+	var out []string
+	seen := make(map[string]bool)
+	for _, arg := range args {
+		clean := strings.TrimPrefix(filepath.ToSlash(arg), "./")
+		matched := false
+		for _, path := range all {
+			rel := strings.TrimPrefix(strings.TrimPrefix(path, mod.Path), "/")
+			ok := false
+			switch {
+			case clean == "..." || clean == "":
+				ok = true
+			case strings.HasSuffix(clean, "/..."):
+				prefix := strings.TrimSuffix(clean, "/...")
+				ok = rel == prefix || strings.HasPrefix(rel, prefix+"/")
+			default:
+				ok = rel == clean
+			}
+			if ok && !seen[path] {
+				seen[path] = true
+				out = append(out, path)
+			}
+			matched = matched || ok
+		}
+		if !matched {
+			return nil, fmt.Errorf("hifindlint: pattern %q matches no packages", arg)
+		}
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

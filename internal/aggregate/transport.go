@@ -70,6 +70,7 @@ func (c *Collector) acceptLoop() {
 
 func (c *Collector) readLoop(conn net.Conn) {
 	defer c.wg.Done()
+	//lint:ignore unchecked-close read-side teardown; the stream already ended (EOF or collector Close) and a close error carries no signal
 	defer conn.Close()
 	for {
 		f, err := ReadFrame(conn)

@@ -1,0 +1,172 @@
+package analyze
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic: a position, the rule that fired, and a
+// human-readable message.
+type Finding struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Message)
+}
+
+// Analyzer is one independent rule.
+type Analyzer struct {
+	// Name is the rule ID used in reports and //lint:ignore directives.
+	Name string
+	// Doc is a one-line description for `hifindlint -rules`.
+	Doc string
+	// Run inspects the package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass is the per-(analyzer, package) context handed to Analyzer.Run.
+type Pass struct {
+	Pkg      *Package
+	rule     string
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:     p.Pkg.Fset.Position(pos),
+		Rule:    p.rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns every registered rule, sorted by name.
+func Analyzers() []*Analyzer {
+	all := []*Analyzer{
+		hotpathAllocAnalyzer,
+		seededRandAnalyzer,
+		floatEqAnalyzer,
+		mutexGuardAnalyzer,
+		uncheckedCloseAnalyzer,
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
+	return all
+}
+
+// RunPackage runs the given analyzers over one package and returns the
+// surviving findings: suppression directives in the source are honored,
+// and malformed directives are themselves reported (rule
+// "lint-directive") so a typo cannot silently disable a rule.
+func RunPackage(pkg *Package, analyzers []*Analyzer) []Finding {
+	var raw []Finding
+	for _, a := range analyzers {
+		a.Run(&Pass{Pkg: pkg, rule: a.Name, findings: &raw})
+	}
+	ignores, out := collectDirectives(pkg)
+	for _, f := range raw {
+		if !ignores.covers(f) {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}
+
+// ignoreSet indexes //lint:ignore directives by file and line.
+type ignoreSet map[string]map[int][]string // file -> line -> rule IDs
+
+// covers reports whether a directive suppresses the finding: the rule
+// must match and the directive must sit on the finding's line or the
+// line directly above it.
+func (s ignoreSet) covers(f Finding) bool {
+	lines := s[f.Pos.Filename]
+	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		for _, rule := range lines[line] {
+			if rule == f.Rule {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectDirectives scans a package's comments for
+//
+//	//lint:ignore <RuleID> <reason>
+//
+// directives. The reason is mandatory; directives without one are
+// reported as findings instead of being honored.
+func collectDirectives(pkg *Package) (ignoreSet, []Finding) {
+	ignores := make(ignoreSet)
+	var malformed []Finding
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				rest, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					malformed = append(malformed, Finding{
+						Pos:     pos,
+						Rule:    "lint-directive",
+						Message: "malformed //lint:ignore: want \"//lint:ignore <RuleID> reason\" (reason is mandatory)",
+					})
+					continue
+				}
+				byLine := ignores[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]string)
+					ignores[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], fields[0])
+			}
+		}
+	}
+	return ignores, malformed
+}
+
+// pathMatchesAny reports whether the package import path equals one of
+// the given module-relative paths or ends with "/"+path — so the rule
+// scoping works both for the real module and for golden-test packages
+// loaded under synthetic import paths.
+func pathMatchesAny(pkgPath string, relPaths []string) bool {
+	for _, rel := range relPaths {
+		if pkgPath == rel || strings.HasSuffix(pkgPath, "/"+rel) {
+			return true
+		}
+	}
+	return false
+}
+
+// inspectFuncBodies walks every function or method body in the package,
+// calling fn with the enclosing declaration.
+func inspectFuncBodies(pkg *Package, fn func(decl *ast.FuncDecl)) {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// floatEqAnalyzer flags == and != between floating-point operands.
+// Thresholds, CUSUM sums, EWMA forecasts and estimator outputs are all
+// float64 in this codebase; exact equality on any of them is almost
+// always a bug (the value went through arithmetic). The one exact float
+// comparison that is always well-defined — testing against the constant
+// zero, which the config layer uses as its "unset, apply default"
+// sentinel — is exempt.
+var floatEqAnalyzer = &Analyzer{
+	Name: "float-eq",
+	Doc:  "flags ==/!= on floating-point operands (comparison with the constant 0 sentinel is exempt)",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			e, ok := n.(*ast.BinaryExpr)
+			if !ok || (e.Op != token.EQL && e.Op != token.NEQ) {
+				return true
+			}
+			x, y := info.Types[e.X], info.Types[e.Y]
+			if !isFloat(x.Type) && !isFloat(y.Type) {
+				return true
+			}
+			if isExactZero(x) || isExactZero(y) {
+				return true
+			}
+			pass.Reportf(e.OpPos, "floating-point %s comparison; order the operands (<, >) or compare with a tolerance", e.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isExactZero reports whether the operand is a compile-time constant
+// equal to zero — the only float value exact comparison is reliable for,
+// because 0 is exactly representable and is Go's zero value.
+func isExactZero(tv types.TypeAndValue) bool {
+	if tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}

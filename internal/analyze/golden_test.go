@@ -1,0 +1,215 @@
+package analyze
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// testModule loads the real module once per test binary: LoadModule
+// shells out to `go list -export`, which is worth amortizing.
+var testModule = sync.OnceValues(func() (*Module, error) {
+	root, err := findRepoRoot()
+	if err != nil {
+		return nil, err
+	}
+	return LoadModule(root)
+})
+
+func findRepoRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above the test working directory")
+		}
+		dir = parent
+	}
+}
+
+func mustModule(t *testing.T) *Module {
+	t.Helper()
+	mod, err := testModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+// TestGolden runs every analyzer over the testdata packages and checks
+// the findings against the `// want "regexp"` comments, analysistest
+// style: every want must match a finding on its line, every finding must
+// be claimed by a want.
+func TestGolden(t *testing.T) {
+	mod := mustModule(t)
+	scenarios := []string{"hotpath", "seededrand", "floateq", "mutexguard", "uncheckedclose"}
+	for _, scenario := range scenarios {
+		t.Run(scenario, func(t *testing.T) {
+			base := filepath.Join("testdata", scenario)
+			for _, dir := range goPackageDirs(t, base) {
+				rel, err := filepath.Rel(base, dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				importPath := "test/" + filepath.ToSlash(rel)
+				pkg, err := mod.LoadDirAs(dir, importPath)
+				if err != nil {
+					t.Fatalf("loading %s as %s: %v", dir, importPath, err)
+				}
+				checkWants(t, pkg, RunPackage(pkg, Analyzers()))
+			}
+		})
+	}
+}
+
+// goPackageDirs returns every directory under root containing .go files.
+func goPackageDirs(t *testing.T, root string) []string {
+	t.Helper()
+	byDir := make(map[string]bool)
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".go") {
+			byDir[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for d := range byDir {
+		dirs = append(dirs, d)
+	}
+	if len(dirs) == 0 {
+		t.Fatalf("no Go packages under %s", root)
+	}
+	return dirs
+}
+
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// parseWants extracts the regexps of a `// want` comment on one line.
+func parseWants(line string) []string {
+	_, rest, ok := strings.Cut(line, "// want ")
+	if !ok {
+		return nil
+	}
+	var wants []string
+	for _, m := range wantRE.FindAllStringSubmatch(rest, -1) {
+		if m[1] != "" {
+			wants = append(wants, m[1])
+		} else {
+			wants = append(wants, m[2])
+		}
+	}
+	return wants
+}
+
+// checkWants verifies findings against want comments, per file and line.
+func checkWants(t *testing.T, pkg *Package, findings []Finding) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	gotByLine := make(map[key][]Finding)
+	for _, f := range findings {
+		k := key{f.Pos.Filename, f.Pos.Line}
+		gotByLine[k] = append(gotByLine[k], f)
+	}
+	for _, astFile := range pkg.Files {
+		name := pkg.Fset.Position(astFile.Pos()).Filename
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			k := key{name, i + 1}
+			got := gotByLine[k]
+			delete(gotByLine, k)
+			for _, want := range parseWants(line) {
+				re, err := regexp.Compile(want)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", name, i+1, want, err)
+				}
+				matched := false
+				for gi, g := range got {
+					if re.MatchString(g.Message) {
+						got = append(got[:gi], got[gi+1:]...)
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					t.Errorf("%s:%d: no finding matching %q", name, i+1, want)
+				}
+			}
+			for _, g := range got {
+				t.Errorf("%s:%d: unexpected finding: %s: %s", name, i+1, g.Rule, g.Message)
+			}
+		}
+	}
+	for k, fs := range gotByLine {
+		for _, f := range fs {
+			t.Errorf("%s:%d: finding outside any source line: %s: %s", k.file, k.line, f.Rule, f.Message)
+		}
+	}
+}
+
+// TestSuppression checks the //lint:ignore machinery end to end: a
+// reasoned directive suppresses the finding on the next line, while a
+// malformed directive (missing rule/reason) suppresses nothing and is
+// itself reported.
+func TestSuppression(t *testing.T) {
+	mod := mustModule(t)
+	dir := filepath.Join("testdata", "suppress", "internal", "sketch")
+	pkg, err := mod.LoadDirAs(dir, "test/internal/sketch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := RunPackage(pkg, Analyzers())
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2 (malformed directive + unsuppressed alloc):\n%v", len(findings), findings)
+	}
+	if findings[0].Rule != "lint-directive" {
+		t.Errorf("finding 0 rule = %q, want lint-directive", findings[0].Rule)
+	}
+	if findings[1].Rule != "hotpath-alloc" {
+		t.Errorf("finding 1 rule = %q, want hotpath-alloc", findings[1].Rule)
+	}
+	if findings[1].Pos.Line != findings[0].Pos.Line+1 {
+		t.Errorf("unsuppressed alloc at line %d, want directly under the malformed directive at line %d",
+			findings[1].Pos.Line, findings[0].Pos.Line)
+	}
+}
+
+// TestModuleIsLintClean runs the full rule set over the real module:
+// `go test` itself then enforces the invariants, independent of make
+// check wiring.
+func TestModuleIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	mod := mustModule(t)
+	for _, path := range mod.Packages() {
+		pkg, err := mod.Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range RunPackage(pkg, Analyzers()) {
+			t.Errorf("%s", f)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// hotpathPackages are the sketch-family packages whose per-packet
+// operations carry the paper's line-rate budget (§5.5.2: a handful of
+// memory accesses per packet, nothing else).
+var hotpathPackages = []string{
+	"internal/sketch",
+	"internal/revsketch",
+	"internal/sketch2d",
+	"internal/bloom",
+}
+
+// hotpathFunc reports whether a function name is part of the UPDATE /
+// ESTIMATE / COMBINE hot-path contract (paper Table 2). EstimateGrid and
+// friends share the Estimate budget, hence the prefix match.
+func hotpathFunc(name string) bool {
+	return name == "Update" || name == "Combine" || strings.HasPrefix(name, "Estimate")
+}
+
+var hotpathAllocAnalyzer = &Analyzer{
+	Name: "hotpath-alloc",
+	Doc:  "forbids heap allocation (make/append/map or slice literals/fmt.Sprint*/string concat) in Update/Estimate/Combine of the sketch family",
+	Run:  runHotpathAlloc,
+}
+
+func runHotpathAlloc(pass *Pass) {
+	if !pathMatchesAny(pass.Pkg.Path, hotpathPackages) {
+		return
+	}
+	info := pass.Pkg.Info
+	inspectFuncBodies(pass.Pkg, func(decl *ast.FuncDecl) {
+		name := decl.Name.Name
+		if !hotpathFunc(name) {
+			return
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				switch fun := e.Fun.(type) {
+				case *ast.Ident:
+					if b, ok := info.Uses[fun].(*types.Builtin); ok {
+						switch b.Name() {
+						case "make", "append", "new":
+							pass.Reportf(e.Pos(), "%s allocates in hot path %s; hoist the buffer into the struct or use a fixed-size array", b.Name(), name)
+						}
+					}
+				case *ast.SelectorExpr:
+					if pkgOf(info, fun) == "fmt" {
+						switch fun.Sel.Name {
+						case "Sprintf", "Sprint", "Sprintln":
+							pass.Reportf(e.Pos(), "fmt.%s allocates in hot path %s", fun.Sel.Name, name)
+						}
+					}
+				}
+			case *ast.CompositeLit:
+				switch info.Types[e].Type.Underlying().(type) {
+				case *types.Map:
+					pass.Reportf(e.Pos(), "map literal allocates in hot path %s", name)
+				case *types.Slice:
+					pass.Reportf(e.Pos(), "slice literal allocates in hot path %s", name)
+				}
+			case *ast.BinaryExpr:
+				if e.Op != token.ADD {
+					return true
+				}
+				tv := info.Types[e]
+				if tv.Value != nil { // constant-folded at compile time
+					return true
+				}
+				if isString(tv.Type) {
+					pass.Reportf(e.Pos(), "string concatenation allocates in hot path %s", name)
+				}
+			case *ast.AssignStmt:
+				if e.Tok == token.ADD_ASSIGN && len(e.Lhs) == 1 && isString(info.Types[e.Lhs[0]].Type) {
+					pass.Reportf(e.Pos(), "string concatenation allocates in hot path %s", name)
+				}
+			}
+			return true
+		})
+	})
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// pkgOf returns the package path a selector's qualifier refers to, or ""
+// when the qualifier is not a package name.
+func pkgOf(info *types.Info, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}

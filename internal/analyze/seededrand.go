@@ -1,0 +1,59 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// seededRandAnalyzer enforces hash determinism (paper §3: 4-universal
+// hashing plus key mangling, all derived from one seed): production code
+// under internal/ must never draw from math/rand's global, process-seeded
+// source. Two routers that seed differently build COMBINE-incompatible
+// sketches, and unseeded runs are unreproducible. Constructing an
+// explicit generator (rand.New(rand.NewSource(seed))) stays legal.
+var seededRandAnalyzer = &Analyzer{
+	Name: "seeded-rand",
+	Doc:  "forbids math/rand global-source functions (rand.Intn, rand.Float64, …) in non-test code under internal/",
+	Run:  runSeededRand,
+}
+
+// seededRandAllowed are the constructors that take an explicit source or
+// seed and therefore preserve determinism.
+var seededRandAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true, // takes a *Rand
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func runSeededRand(pass *Pass) {
+	path := pass.Pkg.Path
+	if !strings.HasPrefix(path, "internal/") && !strings.Contains(path, "/internal/") {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			from := pkgOf(info, sel)
+			if from != "math/rand" && from != "math/rand/v2" {
+				return true
+			}
+			if _, ok := info.Uses[sel.Sel].(*types.Func); !ok {
+				return true // type or constant reference, e.g. rand.Rand
+			}
+			if seededRandAllowed[sel.Sel.Name] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"%s.%s uses the process-global rand source; hash determinism requires rand.New(rand.NewSource(seed))",
+				from, sel.Sel.Name)
+			return true
+		})
+	}
+}

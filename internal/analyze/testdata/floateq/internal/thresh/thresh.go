@@ -1,0 +1,37 @@
+// Package thresh exercises float-eq on threshold-style code.
+package thresh
+
+// Config uses the zero value as "unset": exact comparison against the
+// constant 0 is the sanctioned sentinel check.
+type Config struct {
+	Threshold float64
+	Limit     int
+}
+
+func (c Config) ApplyDefaults() Config {
+	if c.Threshold == 0 { // exempt: zero is exactly representable
+		c.Threshold = 60
+	}
+	return c
+}
+
+// Crossed compares two computed floats exactly: flagged.
+func Crossed(sum, threshold float64) bool {
+	return sum == threshold // want `floating-point == comparison`
+}
+
+// Same flags != too.
+func Same(a, b float64) bool {
+	return !(a != b) // want `floating-point != comparison`
+}
+
+// Ints compares integers: none of float-eq's business.
+func (c Config) Ints(n int) bool {
+	return n == c.Limit
+}
+
+// NonZeroConst is flagged even for a constant operand: only zero is
+// exactly representable by construction.
+func NonZeroConst(x float64) bool {
+	return x == 0.1 // want `floating-point == comparison`
+}

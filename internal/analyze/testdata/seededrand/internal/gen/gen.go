@@ -1,0 +1,26 @@
+// Package gen exercises seeded-rand: under internal/, only explicitly
+// seeded generators are deterministic enough for sketch hashing.
+package gen
+
+import "math/rand"
+
+// Deterministic builds its own seeded source: allowed.
+func Deterministic(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(100)
+}
+
+// Global draws from the process-global source: forbidden.
+func Global() int {
+	return rand.Intn(100) // want `math/rand.Intn uses the process-global rand source`
+}
+
+// Mixed shows that method calls on an explicit *rand.Rand stay legal
+// even when the global helpers in the same function are not.
+func Mixed(seed int64, xs []int) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	rand.Shuffle(len(xs), func(i, j int) { // want `math/rand.Shuffle uses the process-global rand source`
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+	return rng.Float64() + rand.Float64() // want `math/rand.Float64 uses the process-global rand source`
+}

@@ -1,0 +1,18 @@
+// Package sketch exercises the //lint:ignore machinery (checked by a
+// dedicated test, not want comments): the first allocation is suppressed
+// by a reasoned directive, the second sits under a malformed directive
+// (no rule, no reason) that must suppress nothing and be reported
+// itself.
+package sketch
+
+type S struct {
+	buf []float64
+}
+
+func (s *S) Estimate(key uint64) float64 {
+	//lint:ignore hotpath-alloc golden-test fixture for a reasoned suppression
+	a := make([]float64, 4)
+	//lint:ignore
+	b := make([]float64, 4)
+	return a[0] + b[0]
+}

@@ -1,0 +1,29 @@
+// Package pcap exercises unchecked-close at an I/O boundary: dropped
+// Close/Flush/Write errors silently truncate capture files.
+package pcap
+
+import "os"
+
+// Dump drops both errors: flagged twice.
+func Dump(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `deferred Close drops the error`
+	f.Write(data)   // want `call to Write drops the error`
+	return nil
+}
+
+// DumpChecked handles or explicitly discards every error: clean.
+func DumpChecked(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close() // explicit discard on the error path: acknowledged
+		return err
+	}
+	return f.Close()
+}

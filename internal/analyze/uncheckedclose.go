@@ -1,0 +1,83 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// uncheckedClosePackages are the I/O boundary layers: the pcap codec,
+// the NetFlow exporter/collector, and the router→collector transport.
+// There, a dropped Close/Flush/Write error means silently truncated
+// capture files or lost per-interval sketch frames — the aggregation
+// site then merges less traffic than the routers saw.
+var uncheckedClosePackages = []string{
+	"internal/pcap",
+	"internal/netflow",
+	"internal/aggregate",
+}
+
+var uncheckedCloseMethods = map[string]bool{
+	"Close": true,
+	"Flush": true,
+	"Write": true,
+	"Sync":  true,
+}
+
+var uncheckedCloseAnalyzer = &Analyzer{
+	Name: "unchecked-close",
+	Doc:  "flags dropped error results from Close/Flush/Write/Sync in the pcap, netflow and aggregate transport layers",
+	Run:  runUncheckedClose,
+}
+
+func runUncheckedClose(pass *Pass) {
+	if !pathMatchesAny(pass.Pkg.Path, uncheckedClosePackages) {
+		return
+	}
+	info := pass.Pkg.Info
+	check := func(call *ast.CallExpr, how string) {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !uncheckedCloseMethods[sel.Sel.Name] {
+			return
+		}
+		if tv, ok := info.Types[call]; !ok || !returnsError(tv.Type) {
+			return
+		}
+		pass.Reportf(call.Pos(), "%s %s drops the error; handle it or assign to _ deliberately", how, sel.Sel.Name)
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					check(call, "call to")
+				}
+			case *ast.DeferStmt:
+				check(n.Call, "deferred")
+			case *ast.GoStmt:
+				check(n.Call, "go")
+			}
+			return true
+		})
+	}
+}
+
+// returnsError reports whether a call result type includes error.
+func returnsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

@@ -132,8 +132,11 @@ func (d *Detector) EndInterval() []Detection {
 	roll(d.dipDport, netmodel.KeyDIPDport)
 	roll(d.sipDip, netmodel.KeySIPDIP)
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].Error != out[j].Error {
-			return out[i].Error > out[j].Error
+		if out[i].Error > out[j].Error {
+			return true
+		}
+		if out[i].Error < out[j].Error {
+			return false
 		}
 		return out[i].Key < out[j].Key
 	})

@@ -293,8 +293,11 @@ func RankHScans(alerts map[core.AlertKey]core.Alert, m *Matcher) []RankedScan {
 		out = append(out, row)
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].Change != out[j].Change {
-			return out[i].Change > out[j].Change
+		if out[i].Change > out[j].Change {
+			return true
+		}
+		if out[i].Change < out[j].Change {
+			return false
 		}
 		return out[i].SIP < out[j].SIP
 	})

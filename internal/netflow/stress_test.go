@@ -1,0 +1,119 @@
+package netflow
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/hifind/hifind/internal/netmodel"
+)
+
+// TestCollectorConcurrentExporters hammers the UDP collector from several
+// exporter goroutines while another goroutine polls Stats, so the -race
+// build exercises the receive loop, the stats mutex, and the handler
+// callback concurrently. UDP may drop datagrams under load, so the test
+// asserts internal consistency — handler invocations equal decoded-record
+// stats — rather than exact delivery counts.
+func TestCollectorConcurrentExporters(t *testing.T) {
+	const (
+		exporters      = 6
+		flowsPerExport = 120
+	)
+	var handled int64
+	c, err := Listen("127.0.0.1:0", func(Record, Header) {
+		atomic.AddInt64(&handled, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var pollWG sync.WaitGroup
+	pollWG.Add(1)
+	go func() {
+		defer pollWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				packets, records, malformed := c.Stats()
+				if records < 0 || packets < 0 || malformed != 0 {
+					t.Errorf("implausible stats: packets=%d records=%d malformed=%d",
+						packets, records, malformed)
+					return
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for e := 0; e < exporters; e++ {
+		wg.Add(1)
+		go func(e int) {
+			defer wg.Done()
+			ex, err := NewExporter(c.Addr())
+			if err != nil {
+				t.Errorf("exporter %d: %v", e, err)
+				return
+			}
+			defer ex.Close()
+			ex.SetClock(1000, 1115726400)
+			for i := 0; i < flowsPerExport; i++ {
+				rec := Record{
+					SrcAddr:  netmodel.IPv4(0xc0a80000 + uint32(e*1000+i)),
+					DstAddr:  netmodel.IPv4(0x0a000001),
+					Packets:  1,
+					Octets:   60,
+					FirstMs:  uint32(i),
+					LastMs:   uint32(i + 1),
+					SrcPort:  uint16(1024 + i),
+					DstPort:  80,
+					TCPFlags: 0x02,
+					Protocol: 6,
+				}
+				if err := ex.Add(rec); err != nil {
+					t.Errorf("exporter %d add: %v", e, err)
+					return
+				}
+			}
+			if err := ex.Flush(); err != nil {
+				t.Errorf("exporter %d flush: %v", e, err)
+			}
+		}(e)
+	}
+	wg.Wait()
+
+	// Drain: wait until the record count stops moving (UDP gives no
+	// completion signal), then verify the collector's ledger agrees with
+	// the handler's.
+	var last int64 = -1
+	for i := 0; i < 100; i++ {
+		_, records, _ := c.Stats()
+		if records == last {
+			break
+		}
+		last = records
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(stop)
+	pollWG.Wait()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	packets, records, malformed := c.Stats()
+	if malformed != 0 {
+		t.Errorf("%d malformed datagrams from well-formed exporters", malformed)
+	}
+	if got := atomic.LoadInt64(&handled); got != records {
+		t.Errorf("handler saw %d records, stats counted %d", got, records)
+	}
+	if records == 0 || packets == 0 {
+		t.Error("no traffic observed; stress test is vacuous")
+	}
+	if records > int64(exporters*flowsPerExport) {
+		t.Errorf("decoded %d records, more than the %d sent", records, exporters*flowsPerExport)
+	}
+}

@@ -1,0 +1,81 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"github.com/hifind/hifind/internal/netmodel"
+)
+
+// fuzzSeedCapture builds a well-formed capture via the Writer so the fuzzer
+// starts from inputs that exercise the deep decode paths, not just the
+// magic-number check.
+func fuzzSeedCapture(tb testing.TB) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, p := range samplePackets() {
+		if err := w.WritePacket(p); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadPacket feeds arbitrary bytes through NewReader/Next and the raw
+// frame decoders. Malformed input must surface as an error, never as a
+// panic, an out-of-range slice access, or an unbounded allocation.
+func FuzzReadPacket(f *testing.F) {
+	valid := fuzzSeedCapture(f)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:globalHeaderLen])        // header only, no records
+	f.Add(valid[:globalHeaderLen+7])      // truncated record header
+	f.Add(valid[:len(valid)-5])           // truncated record body
+	f.Add(bytes.Repeat([]byte{0xff}, 64)) // bad magic
+
+	// A record header claiming an implausibly large body must be rejected
+	// up front, not trusted as an allocation size.
+	huge := append([]byte(nil), valid[:globalHeaderLen]...)
+	var rec [packetHeaderLen]byte
+	binary.LittleEndian.PutUint32(rec[8:], 1<<30)
+	f.Add(append(huge, rec[:]...))
+
+	edge, err := netmodel.NewEdgeNetwork("10.0.0.0/8")
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, e := range []*netmodel.EdgeNetwork{nil, edge} {
+			r, err := NewReader(bytes.NewReader(data), e)
+			if err != nil {
+				continue
+			}
+			// Each Next consumes ≥ packetHeaderLen bytes or errors, so the
+			// loop terminates; the bound is pure paranoia.
+			for i := 0; i <= len(data)/packetHeaderLen; i++ {
+				pkt, err := r.Next()
+				if err != nil {
+					break
+				}
+				if e != nil && pkt.Dir != netmodel.Inbound && pkt.Dir != netmodel.Outbound {
+					t.Fatalf("edge-classified packet has direction %v", pkt.Dir)
+				}
+			}
+			if r.Skipped() < 0 {
+				t.Fatalf("negative skip count %d", r.Skipped())
+			}
+		}
+		// The frame decoders must also hold on arbitrary raw input.
+		if _, err := DecodeEthernet(data); err == nil {
+			// A successful decode implies the frame really carried the
+			// minimum Ethernet+IPv4+TCP layout.
+			if len(data) < ethernetLen+ipv4MinLen+tcpMinLen {
+				t.Fatalf("DecodeEthernet accepted a %d-byte frame", len(data))
+			}
+		}
+		_, _ = DecodeIPv4(data)
+	})
+}

@@ -1,0 +1,43 @@
+package revsketch
+
+import "testing"
+
+// UPDATE and ESTIMATE are the reversible sketch's per-packet and
+// per-candidate operations; neither may allocate (see the matching tests
+// in internal/sketch and the hotpath-alloc lint rule).
+
+func allocTestSketch(t *testing.T) *Sketch {
+	t.Helper()
+	s, err := New(Params{KeyBits: 32, Words: 4, Stages: 5, Buckets: 1 << 12}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestUpdateAllocs(t *testing.T) {
+	s := allocTestSketch(t)
+	var key uint64
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Update(key, 1)
+		key++
+	})
+	if allocs != 0 {
+		t.Errorf("Update allocates %v times per call, want 0", allocs)
+	}
+}
+
+func TestEstimateAllocs(t *testing.T) {
+	s := allocTestSketch(t)
+	for k := uint64(0); k < 100; k++ {
+		s.Update(k, int32(k%5)+1)
+	}
+	var key uint64
+	allocs := testing.AllocsPerRun(1000, func() {
+		_ = s.Estimate(key)
+		key++
+	})
+	if allocs != 0 {
+		t.Errorf("Estimate allocates %v times per call, want 0", allocs)
+	}
+}

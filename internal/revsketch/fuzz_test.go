@@ -1,0 +1,77 @@
+package revsketch
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzInference drives the reverse-hashing search with arbitrary update
+// streams on a small geometry and checks its output invariants: no panic,
+// every estimate at or above the threshold, keys within the key space,
+// deduplicated, and sorted largest-estimate first.
+func FuzzInference(f *testing.F) {
+	// Seeds: empty stream, one heavy key, a heavy key plus background
+	// noise, and a few colliding keys.
+	f.Add([]byte{})
+	one := make([]byte, 0, 64)
+	for i := 0; i < 20; i++ {
+		one = binary.BigEndian.AppendUint16(one, 0xbeef)
+		one = append(one, 5)
+	}
+	f.Add(one)
+	mixed := append([]byte(nil), one...)
+	for i := 0; i < 10; i++ {
+		mixed = binary.BigEndian.AppendUint16(mixed, uint16(i*257))
+		mixed = append(mixed, 1)
+	}
+	f.Add(mixed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Small geometry keeps each fuzz execution fast: 16-bit keys split
+		// into 2 words of 8 bits, 3 stages of 16 buckets (2-bit chunks).
+		params := Params{KeyBits: 16, Words: 2, Stages: 3, Buckets: 16}
+		s, err := New(params, 0x5eed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Consume 3 bytes per update: 2 key bytes, 1 signed value byte.
+		for len(data) >= 3 {
+			key := uint64(binary.BigEndian.Uint16(data))
+			v := int32(int8(data[2]))
+			s.Update(key, v)
+			data = data[3:]
+		}
+
+		const threshold = 8.0
+		got, err := s.InferenceCounts(threshold, InferenceOptions{
+			MaxHeavyBuckets: 64,
+			MaxNodes:        100_000,
+			MaxOps:          1_000_000,
+			MaxKeys:         256,
+		})
+		if err != nil {
+			t.Fatalf("InferenceCounts: %v", err)
+		}
+		keySpace := uint64(1) << uint(params.KeyBits)
+		seen := make(map[uint64]bool, len(got))
+		for i, ke := range got {
+			if ke.Key >= keySpace {
+				t.Fatalf("key %#x outside the %d-bit key space", ke.Key, params.KeyBits)
+			}
+			if ke.Estimate < threshold {
+				t.Fatalf("key %#x returned with estimate %v < threshold %v", ke.Key, ke.Estimate, threshold)
+			}
+			if seen[ke.Key] {
+				t.Fatalf("key %#x returned twice", ke.Key)
+			}
+			seen[ke.Key] = true
+			if i > 0 && ke.Estimate > got[i-1].Estimate {
+				t.Fatalf("results not sorted: estimate %v after %v", ke.Estimate, got[i-1].Estimate)
+			}
+			// INFERENCE must agree with ESTIMATE on the keys it reports.
+			if est := s.Estimate(ke.Key); est != ke.Estimate {
+				t.Fatalf("key %#x: inference estimate %v, point estimate %v", ke.Key, ke.Estimate, est)
+			}
+		}
+	})
+}

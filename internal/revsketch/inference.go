@@ -134,8 +134,11 @@ func (s *Sketch) Inference(g sketch.Grid, threshold float64, opts InferenceOptio
 	run.dfs(0, heavy)
 
 	sort.Slice(run.out, func(a, b int) bool {
-		if run.out[a].Estimate != run.out[b].Estimate {
-			return run.out[a].Estimate > run.out[b].Estimate
+		if run.out[a].Estimate > run.out[b].Estimate {
+			return true
+		}
+		if run.out[a].Estimate < run.out[b].Estimate {
+			return false
 		}
 		return run.out[a].Key < run.out[b].Key // deterministic tie-break
 	})
@@ -333,8 +336,11 @@ func (r *inferenceRun) dfs(depth int, compat [][]uint32) {
 		}
 	}
 	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].score != cands[b].score {
-			return cands[a].score > cands[b].score
+		if cands[a].score > cands[b].score {
+			return true
+		}
+		if cands[a].score < cands[b].score {
+			return false
 		}
 		return cands[a].w < cands[b].w
 	})

@@ -79,6 +79,7 @@ type Sketch struct {
 	wordTab [][][]uint8
 	counts  [][]int32
 	total   int64
+	scratch []float64 // per-stage estimates, reused across Estimate calls
 	// revBits[stage][word][chunk] is the bitset of word values hashing to
 	// chunk (bit w set ⇔ wordTab[stage][word][w] == chunk); built lazily
 	// on first inference. Bitsets let the reverse search test candidate
@@ -103,6 +104,7 @@ func New(params Params, seed uint64) (*Sketch, error) {
 		mangler: m,
 		wordTab: make([][][]uint8, params.Stages),
 		counts:  make([][]int32, params.Stages),
+		scratch: make([]float64, params.Stages),
 	}
 	wordSpace := 1 << uint(params.wordBits())
 	chunkSpace := 1 << uint(params.chunkBits())
@@ -182,12 +184,12 @@ func (s *Sketch) Update(key uint64, v int32) {
 func (s *Sketch) Estimate(key uint64) float64 {
 	words := s.splitWords(s.mangler.Mangle(key))
 	k := float64(s.params.Buckets)
-	est := make([]float64, s.params.Stages)
+	est := s.scratch
 	for j := 0; j < s.params.Stages; j++ {
 		c := float64(s.counts[j][s.bucketIndex(j, words)])
 		est[j] = (c - float64(s.total)/k) / (1 - 1/k)
 	}
-	return medianInPlace(est)
+	return sketch.MedianInPlace(est)
 }
 
 // EstimateGrid estimates a key's value from an external grid sharing this
@@ -196,12 +198,12 @@ func (s *Sketch) Estimate(key uint64) float64 {
 func (s *Sketch) EstimateGrid(g sketch.Grid, totals []float64, key uint64) float64 {
 	words := s.splitWords(s.mangler.Mangle(key))
 	k := float64(s.params.Buckets)
-	est := make([]float64, s.params.Stages)
+	est := s.scratch
 	for j := 0; j < s.params.Stages; j++ {
 		c := g[j][s.bucketIndex(j, words)]
 		est[j] = (c - totals[j]/k) / (1 - 1/k)
 	}
-	return medianInPlace(est)
+	return sketch.MedianInPlace(est)
 }
 
 // GridTotals returns each stage's sum for use with EstimateGrid.
@@ -336,22 +338,4 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 	fresh.total = total
 	*s = *fresh
 	return nil
-}
-
-// medianInPlace sorts vals and returns the median (small inputs; insertion
-// sort avoids the sort package's interface overhead on the hot path).
-func medianInPlace(vals []float64) float64 {
-	for i := 1; i < len(vals); i++ {
-		for j := i; j > 0 && vals[j] < vals[j-1]; j-- {
-			vals[j], vals[j-1] = vals[j-1], vals[j]
-		}
-	}
-	n := len(vals)
-	if n == 0 {
-		return 0
-	}
-	if n%2 == 1 {
-		return vals[n/2]
-	}
-	return (vals[n/2-1] + vals[n/2]) / 2
 }

@@ -3,7 +3,6 @@ package sketch
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
 )
 
 // Params configures a k-ary sketch.
@@ -32,13 +31,16 @@ func (p Params) Validate() error {
 // Sketch is a k-ary sketch: H stages of K counters, each stage indexed by
 // an independent 4-universal hash of the key. Counters are int32 because
 // HiFIND records signed values (#SYN − #SYN/ACK); int32 matches the
-// paper's 13.2 MB memory budget.
+// paper's 13.2 MB memory budget. A Sketch is not safe for concurrent
+// use: Update mutates counters and Estimate reuses a scratch buffer that
+// keeps the per-key estimate allocation-free.
 type Sketch struct {
-	params Params
-	seed   uint64
-	hash   []Poly4
-	counts [][]int32
-	total  int64 // sum of all update values, for the k-ary estimator
+	params  Params
+	seed    uint64
+	hash    []Poly4
+	counts  [][]int32
+	total   int64     // sum of all update values, for the k-ary estimator
+	scratch []float64 // per-stage estimates, reused across Estimate calls
 }
 
 // New builds an empty sketch. Sketches built with equal params and seed
@@ -48,10 +50,11 @@ func New(params Params, seed uint64) (*Sketch, error) {
 		return nil, err
 	}
 	s := &Sketch{
-		params: params,
-		seed:   seed,
-		hash:   make([]Poly4, params.Stages),
-		counts: make([][]int32, params.Stages),
+		params:  params,
+		seed:    seed,
+		hash:    make([]Poly4, params.Stages),
+		counts:  make([][]int32, params.Stages),
+		scratch: make([]float64, params.Stages),
 	}
 	state := seed
 	backing := make([]int32, params.Stages*params.Buckets)
@@ -90,12 +93,12 @@ func (s *Sketch) BucketIndex(stage int, key uint64) int {
 // and returns the median across stages, the unbiased k-ary estimator.
 func (s *Sketch) Estimate(key uint64) float64 {
 	k := float64(s.params.Buckets)
-	est := make([]float64, s.params.Stages)
+	est := s.scratch
 	for i, h := range s.hash {
 		c := float64(s.counts[i][h.HashRange(key, s.params.Buckets)])
 		est[i] = (c - float64(s.total)/k) / (1 - 1/k)
 	}
-	return median(est)
+	return MedianInPlace(est)
 }
 
 // EstimateGrid applies the same estimator to an external value grid that
@@ -104,12 +107,12 @@ func (s *Sketch) Estimate(key uint64) float64 {
 // well-formed grid have the same total).
 func (s *Sketch) EstimateGrid(g Grid, gridTotal float64, key uint64) float64 {
 	k := float64(s.params.Buckets)
-	est := make([]float64, s.params.Stages)
+	est := s.scratch
 	for i, h := range s.hash {
 		c := g[i][h.HashRange(key, s.params.Buckets)]
 		est[i] = (c - gridTotal/k) / (1 - 1/k)
 	}
-	return median(est)
+	return MedianInPlace(est)
 }
 
 // Snapshot deep-copies the counter array, e.g. for the forecaster.
@@ -240,18 +243,4 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 	fresh.total = total
 	*s = *fresh
 	return nil
-}
-
-// median returns the median of vals, averaging the middle pair for even
-// lengths. It sorts its argument in place.
-func median(vals []float64) float64 {
-	sort.Float64s(vals)
-	n := len(vals)
-	if n == 0 {
-		return 0
-	}
-	if n%2 == 1 {
-		return vals[n/2]
-	}
-	return (vals[n/2-1] + vals[n/2]) / 2
 }

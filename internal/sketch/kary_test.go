@@ -287,8 +287,8 @@ func TestMedian(t *testing.T) {
 		{nil, 0},
 	}
 	for _, tt := range tests {
-		if got := median(append([]float64(nil), tt.in...)); got != tt.want {
-			t.Errorf("median(%v) = %v, want %v", tt.in, got, tt.want)
+		if got := MedianInPlace(append([]float64(nil), tt.in...)); got != tt.want {
+			t.Errorf("MedianInPlace(%v) = %v, want %v", tt.in, got, tt.want)
 		}
 	}
 }

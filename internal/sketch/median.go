@@ -1,0 +1,23 @@
+package sketch
+
+// MedianInPlace sorts vals with an insertion sort and returns the
+// median, averaging the middle pair for even lengths. The sketch family
+// calls it per ESTIMATE with stage-count-sized inputs (≤ ~16), where
+// insertion sort beats the sort package's dispatch overhead and — unlike
+// sort.Float64s — performs no allocation, keeping the estimate hot path
+// alloc-free (enforced by hifindlint's hotpath-alloc rule).
+func MedianInPlace(vals []float64) float64 {
+	for i := 1; i < len(vals); i++ {
+		for j := i; j > 0 && vals[j] < vals[j-1]; j-- {
+			vals[j], vals[j-1] = vals[j-1], vals[j]
+		}
+	}
+	n := len(vals)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
+}

@@ -1,0 +1,22 @@
+package sketch2d
+
+import "testing"
+
+// The 2D sketch's Update runs once per packet on the SYN-rate matrices;
+// like the 1D sketches it must stay allocation-free (hotpath-alloc rule
+// plus this runtime check).
+
+func TestUpdateAllocs(t *testing.T) {
+	s, err := New(Params{Stages: 5, XBuckets: 1 << 10, YBuckets: 64}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var key uint64
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Update(key, key>>3, 1)
+		key++
+	})
+	if allocs != 0 {
+		t.Errorf("Update allocates %v times per call, want 0", allocs)
+	}
+}

@@ -151,7 +151,9 @@ func (e *EWMA) UnmarshalBinary(data []byte) error {
 		return fmt.Errorf("timeseries: geometry %dx%d does not match %dx%d",
 			stages, buckets, e.stages, e.buckets)
 	}
-	if alpha != e.alpha {
+	// Bitwise comparison: the serialized alpha must round-trip exactly,
+	// and comparing bit patterns states that without a float ==.
+	if math.Float64bits(alpha) != math.Float64bits(e.alpha) {
 		return fmt.Errorf("timeseries: alpha %v does not match %v", alpha, e.alpha)
 	}
 	want := 24 + 8*stages*buckets
