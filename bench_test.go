@@ -11,6 +11,7 @@ package hifind_test
 // paper-layout tables.
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -20,6 +21,7 @@ import (
 	"github.com/hifind/hifind/internal/mitigate"
 	"github.com/hifind/hifind/internal/netflow"
 	"github.com/hifind/hifind/internal/netmodel"
+	"github.com/hifind/hifind/internal/pipeline"
 	"github.com/hifind/hifind/internal/revsketch"
 	"github.com/hifind/hifind/internal/sketch"
 	"github.com/hifind/hifind/internal/sketch2d"
@@ -370,6 +372,70 @@ func BenchmarkRecorderObserve(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		pkt.SrcIP = netmodel.IPv4(i)
 		rec.Observe(pkt)
+	}
+}
+
+// BenchmarkPipelineThroughput compares a single sequential recorder
+// against the sharded ingestion engine at several worker counts. The
+// parallel timing runs through Flush+Rotate so it measures packets fully
+// recorded and merged, not merely enqueued. Speedups only appear with
+// multiple cores; on one core the parallel numbers show the engine's
+// fan-out overhead instead.
+func BenchmarkPipelineThroughput(b *testing.B) {
+	benchPkt := netmodel.Packet{
+		SrcIP: 0x08080808, DstIP: 0x81690101, SrcPort: 40000, DstPort: 80,
+		Flags: netmodel.FlagSYN, Dir: netmodel.Inbound,
+	}
+
+	b.Run("sequential", func(b *testing.B) {
+		rec, err := core.NewRecorder(core.TestRecorderConfig(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkt := benchPkt
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pkt.SrcIP = netmodel.IPv4(i)
+			rec.Observe(pkt)
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pkts/sec")
+	})
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng, err := pipeline.New(pipeline.Config{
+				Recorder:   core.TestRecorderConfig(1),
+				Workers:    workers,
+				BatchSize:  256,
+				QueueDepth: 8,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			prod := eng.NewProducer()
+			ev := pipeline.Event{Pkt: benchPkt}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev.Pkt.SrcIP = netmodel.IPv4(i)
+				prod.Ingest(ev)
+			}
+			prod.Flush()
+			merged, err := eng.Rotate()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if merged.Packets() != int64(b.N) {
+				b.Fatalf("recorded %d of %d packets", merged.Packets(), b.N)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pkts/sec")
+			if err := eng.Recycle(); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
 	}
 }
 

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,8 +27,10 @@ func main() {
 func run() error {
 	var (
 		table = flag.String("table", "all",
-			"which artifact to regenerate: 1, 4, 5, 6, 7, 9, f4, mr, val, ma, perf, mit, ttd, ablation or all")
-		full = flag.Bool("full", false, "run at the larger scale")
+			"which artifact to regenerate: 1, 4, 5, 6, 7, 9, f4, mr, val, ma, perf, pipeline, mit, ttd, ablation or all")
+		full     = flag.Bool("full", false, "run at the larger scale")
+		benchout = flag.String("benchout", "",
+			"write the pipeline throughput results as JSON to this file (with -table pipeline or all)")
 	)
 	flag.Parse()
 	scale := experiments.QuickScale()
@@ -142,6 +145,28 @@ func run() error {
 		}
 		fmt.Printf("compressed stress (top-100 anomalies): mean %.3fs, max %.3fs\n",
 			st.MeanSec, st.MaxSec)
+	}
+	if want("pipeline") {
+		section("Parallel pipeline — recording throughput vs worker count")
+		events := 2_000_000
+		if *full {
+			events = 8_000_000
+		}
+		pb, err := experiments.PipelineThroughput(events, []int{1, 2, 4, 8})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatPipeline(pb))
+		if *benchout != "" {
+			data, err := json.MarshalIndent(pb, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*benchout, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *benchout)
+		}
 	}
 	if want("ttd") {
 		section("Time to detection (extension; paper §1 motivates early-phase detection)")

@@ -27,6 +27,16 @@ import (
 	"github.com/hifind/hifind/internal/netmodel"
 )
 
+// detector is the shape both hifind.Detector and hifind.Parallel offer;
+// the -workers flag picks which one backs it.
+type detector interface {
+	hifind.Replayable
+	ObserveFlow(hifind.Flow)
+	SaveState() ([]byte, error)
+	LoadState([]byte) error
+	MemoryBytes() int
+}
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "hifind:", err)
@@ -46,6 +56,7 @@ func run() error {
 		compact   = flag.Bool("compact", false, "use compact (≈1.5MB) sketches instead of the paper's 13.2MB set")
 		phases    = flag.Bool("phases", false, "print raw and after-classification alerts too")
 		statePath = flag.String("state", "", "checkpoint file: loaded at start if present, saved after every interval (live mode)")
+		workers   = flag.Int("workers", 0, "shard sketch recording across N parallel workers (0 = sequential)")
 	)
 	flag.Parse()
 	inputs := 0
@@ -67,9 +78,27 @@ func run() error {
 	if *compact {
 		opts = append(opts, hifind.WithCompactSketches())
 	}
-	det, err := hifind.New(opts...)
-	if err != nil {
-		return err
+	// det is the sequential or sharded engine behind one detector shape;
+	// both satisfy hifind.Replayable and the live-mode interface.
+	var det detector
+	if *workers > 0 {
+		popts := append(opts, hifind.WithWorkers(*workers))
+		if *listen != "" {
+			// Live capture must never stall the socket reader; count
+			// overload drops instead (mirrors the collector's own policy).
+			popts = append(popts, hifind.WithShedOnOverload())
+		}
+		par, err := hifind.NewParallel(popts...)
+		if err != nil {
+			return err
+		}
+		det = par
+	} else {
+		seq, err := hifind.New(opts...)
+		if err != nil {
+			return err
+		}
+		det = seq
 	}
 	if *listen != "" {
 		return runLive(det, *listen, strings.Split(*edge, ","), *interval, *statePath)
@@ -119,7 +148,7 @@ func run() error {
 // intervals until the process is interrupted. The collector goroutine
 // forwards decoded flows over a channel so the detector stays
 // single-threaded.
-func runLive(det *hifind.Detector, addr string, edgeCIDRs []string, interval time.Duration, statePath string) error {
+func runLive(det detector, addr string, edgeCIDRs []string, interval time.Duration, statePath string) error {
 	edge, err := netmodel.NewEdgeNetwork(edgeCIDRs...)
 	if err != nil {
 		return err
@@ -188,6 +217,14 @@ func runLive(det *hifind.Detector, addr string, edgeCIDRs []string, interval tim
 			}
 		case <-sig:
 			fmt.Println("\nshutting down")
+			if par, ok := det.(*hifind.Parallel); ok {
+				if _, err := par.Close(); err != nil {
+					return err
+				}
+				if shed := par.Shed(); shed > 0 {
+					fmt.Printf("%d events shed under overload\n", shed)
+				}
+			}
 			return nil
 		}
 	}

@@ -30,6 +30,7 @@ package hifind
 import (
 	"fmt"
 	"net/netip"
+	"sync/atomic"
 	"time"
 
 	"github.com/hifind/hifind/internal/core"
@@ -181,13 +182,18 @@ type Result struct {
 	DetectionTime       time.Duration
 }
 
-// Detector is a complete HiFIND instance. It is not safe for concurrent
-// use; callers feeding packets from several goroutines must serialize.
+// Detector is a complete HiFIND instance. The sketch-recording path is
+// not safe for concurrent use: Observe, ObserveFlow and EndInterval
+// must all run on one goroutine (or be externally serialized). Callers
+// that want multiple feeding goroutines should use NewParallel, which
+// shards recording across workers and merges losslessly by sketch
+// linearity. Only Dropped may be called concurrently with ingestion;
+// its counter is atomic.
 type Detector struct {
 	det      *core.Detector
 	rcfg     core.RecorderConfig
 	interval time.Duration
-	dropped  int64
+	dropped  atomic.Int64
 }
 
 // New builds a detector with the paper's default configuration (13.2 MB
@@ -211,11 +217,12 @@ func New(opts ...Option) (*Detector, error) {
 func (d *Detector) Interval() time.Duration { return d.interval }
 
 // Observe records one packet. Non-IPv4 packets are counted and dropped
-// (the paper's system is IPv4-only).
+// (the paper's system is IPv4-only). Not safe for concurrent use — see
+// the Detector contract.
 func (d *Detector) Observe(p Packet) {
 	ip, ok := p.toInternal()
 	if !ok {
-		d.dropped++
+		d.dropped.Add(1)
 		return
 	}
 	d.det.Observe(ip)
@@ -235,15 +242,13 @@ type Flow struct {
 	SYNACKs int
 }
 
-// ObserveFlow records one flow summary. Non-IPv4 flows are counted and
-// dropped like non-IPv4 packets.
-func (d *Detector) ObserveFlow(f Flow) {
+// toInternal converts the public flow; non-IPv4 addresses report ok=false.
+func (f Flow) toInternal() (netmodel.FlowRecord, bool) {
 	if !f.SrcIP.Is4() || !f.DstIP.Is4() {
-		d.dropped++
-		return
+		return netmodel.FlowRecord{}, false
 	}
 	src, dst := f.SrcIP.As4(), f.DstIP.As4()
-	d.det.ObserveFlow(netmodel.FlowRecord{
+	return netmodel.FlowRecord{
 		SrcIP:   netmodel.IPv4(uint32(src[0])<<24 | uint32(src[1])<<16 | uint32(src[2])<<8 | uint32(src[3])),
 		DstIP:   netmodel.IPv4(uint32(dst[0])<<24 | uint32(dst[1])<<16 | uint32(dst[2])<<8 | uint32(dst[3])),
 		SrcPort: f.SrcPort,
@@ -251,11 +256,30 @@ func (d *Detector) ObserveFlow(f Flow) {
 		Dir:     netmodel.Direction(f.Dir),
 		SYNs:    f.SYNs,
 		SYNACKs: f.SYNACKs,
-	})
+	}, true
 }
 
-// Dropped returns how many packets were ignored as non-IPv4.
-func (d *Detector) Dropped() int64 { return d.dropped }
+// ObserveFlow records one flow summary. Non-IPv4 flows are counted and
+// dropped like non-IPv4 packets. Not safe for concurrent use — see the
+// Detector contract.
+func (d *Detector) ObserveFlow(f Flow) {
+	fr, ok := f.toInternal()
+	if !ok {
+		d.dropped.Add(1)
+		return
+	}
+	d.det.ObserveFlow(fr)
+}
+
+// Dropped returns how many packets were ignored as non-IPv4. Safe to
+// call concurrently with ingestion.
+func (d *Detector) Dropped() int64 { return d.dropped.Load() }
+
+// observeInternal feeds a pre-converted packet (replay path).
+func (d *Detector) observeInternal(pkt netmodel.Packet) { d.det.Observe(pkt) }
+
+// observeFlowInternal feeds a pre-converted flow record (replay path).
+func (d *Detector) observeFlowInternal(fr netmodel.FlowRecord) { d.det.ObserveFlow(fr) }
 
 // MemoryBytes returns the total sketch memory, which is independent of
 // traffic volume — the basis of HiFIND's DoS resilience.
@@ -322,7 +346,7 @@ func (d *Detector) LoadState(state []byte) error {
 // use.
 type Recorder struct {
 	rec     *core.Recorder
-	dropped int64
+	dropped atomic.Int64
 }
 
 // NewRecorder builds a recording-only instance. Use the same options as
@@ -346,11 +370,15 @@ func NewRecorder(opts ...Option) (*Recorder, error) {
 func (r *Recorder) Observe(p Packet) {
 	ip, ok := p.toInternal()
 	if !ok {
-		r.dropped++
+		r.dropped.Add(1)
 		return
 	}
 	r.rec.Observe(ip)
 }
+
+// Dropped returns how many packets were ignored as non-IPv4. Safe to
+// call concurrently with ingestion.
+func (r *Recorder) Dropped() int64 { return r.dropped.Load() }
 
 // StateSnapshot serializes the interval's recorded state for transport to
 // the aggregation site and resets the recorder for the next interval.

@@ -9,19 +9,23 @@ import (
 
 // hotpathPackages are the sketch-family packages whose per-packet
 // operations carry the paper's line-rate budget (§5.5.2: a handful of
-// memory accesses per packet, nothing else).
+// memory accesses per packet, nothing else), plus the parallel
+// ingestion engine whose producer/worker Ingest runs once per packet.
 var hotpathPackages = []string{
 	"internal/sketch",
 	"internal/revsketch",
 	"internal/sketch2d",
 	"internal/bloom",
+	"internal/pipeline",
 }
 
 // hotpathFunc reports whether a function name is part of the UPDATE /
-// ESTIMATE / COMBINE hot-path contract (paper Table 2). EstimateGrid and
-// friends share the Estimate budget, hence the prefix match.
+// ESTIMATE / COMBINE hot-path contract (paper Table 2) or the pipeline's
+// per-packet Ingest. EstimateGrid and friends share the Estimate budget,
+// hence the prefix match.
 func hotpathFunc(name string) bool {
-	return name == "Update" || name == "Combine" || strings.HasPrefix(name, "Estimate")
+	return name == "Update" || name == "Combine" || name == "Ingest" ||
+		strings.HasPrefix(name, "Estimate")
 }
 
 var hotpathAllocAnalyzer = &Analyzer{

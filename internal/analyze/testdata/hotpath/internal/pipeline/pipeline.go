@@ -1,0 +1,65 @@
+// Package pipeline is a golden-test stand-in for the parallel ingestion
+// engine: its per-packet Ingest is under the hotpath-alloc contract
+// (batch buffers must be pooled, events written by index), while setup
+// and teardown allocate freely.
+package pipeline
+
+type event struct {
+	key uint64
+}
+
+type batch struct {
+	ev []event
+	n  int
+}
+
+type producer struct {
+	cur  *batch
+	free chan *batch
+}
+
+func (p *producer) Ingest(ev event) {
+	b := p.cur
+	if b == nil {
+		spill := append([]event(nil), ev) // want `append allocates in hot path Ingest`
+		_ = spill
+		nb := make([]event, 256) // want `make allocates in hot path Ingest`
+		p.cur = &batch{ev: nb}
+		b2 := new(batch) // want `new allocates in hot path Ingest`
+		_ = b2
+	}
+	p.cur.ev[p.cur.n] = ev
+	p.cur.n++
+}
+
+type worker struct {
+	counts [64]int32
+}
+
+// Ingest on the worker side shares the contract: the batch walk must be
+// indexed, and returning the buffer must reuse the pool.
+func (w *worker) Ingest(b *batch) {
+	seen := []uint64{} // want `slice literal allocates in hot path Ingest`
+	_ = seen
+	for i := 0; i < b.n; i++ {
+		w.counts[b.ev[i].key&63]++
+	}
+}
+
+// newEngine is construction, not the hot path: allocation is sanctioned.
+func newEngine(depth int) *producer {
+	free := make(chan *batch, depth)
+	for i := 0; i < depth; i++ {
+		free <- &batch{ev: make([]event, 256)}
+	}
+	return &producer{free: free}
+}
+
+// drain is teardown, also outside the contract.
+func drain(p *producer) []event {
+	var out []event
+	if p.cur != nil {
+		out = append(out, p.cur.ev[:p.cur.n]...)
+	}
+	return out
+}

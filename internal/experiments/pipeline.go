@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/hifind/hifind/internal/core"
+	"github.com/hifind/hifind/internal/netmodel"
+	"github.com/hifind/hifind/internal/pipeline"
+)
+
+// PipelinePoint is one worker-count measurement of the sharded
+// ingestion engine.
+type PipelinePoint struct {
+	Workers    int     `json:"workers"`
+	PktsPerSec float64 `json:"pkts_per_sec"`
+	// Speedup is relative to the sequential single-recorder baseline
+	// measured in the same run.
+	Speedup float64 `json:"speedup_vs_sequential"`
+}
+
+// PipelineBench is the recording-throughput comparison between one
+// sequential recorder and the internal/pipeline engine at several
+// worker counts, with enough environment detail (cores, GOMAXPROCS) to
+// interpret the scaling: on a single-core machine the engine can only
+// show its overhead, never a speedup.
+type PipelineBench struct {
+	Events        int             `json:"events"`
+	BatchSize     int             `json:"batch_size"`
+	Cores         int             `json:"cores"`
+	GoMaxProcs    int             `json:"gomaxprocs"`
+	SequentialPPS float64         `json:"sequential_pkts_per_sec"`
+	Points        []PipelinePoint `json:"pipeline"`
+}
+
+// pipelinePackets pre-generates the measurement traffic: mostly inbound
+// SYNs over spread keys with a periodic SYN/ACK, the recorder's
+// worst-case (every packet updates all nine structures or the Bloom
+// filter).
+func pipelinePackets(n int) []netmodel.Packet {
+	pkts := make([]netmodel.Packet, n)
+	for i := range pkts {
+		h := uint32(i) * 2654435761
+		p := netmodel.Packet{
+			SrcIP:   netmodel.IPv4(h),
+			DstIP:   netmodel.IPv4(0x81690000 | h>>24),
+			SrcPort: uint16(40000 + i%1000),
+			DstPort: uint16(1 + h%1024),
+			Flags:   netmodel.FlagSYN,
+			Dir:     netmodel.Inbound,
+		}
+		if i%16 == 0 {
+			p.SrcIP, p.DstIP = p.DstIP, p.SrcIP
+			p.SrcPort, p.DstPort = p.DstPort, p.SrcPort
+			p.Flags = netmodel.FlagSYN | netmodel.FlagACK
+			p.Dir = netmodel.Outbound
+		}
+		pkts[i] = p
+	}
+	return pkts
+}
+
+// PipelineThroughput measures recording throughput — packets fully
+// recorded into sketch state per second — sequentially and through the
+// engine at each worker count. The parallel timing includes the final
+// flush and epoch merge, so it measures completed work, not enqueue
+// speed.
+func PipelineThroughput(events int, workerCounts []int) (PipelineBench, error) {
+	const batchSize = 256
+	pkts := pipelinePackets(events)
+	bench := PipelineBench{
+		Events:     events,
+		BatchSize:  batchSize,
+		Cores:      runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+
+	// Compact sketches keep 8 workers x 2 recorders memory-bounded; the
+	// sequential baseline uses the same geometry so the ratio is fair.
+	rec, err := core.NewRecorder(core.TestRecorderConfig(detectorSeed))
+	if err != nil {
+		return PipelineBench{}, err
+	}
+	start := time.Now()
+	for i := range pkts {
+		rec.Observe(pkts[i])
+	}
+	bench.SequentialPPS = float64(events) / time.Since(start).Seconds()
+
+	for _, workers := range workerCounts {
+		eng, err := pipeline.New(pipeline.Config{
+			Recorder:   core.TestRecorderConfig(detectorSeed),
+			Workers:    workers,
+			BatchSize:  batchSize,
+			QueueDepth: 8,
+		})
+		if err != nil {
+			return PipelineBench{}, err
+		}
+		prod := eng.NewProducer()
+		start := time.Now()
+		for i := range pkts {
+			prod.Ingest(pipeline.Event{Pkt: pkts[i]})
+		}
+		prod.Flush()
+		merged, err := eng.Rotate() // barrier: every event recorded and merged
+		if err != nil {
+			return PipelineBench{}, err
+		}
+		elapsed := time.Since(start)
+		if merged.Packets() != int64(events) {
+			return PipelineBench{}, fmt.Errorf("experiments: pipeline recorded %d of %d events", merged.Packets(), events)
+		}
+		if err := eng.Recycle(); err != nil {
+			return PipelineBench{}, err
+		}
+		if _, err := eng.Close(); err != nil {
+			return PipelineBench{}, err
+		}
+		pps := float64(events) / elapsed.Seconds()
+		bench.Points = append(bench.Points, PipelinePoint{
+			Workers:    workers,
+			PktsPerSec: pps,
+			Speedup:    pps / bench.SequentialPPS,
+		})
+	}
+	return bench, nil
+}
+
+// FormatPipeline renders the throughput comparison.
+func FormatPipeline(b PipelineBench) string {
+	s := fmt.Sprintf("recording throughput over %d events (batch %d, %d cores, GOMAXPROCS %d):\n",
+		b.Events, b.BatchSize, b.Cores, b.GoMaxProcs)
+	s += fmt.Sprintf("  sequential recorder:     %8.2fM pkts/sec  (baseline)\n", b.SequentialPPS/1e6)
+	for _, p := range b.Points {
+		s += fmt.Sprintf("  pipeline, %d worker(s):   %8.2fM pkts/sec  (%.2fx)\n",
+			p.Workers, p.PktsPerSec/1e6, p.Speedup)
+	}
+	return s
+}

@@ -1,0 +1,39 @@
+package pipeline
+
+import (
+	"testing"
+
+	"github.com/hifind/hifind/internal/core"
+)
+
+// The producer→worker hot path must not allocate: Ingest runs once per
+// packet at capture rate, and any per-event garbage turns the GC into a
+// DoS vector of its own. Batch buffers cycle through a pre-allocated
+// free list (producer → shard queue → worker → free list), so steady-
+// state ingestion — including batch hand-off — is allocation-free. The
+// hotpath-alloc lint rule guards the source; this test guards the
+// runtime behavior.
+
+func TestIngestAllocs(t *testing.T) {
+	e, err := New(Config{
+		Recorder:   core.TestRecorderConfig(testSeed),
+		Workers:    1,
+		BatchSize:  64,
+		QueueDepth: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := e.NewProducer()
+	ev := Event{Pkt: pkt(1)}
+	allocs := testing.AllocsPerRun(2000, func() {
+		p.Ingest(ev)
+	})
+	if allocs != 0 {
+		t.Errorf("Ingest allocates %v times per event, want 0", allocs)
+	}
+	p.Flush()
+	if _, err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,493 @@
+// Package pipeline is HiFIND's sharded parallel ingestion engine: it
+// fans packet events across N workers, each recording into a private
+// core.Recorder, and merges the per-worker sketches at interval
+// boundaries. Because every recording structure is linear (COMBINE is
+// exact summation — paper §3.1), the merged state is bit-identical to a
+// single recorder fed the same packets sequentially, in any order and
+// under any packet-to-worker assignment, so parallelism costs no
+// accuracy whatsoever. The root package exposes the engine as
+// hifind.NewParallel; TestParallelEquivalence proves the exactness claim
+// in test form.
+//
+// Dataflow:
+//
+//	Producer.Ingest ──batch──▶ worker[i].ch ──▶ worker[i].rec (private)
+//	                                │
+//	Engine.Rotate ──rotation token──┘  (epoch barrier: each worker swaps
+//	   in a fresh recorder; the retired set is merged via core.Recorder.
+//	   Merge, i.e. COMBINE, and handed to detection)
+//
+// Producers accumulate events into pooled fixed-size batches and ship a
+// full batch to one worker, chosen round-robin (linearity makes the
+// choice irrelevant to correctness; round-robin balances load). The
+// per-event hot path is allocation-free: batch buffers come from a
+// pre-allocated free list and are returned by the consuming worker. The
+// hotpath-alloc lint rule covers Ingest, and alloc_test.go pins the
+// whole producer→worker path to zero allocations per event.
+//
+// Backpressure is explicit: with the default Block policy a producer
+// whose target shard queue is full waits (no loss — the replay/offline
+// shape); with Shed the batch is counted and dropped (the live-capture
+// shape, mirroring Detector.Dropped's count-don't-block philosophy).
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/hifind/hifind/internal/bloom"
+	"github.com/hifind/hifind/internal/core"
+	"github.com/hifind/hifind/internal/netmodel"
+)
+
+// Policy says what a producer does when its target shard queue is full.
+type Policy int
+
+// Backpressure policies.
+const (
+	// Block makes Ingest wait for queue space: nothing is lost, the
+	// producer slows to the workers' pace. Right for offline replay.
+	Block Policy = iota
+	// Shed drops the full batch and counts it (Engine.Shed): ingestion
+	// never stalls the capture loop. Right for live traffic, where the
+	// kernel would drop the packets anyway if the reader fell behind.
+	Shed
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case Shed:
+		return "shed"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Config sizes the engine. Zero fields take the documented defaults.
+type Config struct {
+	// Recorder is the sketch geometry every shard records into; it must
+	// equal the detection-side configuration or the merged state is not
+	// comparable (core.Recorder.Compatible enforces this at merge time).
+	Recorder core.RecorderConfig
+	// Workers is the shard count (default runtime.GOMAXPROCS(0)).
+	Workers int
+	// BatchSize is the number of events a producer accumulates before
+	// shipping to a shard (default 256). Larger batches amortize channel
+	// synchronization; smaller ones reduce rotation skew.
+	BatchSize int
+	// QueueDepth is the number of batches buffered per shard (default 4).
+	QueueDepth int
+	// Policy picks the backpressure behavior (default Block).
+	Policy Policy
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 256
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 4
+	}
+	return c
+}
+
+// Event is one recordable traffic observation: a packet, or a NetFlow-
+// style flow summary when IsFlow is set. The two kinds may be mixed
+// freely within one engine, exactly as core.Recorder accepts both.
+type Event struct {
+	Pkt    netmodel.Packet
+	Flow   netmodel.FlowRecord
+	IsFlow bool
+}
+
+// batch is a fixed-capacity event buffer. Buffers cycle producer →
+// shard queue → worker → free list; none are allocated on the hot path.
+type batch struct {
+	ev []Event
+	n  int
+}
+
+// msg is one shard-queue element: a batch of events, or an epoch-
+// rotation token (FIFO ordering with batches is what makes the token a
+// barrier: everything enqueued before it lands in the closing epoch).
+type msg struct {
+	b   *batch
+	rot *rotation
+}
+
+// rotation asks a worker to swap in a fresh recorder and hand back the
+// one holding the closing epoch. out is buffered so the worker never
+// blocks replying.
+type rotation struct {
+	fresh *core.Recorder
+	out   chan<- *core.Recorder
+}
+
+// Engine is the sharded ingestion engine. Construct with New, feed it
+// through Producers, cut epochs with Rotate/Recycle, stop it with Close.
+//
+// Concurrency contract: any number of Producers may ingest
+// concurrently; Rotate, Recycle and Close serialize among themselves
+// (an internal mutex enforces this) and may run concurrently with
+// producers. SeedServices must run before ingestion starts.
+type Engine struct {
+	cfg     Config
+	workers []*worker
+	free    chan *batch   // pre-allocated batch free list
+	done    chan struct{} // closed on Close: unblocks senders, stops workers
+	once    sync.Once
+	wg      sync.WaitGroup
+	shed    atomic.Int64
+
+	ctl     sync.Mutex // guards every field below
+	closed  bool
+	spare   []*core.Recorder // fresh recorders for the next Rotate
+	retired []*core.Recorder // last epoch's recorders, until Recycle
+	// sendMu closes the race between producer sends and teardown: sends
+	// commit under RLock, Close flips closed under Lock after closing
+	// done, so no batch can enter a shard queue after Close's final
+	// drain. Block-policy senders always select on done, so they cannot
+	// hold RLock forever and deadlock the Lock. (closed is written under
+	// both ctl and sendMu, and read under either.)
+	sendMu sync.RWMutex
+	// services accumulates the active-service filter across epochs. The
+	// Bloom filter is cross-interval state (core.Recorder.Reset keeps
+	// it), but a shard recorder entering service is fresh, so the union
+	// of shard filters alone would hold only the current epoch. Unioning
+	// this accumulator into every merge restores the full history —
+	// bit-identical to a sequential recorder's filter, since Bloom bits
+	// are a monotone OR over the same per-key patterns.
+	services *bloom.Filter
+}
+
+// New builds the engine and starts its workers. Total sketch memory is
+// 2×Workers recorder sets (one active and one spare per shard — the
+// flip-flop that lets rotation swap without waiting for a merge).
+func New(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("pipeline: workers %d < 1", cfg.Workers)
+	}
+	if cfg.BatchSize < 1 {
+		return nil, fmt.Errorf("pipeline: batch size %d < 1", cfg.BatchSize)
+	}
+	if cfg.QueueDepth < 1 {
+		return nil, fmt.Errorf("pipeline: queue depth %d < 1", cfg.QueueDepth)
+	}
+	if cfg.Policy != Block && cfg.Policy != Shed {
+		return nil, fmt.Errorf("pipeline: unknown policy %d", int(cfg.Policy))
+	}
+	e := &Engine{
+		cfg:  cfg,
+		done: make(chan struct{}),
+	}
+	// Free-list sizing: every batch is either queued (Workers×QueueDepth),
+	// in a worker's hands (Workers), held by a producer, or free. The
+	// slack covers a small fleet of producers; beyond it, getBatch falls
+	// back to allocating (cold path only, excess buffers are dropped).
+	const producerSlack = 16
+	total := cfg.Workers*(cfg.QueueDepth+1) + producerSlack
+	e.free = make(chan *batch, total)
+	for i := 0; i < total; i++ {
+		e.free <- &batch{ev: make([]Event, cfg.BatchSize)}
+	}
+	// The accumulator must share the recorder's Bloom geometry; borrow it
+	// from a throwaway recorder (its sketches are garbage-collected).
+	histRec, err := core.NewRecorder(cfg.Recorder)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: services accumulator: %w", err)
+	}
+	e.services = histRec.Services
+	e.spare = make([]*core.Recorder, cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		rec, err := core.NewRecorder(cfg.Recorder)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: shard %d recorder: %w", i, err)
+		}
+		spare, err := core.NewRecorder(cfg.Recorder)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: shard %d spare: %w", i, err)
+		}
+		e.spare[i] = spare
+		e.workers = append(e.workers, &worker{
+			eng: e,
+			ch:  make(chan msg, cfg.QueueDepth),
+			rec: rec,
+		})
+	}
+	for _, w := range e.workers {
+		e.wg.Add(1)
+		go w.run()
+	}
+	return e, nil
+}
+
+// Config returns the engine configuration with defaults applied.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Workers returns the shard count.
+func (e *Engine) Workers() int { return len(e.workers) }
+
+// Shed returns how many events were dropped by the Shed backpressure
+// policy or by ingestion racing shutdown.
+func (e *Engine) Shed() int64 { return e.shed.Load() }
+
+// MemoryBytes returns the total sketch memory of all shard recorders
+// (active + spare sets). Constant for the engine's lifetime.
+func (e *Engine) MemoryBytes() int {
+	if len(e.workers) == 0 {
+		return 0
+	}
+	// All recorders share one geometry; MemoryBytes is config-derived.
+	return 2 * len(e.workers) * e.workers[0].rec.MemoryBytes()
+}
+
+// SeedServices unions an active-service filter into the engine's
+// cross-epoch accumulator — the restore-from-checkpoint path
+// (hifind.Parallel.LoadState). The seeded services appear in every
+// subsequent epoch's merged recorder.
+func (e *Engine) SeedServices(f *bloom.Filter) error {
+	e.ctl.Lock()
+	defer e.ctl.Unlock()
+	if e.closed {
+		return fmt.Errorf("pipeline: engine closed")
+	}
+	if err := e.services.Union(f); err != nil {
+		return fmt.Errorf("pipeline: seed services: %w", err)
+	}
+	return nil
+}
+
+// Rotate closes the current epoch: it injects a rotation token into
+// every shard queue (the epoch barrier — all batches enqueued before
+// the token are recorded first), swaps each worker onto a fresh
+// recorder, and merges the retired per-worker recorders via COMBINE.
+// The returned recorder holds exactly the epoch's traffic, bit-
+// identical to sequential recording, plus the full active-service
+// history (see Recycle). It remains valid until Recycle is called;
+// every Rotate must be paired with one Recycle.
+//
+// Events sitting in un-flushed producer batches are not part of the
+// epoch — callers wanting exact interval boundaries flush their
+// producers first (hifind.Parallel.EndInterval does).
+func (e *Engine) Rotate() (*core.Recorder, error) {
+	e.ctl.Lock()
+	defer e.ctl.Unlock()
+	if e.closed {
+		return nil, fmt.Errorf("pipeline: engine closed")
+	}
+	if e.retired != nil {
+		return nil, fmt.Errorf("pipeline: previous epoch not recycled")
+	}
+	spare := e.spare
+	e.spare = nil
+	out := make(chan *core.Recorder, len(e.workers))
+	// Plain blocking sends are safe: Close cannot proceed past ctl while
+	// we hold it, so workers stay alive and drain their queues.
+	for i, w := range e.workers {
+		w.ch <- msg{rot: &rotation{fresh: spare[i], out: out}}
+	}
+	collected := make([]*core.Recorder, 0, len(e.workers))
+	for range e.workers {
+		collected = append(collected, <-out)
+	}
+	merged := collected[0]
+	if err := merged.Merge(collected[1:]...); err != nil {
+		return nil, fmt.Errorf("pipeline: epoch merge: %w", err)
+	}
+	// Fold in the service history of all earlier epochs, so that
+	// merged.Services equals a sequential recorder's filter exactly —
+	// bits and insertion count both: shard filters are zeroed at
+	// recycle, so the shard sum is this epoch's adds and the
+	// accumulator is everything before. Then refresh the accumulator to
+	// the new total (Reset+Union is a copy).
+	if err := merged.Services.Union(e.services); err != nil {
+		return nil, fmt.Errorf("pipeline: epoch services: %w", err)
+	}
+	e.services.Reset()
+	if err := e.services.Union(merged.Services); err != nil {
+		return nil, fmt.Errorf("pipeline: epoch services: %w", err)
+	}
+	e.retired = collected
+	return merged, nil
+}
+
+// Recycle resets the recorders of the last rotated epoch and returns
+// them to the spare pool for the next Rotate. Call it once the caller
+// is done with the recorder Rotate returned (hifind.Parallel calls it
+// right after detection); the recorder is invalid afterwards.
+func (e *Engine) Recycle() error {
+	e.ctl.Lock()
+	defer e.ctl.Unlock()
+	if e.retired == nil {
+		return fmt.Errorf("pipeline: no epoch to recycle")
+	}
+	for _, rec := range e.retired {
+		// Full reset including the service filter (which core's Reset
+		// deliberately keeps): cross-epoch service history lives in the
+		// engine's accumulator instead, so each epoch's shard filters
+		// must count only their own adds for the merged insertion count
+		// to match a sequential recorder's.
+		rec.Services.Reset()
+		rec.Reset()
+	}
+	e.spare = e.retired
+	e.retired = nil
+	return nil
+}
+
+// Close stops the engine: it unblocks any blocked producers, waits for
+// workers to drain their queues and exit, then merges and returns the
+// recorders of the unfinished epoch so no accepted batch is lost —
+// callers may run a final detection over the leftover state or discard
+// it. Ingest calls racing or following Close are counted as shed, never
+// deadlocked or panicked. Closing twice returns an error.
+func (e *Engine) Close() (*core.Recorder, error) {
+	e.once.Do(func() { close(e.done) })
+	e.ctl.Lock()
+	defer e.ctl.Unlock()
+	if e.closed {
+		return nil, fmt.Errorf("pipeline: engine already closed")
+	}
+	e.sendMu.Lock()
+	e.closed = true
+	e.sendMu.Unlock()
+	e.wg.Wait()
+	// Final drain: a producer that entered dispatch before closed was
+	// set may have committed a buffered send after its worker exited.
+	// Workers are gone, so consuming their queues here is single-
+	// threaded and safe.
+	leftovers := make([]*core.Recorder, 0, len(e.workers))
+	for _, w := range e.workers {
+		for {
+			select {
+			case m := <-w.ch:
+				if m.b != nil {
+					w.Ingest(m.b)
+				}
+			default:
+			}
+			if len(w.ch) == 0 {
+				break
+			}
+		}
+		leftovers = append(leftovers, w.rec)
+	}
+	merged := leftovers[0]
+	if err := merged.Merge(leftovers[1:]...); err != nil {
+		return nil, fmt.Errorf("pipeline: close merge: %w", err)
+	}
+	if err := merged.Services.Union(e.services); err != nil {
+		return nil, fmt.Errorf("pipeline: close services: %w", err)
+	}
+	return merged, nil
+}
+
+// getBatch takes a buffer from the free list, falling back to
+// allocation only when more producers exist than the list was sized
+// for.
+func (e *Engine) getBatch() *batch {
+	select {
+	case b := <-e.free:
+		return b
+	default:
+		return &batch{ev: make([]Event, e.cfg.BatchSize)}
+	}
+}
+
+// putBatch returns a buffer to the free list, dropping the excess ones
+// allocated under producer oversubscription.
+func (e *Engine) putBatch(b *batch) {
+	b.n = 0
+	select {
+	case e.free <- b:
+	default:
+	}
+}
+
+// dispatch ships a full batch to one shard, applying the backpressure
+// policy. Called with batches the producer no longer references.
+func (e *Engine) dispatch(b *batch, w *worker) {
+	e.sendMu.RLock()
+	if e.closed {
+		e.sendMu.RUnlock()
+		e.shed.Add(int64(b.n))
+		e.putBatch(b)
+		return
+	}
+	if e.cfg.Policy == Shed {
+		select {
+		case w.ch <- msg{b: b}:
+		default:
+			e.shed.Add(int64(b.n))
+			e.putBatch(b)
+		}
+	} else {
+		select {
+		case w.ch <- msg{b: b}:
+		case <-e.done:
+			e.shed.Add(int64(b.n))
+			e.putBatch(b)
+		}
+	}
+	e.sendMu.RUnlock()
+}
+
+// Producer is one ingestion handle. Each handle batches privately and
+// must be used from a single goroutine at a time; create one Producer
+// per feeding goroutine (they are cheap) for concurrent ingestion.
+type Producer struct {
+	eng  *Engine
+	cur  *batch
+	next int // round-robin shard cursor
+}
+
+// NewProducer returns a new ingestion handle.
+func (e *Engine) NewProducer() *Producer {
+	return &Producer{eng: e}
+}
+
+// Ingest records one event. It appends to the producer's current batch
+// and ships the batch to the next shard when full — the per-packet hot
+// path, checked by hotpath-alloc and pinned to zero allocations.
+func (p *Producer) Ingest(ev Event) {
+	b := p.cur
+	if b == nil {
+		b = p.eng.getBatch()
+		p.cur = b
+	}
+	b.ev[b.n] = ev
+	b.n++
+	if b.n == len(b.ev) {
+		p.cur = nil
+		p.eng.dispatch(b, p.eng.workers[p.next])
+		p.next++
+		if p.next == len(p.eng.workers) {
+			p.next = 0
+		}
+	}
+}
+
+// Flush ships the producer's partial batch, if any. Call it before
+// Rotate for exact epoch boundaries and before abandoning the handle.
+func (p *Producer) Flush() {
+	b := p.cur
+	if b == nil || b.n == 0 {
+		return
+	}
+	p.cur = nil
+	p.eng.dispatch(b, p.eng.workers[p.next])
+	p.next++
+	if p.next == len(p.eng.workers) {
+		p.next = 0
+	}
+}

@@ -1,0 +1,328 @@
+package pipeline
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"github.com/hifind/hifind/internal/core"
+	"github.com/hifind/hifind/internal/netmodel"
+)
+
+const testSeed = 0x42
+
+func testConfig(workers int) Config {
+	return Config{
+		Recorder:   core.TestRecorderConfig(testSeed),
+		Workers:    workers,
+		BatchSize:  64,
+		QueueDepth: 4,
+	}
+}
+
+// pkt deterministically derives the i-th synthetic packet: a mix of
+// inbound SYNs over many sources/destinations with periodic outbound
+// SYN/ACKs so the active-service filter sees traffic too.
+func pkt(i int) netmodel.Packet {
+	// Weyl-ish integer mixing keeps the keys spread without math/rand.
+	h := uint32(i) * 2654435761
+	p := netmodel.Packet{
+		SrcIP:   netmodel.IPv4(0x0a000000 | h&0xffff),
+		DstIP:   netmodel.IPv4(0x81690000 | (h>>16)&0xff),
+		SrcPort: uint16(40000 + i%1000),
+		DstPort: uint16(1 + h%1024),
+		Flags:   netmodel.FlagSYN,
+		Dir:     netmodel.Inbound,
+	}
+	if i%7 == 0 { // server answers: SYN/ACK leaving the edge
+		p.SrcIP, p.DstIP = p.DstIP, p.SrcIP
+		p.SrcPort, p.DstPort = p.DstPort, p.SrcPort
+		p.Flags = netmodel.FlagSYN | netmodel.FlagACK
+		p.Dir = netmodel.Outbound
+	}
+	return p
+}
+
+func mustEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestMergeMatchesSequential is the linearity property at engine level:
+// the merged epoch recorder is byte-identical to one recorder fed the
+// same packets sequentially, for several shard counts, across several
+// epochs (exercising the recorder flip-flop and service propagation).
+func TestMergeMatchesSequential(t *testing.T) {
+	const perEpoch, epochs = 5000, 3
+	for _, workers := range []int{1, 3, 4, 7} {
+		seq, err := core.NewRecorder(core.TestRecorderConfig(testSeed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := mustEngine(t, testConfig(workers))
+		p := e.NewProducer()
+		for ep := 0; ep < epochs; ep++ {
+			for i := ep * perEpoch; i < (ep+1)*perEpoch; i++ {
+				seq.Observe(pkt(i))
+				p.Ingest(Event{Pkt: pkt(i)})
+			}
+			p.Flush()
+			merged, err := e.Rotate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if merged.Packets() != seq.Packets() {
+				t.Fatalf("workers=%d epoch %d: %d packets merged, want %d",
+					workers, ep, merged.Packets(), seq.Packets())
+			}
+			mb, err := merged.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sb, err := seq.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(mb, sb) {
+				t.Fatalf("workers=%d epoch %d: merged state differs from sequential", workers, ep)
+			}
+			if err := e.Recycle(); err != nil {
+				t.Fatal(err)
+			}
+			seq.Reset() // preserves Services, like the engine's flip-flop
+		}
+		if _, err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestServicePropagation pins the cross-epoch recurrence: a service seen
+// only in epoch 0 must be visible in epoch 2's merged recorder on every
+// shard rotation path, or Phase-3 filtering would diverge from
+// sequential once recorders flip-flop.
+func TestServicePropagation(t *testing.T) {
+	e := mustEngine(t, testConfig(3))
+	p := e.NewProducer()
+	server, sport := netmodel.IPv4(0x81690101), uint16(25)
+	p.Ingest(Event{Pkt: netmodel.Packet{
+		SrcIP: server, DstIP: netmodel.IPv4(0x0a000001),
+		SrcPort: sport, DstPort: 40000,
+		Flags: netmodel.FlagSYN | netmodel.FlagACK, Dir: netmodel.Outbound,
+	}})
+	p.Flush()
+	key := netmodel.PackDIPDport(server, sport)
+	for epoch := 0; epoch < 3; epoch++ {
+		merged, err := e.Rotate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !merged.Services.Contains(key) {
+			t.Fatalf("epoch %d: service lost across rotation", epoch)
+		}
+		if err := e.Recycle(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSeedServices covers the restore path: a seeded filter must be
+// visible in the first epoch regardless of which shard records.
+func TestSeedServices(t *testing.T) {
+	e := mustEngine(t, testConfig(4))
+	donor, err := core.NewRecorder(core.TestRecorderConfig(testSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := netmodel.PackDIPDport(netmodel.IPv4(0x81690202), 80)
+	donor.Services.Add(key)
+	if err := e.SeedServices(donor.Services); err != nil {
+		t.Fatal(err)
+	}
+	for epoch := 0; epoch < 2; epoch++ {
+		merged, err := e.Rotate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !merged.Services.Contains(key) {
+			t.Fatalf("epoch %d: seeded service missing", epoch)
+		}
+		if err := e.Recycle(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SeedServices(donor.Services); err == nil {
+		t.Error("SeedServices accepted after Close")
+	}
+}
+
+// TestConcurrentProducersRotateUnderLoad stress-tests the epoch barrier:
+// several producers pump packets while the main goroutine rotates
+// repeatedly. Linearity means no packet may be lost or double-counted
+// across epochs, whatever the interleaving; the run also serves as the
+// -race exercise for the send/rotate paths.
+func TestConcurrentProducersRotateUnderLoad(t *testing.T) {
+	const producers, perProducer = 4, 8000
+	e := mustEngine(t, testConfig(3))
+	var wg sync.WaitGroup
+	for g := 0; g < producers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p := e.NewProducer()
+			for i := 0; i < perProducer; i++ {
+				p.Ingest(Event{Pkt: pkt(g*perProducer + i)})
+			}
+			p.Flush()
+		}(g)
+	}
+	var total int64
+	for r := 0; r < 10; r++ {
+		merged, err := e.Rotate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += merged.Packets()
+		if err := e.Recycle(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	leftover, err := e.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total += leftover.Packets()
+	if want := int64(producers * perProducer); total+e.Shed() != want {
+		t.Fatalf("accounting: %d recorded + %d shed != %d ingested", total, e.Shed(), want)
+	}
+	if e.Shed() != 0 {
+		t.Errorf("blocking policy shed %d events", e.Shed())
+	}
+}
+
+// TestCloseMidStream drives Close while producers are actively
+// ingesting: no deadlock (blocked senders must be released), and every
+// event is either in the returned leftover state or counted as shed —
+// none silently lost.
+func TestCloseMidStream(t *testing.T) {
+	const producers, perProducer = 4, 20000
+	// Tiny queues maximize the chance producers are blocked mid-send
+	// when Close lands.
+	cfg := testConfig(2)
+	cfg.BatchSize = 16
+	cfg.QueueDepth = 1
+	e := mustEngine(t, cfg)
+	var wg sync.WaitGroup
+	started := make(chan struct{}, producers)
+	for g := 0; g < producers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p := e.NewProducer()
+			for i := 0; i < perProducer; i++ {
+				if i == 64 {
+					started <- struct{}{}
+				}
+				p.Ingest(Event{Pkt: pkt(g*perProducer + i)})
+			}
+			p.Flush()
+		}(g)
+	}
+	for g := 0; g < producers; g++ {
+		<-started // every producer is demonstrably mid-stream
+	}
+	leftover, err := e.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait() // producers must terminate even though the engine is gone
+	got := leftover.Packets() + e.Shed()
+	if want := int64(producers * perProducer); got != want {
+		t.Fatalf("accounting: %d recorded+shed != %d ingested", got, want)
+	}
+	if _, err := e.Close(); err == nil {
+		t.Error("second Close succeeded")
+	}
+	if _, err := e.Rotate(); err == nil {
+		t.Error("Rotate succeeded after Close")
+	}
+}
+
+// TestShedAfterClose pins the deterministic part of the Shed path:
+// ingestion into a closed engine is counted, never blocked.
+func TestShedAfterClose(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.Policy = Shed
+	e := mustEngine(t, cfg)
+	p := e.NewProducer()
+	if _, err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		p.Ingest(Event{Pkt: pkt(i)})
+	}
+	p.Flush()
+	if e.Shed() != 200 {
+		t.Fatalf("shed = %d, want 200", e.Shed())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Recorder: core.TestRecorderConfig(testSeed), Workers: -1},
+		{Recorder: core.TestRecorderConfig(testSeed), BatchSize: -1},
+		{Recorder: core.TestRecorderConfig(testSeed), QueueDepth: -2},
+		{Recorder: core.TestRecorderConfig(testSeed), Policy: Policy(9)},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	e := mustEngine(t, Config{Recorder: core.TestRecorderConfig(testSeed)})
+	if e.Workers() < 1 {
+		t.Error("default worker count < 1")
+	}
+	if e.Config().BatchSize != 256 || e.Config().QueueDepth != 4 {
+		t.Errorf("defaults not applied: %+v", e.Config())
+	}
+	if e.MemoryBytes() == 0 {
+		t.Error("memory accounting empty")
+	}
+	if Block.String() != "block" || Shed.String() != "shed" || Policy(9).String() == "" {
+		t.Error("policy names wrong")
+	}
+	if _, err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRotateRequiresRecycle(t *testing.T) {
+	e := mustEngine(t, testConfig(2))
+	if _, err := e.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Rotate(); err == nil {
+		t.Error("second Rotate without Recycle succeeded")
+	}
+	if err := e.Recycle(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Recycle(); err == nil {
+		t.Error("Recycle without Rotate succeeded")
+	}
+	if _, err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package pipeline
+
+import "github.com/hifind/hifind/internal/core"
+
+// worker is one shard: a goroutine consuming batches from its queue
+// into a private recorder. The recorder is accessed only by the worker
+// goroutine between rotations, and only by the rotating/closing
+// goroutine afterwards — ownership transfers through the channel
+// handshake, so no lock guards it.
+type worker struct {
+	eng *Engine
+	ch  chan msg
+	rec *core.Recorder
+}
+
+// run is the shard loop. It exits when the engine's done channel closes
+// and keeps no batch: Close's final drain consumes whatever the loop
+// left behind.
+func (w *worker) run() {
+	defer w.eng.wg.Done()
+	for {
+		select {
+		case m := <-w.ch:
+			w.consume(m)
+		case <-w.eng.done:
+			// Drain what is already queued before exiting, so the common
+			// case leaves nothing for Close's fallback sweep.
+			for {
+				select {
+				case m := <-w.ch:
+					w.consume(m)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// consume processes one queue element.
+func (w *worker) consume(m msg) {
+	if m.b != nil {
+		w.Ingest(m.b)
+		return
+	}
+	// Epoch barrier: everything enqueued before this token is already
+	// recorded. Swap recorders and reply with the closing epoch's.
+	old := w.rec
+	w.rec = m.rot.fresh
+	m.rot.out <- old
+}
+
+// Ingest records every event of a batch into the shard recorder and
+// returns the buffer to the free list — the per-batch hot path (its
+// inner loop is the per-packet one), kept allocation-free: core
+// recording is alloc-free by the sketch invariants, and the buffer is
+// recycled, not dropped.
+func (w *worker) Ingest(b *batch) {
+	ev := b.ev[:b.n]
+	for i := range ev {
+		if ev[i].IsFlow {
+			w.rec.ObserveFlow(ev[i].Flow)
+		} else {
+			w.rec.Observe(ev[i].Pkt)
+		}
+	}
+	w.eng.putBatch(b)
+}

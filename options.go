@@ -24,6 +24,11 @@ type config struct {
 	minPersist         int
 	minSynRatio        float64
 	egress             bool
+	// Parallel-only knobs (NewParallel); New ignores them.
+	workers    int
+	batchSize  int
+	queueDepth int
+	shed       bool
 }
 
 func defaultConfig() config {
@@ -172,6 +177,57 @@ func WithMinSynRatio(r float64) Option {
 			return fmt.Errorf("hifind: SYN ratio %v < 1", r)
 		}
 		c.minSynRatio = r
+		return nil
+	}
+}
+
+// WithWorkers sets the shard count of a NewParallel detector (default
+// runtime.GOMAXPROCS(0)). A sequential Detector ignores it.
+func WithWorkers(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("hifind: workers %d < 1", n)
+		}
+		c.workers = n
+		return nil
+	}
+}
+
+// WithBatchSize sets how many events a parallel producer accumulates
+// before shipping them to a worker (default 256). Larger batches
+// amortize hand-off cost; smaller ones tighten interval boundaries for
+// un-flushed producers. A sequential Detector ignores it.
+func WithBatchSize(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("hifind: batch size %d < 1", n)
+		}
+		c.batchSize = n
+		return nil
+	}
+}
+
+// WithQueueDepth sets how many batches buffer per worker (default 4).
+// A sequential Detector ignores it.
+func WithQueueDepth(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("hifind: queue depth %d < 1", n)
+		}
+		c.queueDepth = n
+		return nil
+	}
+}
+
+// WithShedOnOverload makes parallel producers drop (and count — see
+// Parallel.Shed) batches when a worker queue is full instead of
+// blocking. Use for live capture, where stalling the reader would make
+// the kernel drop the packets anyway; keep the default blocking policy
+// for offline replay, which should be lossless. A sequential Detector
+// ignores it.
+func WithShedOnOverload() Option {
+	return func(c *config) error {
+		c.shed = true
 		return nil
 	}
 }

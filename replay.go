@@ -11,13 +11,29 @@ import (
 	"github.com/hifind/hifind/internal/pcap"
 )
 
+// Replayable is the detector shape the replay functions drive: both the
+// sequential *Detector and the sharded *Parallel satisfy it. The
+// interface is sealed (its observe methods are unexported); it exists
+// so offline replays can switch between the two with one argument.
+type Replayable interface {
+	// Interval returns the configured interval length.
+	Interval() time.Duration
+	// EndInterval closes the current measurement interval and runs
+	// detection.
+	EndInterval() (Result, error)
+
+	observeInternal(pkt netmodel.Packet)
+	observeFlowInternal(fr netmodel.FlowRecord)
+}
+
 // ReplayPcap streams a packet capture — classic libpcap or pcapng, the
-// format is sniffed from the magic bytes — through the detector, closing
-// a measurement interval whenever capture time advances past the
-// detector's interval length, and returns every interval's result.
-// edgeCIDRs describes the monitored network (e.g. "129.105.0.0/16") so
-// packet direction can be recovered from addresses; it must not be empty.
-func ReplayPcap(r io.Reader, edgeCIDRs []string, d *Detector) ([]Result, error) {
+// format is sniffed from the magic bytes — through a sequential or
+// parallel detector, closing a measurement interval whenever capture
+// time advances past the detector's interval length, and returns every
+// interval's result. edgeCIDRs describes the monitored network (e.g.
+// "129.105.0.0/16") so packet direction can be recovered from
+// addresses; it must not be empty.
+func ReplayPcap(r io.Reader, edgeCIDRs []string, d Replayable) ([]Result, error) {
 	edge, err := netmodel.NewEdgeNetwork(edgeCIDRs...)
 	if err != nil {
 		return nil, err
@@ -30,6 +46,7 @@ func ReplayPcap(r io.Reader, edgeCIDRs []string, d *Detector) ([]Result, error) 
 		results       []Result
 		intervalStart time.Time
 		sawPacket     bool
+		interval      = d.Interval()
 	)
 	for {
 		pkt, err := pr.Next()
@@ -43,15 +60,15 @@ func ReplayPcap(r io.Reader, edgeCIDRs []string, d *Detector) ([]Result, error) 
 			intervalStart = pkt.Timestamp
 			sawPacket = true
 		}
-		for pkt.Timestamp.Sub(intervalStart) >= d.interval {
+		for pkt.Timestamp.Sub(intervalStart) >= interval {
 			res, err := d.EndInterval()
 			if err != nil {
 				return results, err
 			}
 			results = append(results, res)
-			intervalStart = intervalStart.Add(d.interval)
+			intervalStart = intervalStart.Add(interval)
 		}
-		d.det.Observe(pkt)
+		d.observeInternal(pkt)
 	}
 	if sawPacket {
 		res, err := d.EndInterval()
@@ -65,11 +82,12 @@ func ReplayPcap(r io.Reader, edgeCIDRs []string, d *Detector) ([]Result, error) 
 
 // ReplayNetFlow streams a length-delimited NetFlow v5 export file (as
 // written by cmd/tracegen -format netflow, or any exporter whose UDP
-// datagrams were length-prefixed into a file) through the detector. The
-// paper's own evaluation consumed exactly this input: "the router exports
-// netflow data continuously which is recorded with sketches of HiFIND on
-// the fly" (§5.1). Interval boundaries follow the flows' end times.
-func ReplayNetFlow(r io.Reader, edgeCIDRs []string, d *Detector) ([]Result, error) {
+// datagrams were length-prefixed into a file) through a sequential or
+// parallel detector. The paper's own evaluation consumed exactly this
+// input: "the router exports netflow data continuously which is
+// recorded with sketches of HiFIND on the fly" (§5.1). Interval
+// boundaries follow the flows' end times.
+func ReplayNetFlow(r io.Reader, edgeCIDRs []string, d Replayable) ([]Result, error) {
 	edge, err := netmodel.NewEdgeNetwork(edgeCIDRs...)
 	if err != nil {
 		return nil, err
@@ -79,6 +97,7 @@ func ReplayNetFlow(r io.Reader, edgeCIDRs []string, d *Detector) ([]Result, erro
 		results       []Result
 		intervalStart time.Time
 		sawFlow       bool
+		interval      = d.Interval()
 	)
 	for {
 		rec, hdr, err := nr.Next()
@@ -96,15 +115,15 @@ func ReplayNetFlow(r io.Reader, edgeCIDRs []string, d *Detector) ([]Result, erro
 			intervalStart = fr.End
 			sawFlow = true
 		}
-		for fr.End.Sub(intervalStart) >= d.interval {
+		for fr.End.Sub(intervalStart) >= interval {
 			res, err := d.EndInterval()
 			if err != nil {
 				return results, err
 			}
 			results = append(results, res)
-			intervalStart = intervalStart.Add(d.interval)
+			intervalStart = intervalStart.Add(interval)
 		}
-		d.det.ObserveFlow(fr)
+		d.observeFlowInternal(fr)
 	}
 	if sawFlow {
 		res, err := d.EndInterval()
