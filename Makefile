@@ -2,7 +2,7 @@ GO ?= go
 
 # Default target: everything CI runs.
 .PHONY: check
-check: build vet lint test race
+check: build vet lint test race smoke
 
 .PHONY: build
 build:
@@ -36,6 +36,13 @@ FUZZTIME ?= 10s
 fuzz-short:
 	$(GO) test -fuzz FuzzReadPacket -fuzztime $(FUZZTIME) ./internal/pcap
 	$(GO) test -fuzz FuzzInference -fuzztime $(FUZZTIME) ./internal/revsketch
+
+# End-to-end telemetry smoke test: replays a small synthetic trace with
+# the -http endpoints up, checks /metrics and /healthz, and requires a
+# clean exit on SIGINT.
+.PHONY: smoke
+smoke:
+	./ci/smoke.sh
 
 .PHONY: bench
 bench:

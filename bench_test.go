@@ -13,8 +13,10 @@ package hifind_test
 import (
 	"fmt"
 	"math/rand"
+	"net/netip"
 	"testing"
 
+	hifind "github.com/hifind/hifind"
 	"github.com/hifind/hifind/internal/baseline/pcf"
 	"github.com/hifind/hifind/internal/core"
 	"github.com/hifind/hifind/internal/experiments"
@@ -25,6 +27,7 @@ import (
 	"github.com/hifind/hifind/internal/revsketch"
 	"github.com/hifind/hifind/internal/sketch"
 	"github.com/hifind/hifind/internal/sketch2d"
+	"github.com/hifind/hifind/internal/telemetry"
 	"github.com/hifind/hifind/internal/timeseries"
 	"github.com/hifind/hifind/internal/trace"
 )
@@ -537,5 +540,39 @@ func BenchmarkCheckpointRoundTrip(b *testing.B) {
 		if err := det.RestoreState(state); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkObserveInstrumented measures the facade's per-packet cost
+// with a live telemetry registry side by side with the bare detector.
+// The instrumented delta is one nil-check-guarded atomic increment per
+// packet; BENCH_telemetry.json records the engine-level overhead and
+// TestInstrumentedObserveAllocFree pins the allocation count at zero.
+func BenchmarkObserveInstrumented(b *testing.B) {
+	src := netip.MustParseAddr("8.8.8.8")
+	dst := netip.MustParseAddr("129.105.1.1")
+	for _, instrumented := range []bool{false, true} {
+		name := "uninstrumented"
+		opts := []hifind.Option{hifind.WithCompactSketches()}
+		if instrumented {
+			name = "instrumented"
+			opts = append(opts, hifind.WithTelemetry(telemetry.NewRegistry()))
+		}
+		b.Run(name, func(b *testing.B) {
+			det, err := hifind.New(opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pkt := hifind.Packet{
+				SrcIP: src, DstIP: dst, SrcPort: 40000, DstPort: 80,
+				SYN: true, Dir: hifind.Inbound,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pkt.SrcPort = uint16(i)
+				det.Observe(pkt)
+			}
+		})
 	}
 }

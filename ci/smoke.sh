@@ -1,0 +1,101 @@
+#!/bin/sh
+# Smoke test for the telemetry subsystem: generate a small synthetic
+# trace, run cmd/hifind over it with the HTTP endpoints up, and check
+# that /metrics exposes the ingestion counters and /healthz reports ok.
+# Finishes by interrupting the process and requiring a clean exit, which
+# exercises the graceful-shutdown path end to end.
+#
+# Run from the repository root: ./ci/smoke.sh
+set -eu
+
+workdir=$(mktemp -d)
+pid=""
+cleanup() {
+    if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+        kill "$pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fetch() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS "$1"
+    else
+        wget -qO- "$1"
+    fi
+}
+
+echo "smoke: building tracegen and hifind"
+go build -o "$workdir/tracegen" ./cmd/tracegen
+go build -o "$workdir/hifind" ./cmd/hifind
+
+echo "smoke: generating a 5-interval trace"
+"$workdir/tracegen" -preset nu -intervals 5 -out "$workdir/smoke.pcap" >/dev/null
+
+# Port 0 lets the kernel pick a free port; hifind prints the bound
+# address on stderr as "telemetry on http://ADDR/metrics".
+"$workdir/hifind" -pcap "$workdir/smoke.pcap" -edge 129.105.0.0/16 \
+    -http 127.0.0.1:0 -linger >"$workdir/stdout.log" 2>"$workdir/stderr.log" &
+pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's|^telemetry on http://\([^/]*\)/metrics$|\1|p' "$workdir/stderr.log")
+    [ -n "$addr" ] && break
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "smoke: hifind exited before serving telemetry" >&2
+        cat "$workdir/stderr.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "smoke: telemetry address never appeared on stderr" >&2
+    exit 1
+fi
+echo "smoke: hifind serving on $addr"
+
+# Wait for the replay to finish (-linger keeps serving afterwards) so
+# the counters have their final values.
+for _ in $(seq 1 100); do
+    grep -q "intervals analyzed" "$workdir/stdout.log" && break
+    sleep 0.1
+done
+
+metrics=$(fetch "http://$addr/metrics")
+echo "$metrics" | grep -q '^hifind_packets_observed_total [1-9]' || {
+    echo "smoke: /metrics missing a nonzero hifind_packets_observed_total" >&2
+    echo "$metrics" | head -40 >&2
+    exit 1
+}
+# A 5-interval trace yields 5 full intervals plus a trailing partial.
+echo "$metrics" | grep -q '^hifind_intervals_total [1-9]' || {
+    echo "smoke: /metrics recorded no completed intervals" >&2
+    echo "$metrics" | grep '^hifind_' >&2
+    exit 1
+}
+
+health=$(fetch "http://$addr/healthz")
+echo "$health" | grep -q '"status": *"ok"' || {
+    echo "smoke: /healthz not ok: $health" >&2
+    exit 1
+}
+
+fetch "http://$addr/livez" | grep -q ok || {
+    echo "smoke: /livez failed" >&2
+    exit 1
+}
+
+echo "smoke: interrupting hifind, expecting a clean exit"
+kill -INT "$pid"
+rc=0
+wait "$pid" || rc=$?
+pid=""
+if [ "$rc" -ne 0 ]; then
+    echo "smoke: hifind exited $rc after SIGINT, want 0" >&2
+    cat "$workdir/stderr.log" >&2
+    exit 1
+fi
+
+echo "smoke: ok"

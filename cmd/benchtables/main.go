@@ -27,10 +27,10 @@ func main() {
 func run() error {
 	var (
 		table = flag.String("table", "all",
-			"which artifact to regenerate: 1, 4, 5, 6, 7, 9, f4, mr, val, ma, perf, pipeline, mit, ttd, ablation or all")
+			"which artifact to regenerate: 1, 4, 5, 6, 7, 9, f4, mr, val, ma, perf, pipeline, telemetry, mit, ttd, ablation or all")
 		full     = flag.Bool("full", false, "run at the larger scale")
 		benchout = flag.String("benchout", "",
-			"write the pipeline throughput results as JSON to this file (with -table pipeline or all)")
+			"write the pipeline/telemetry benchmark results as JSON to this file (default BENCH_telemetry.json for -table telemetry)")
 	)
 	flag.Parse()
 	scale := experiments.QuickScale()
@@ -166,6 +166,36 @@ func run() error {
 				return err
 			}
 			fmt.Printf("wrote %s\n", *benchout)
+		}
+	}
+	if want("telemetry") {
+		section("Telemetry overhead — instrumented vs bare recording path")
+		events := 2_000_000
+		if *full {
+			events = 8_000_000
+		}
+		tb, err := experiments.TelemetryOverhead(events)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTelemetry(tb))
+		// -table all leaves JSON emission to the pipeline table; asking
+		// for the telemetry table explicitly always records the numbers.
+		out := ""
+		if *table == "telemetry" {
+			if out = *benchout; out == "" {
+				out = "BENCH_telemetry.json"
+			}
+		}
+		if out != "" {
+			data, err := json.MarshalIndent(tb, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", out)
 		}
 	}
 	if want("ttd") {

@@ -6,25 +6,37 @@
 //	hifind -netflow trace.nf5 -edge 129.105.0.0/16
 //	hifind -listen 127.0.0.1:2055 -edge 129.105.0.0/16   # live UDP NetFlow
 //	hifind -pcap trace.pcap -edge 10.0.0.0/8 -threshold 2 -phases
+//	hifind -pcap trace.pcap -edge 10.0.0.0/8 -http :9090 -linger
 //
 // The capture's own timestamps drive the measurement intervals (one
 // minute by default), so a day-long capture yields 1440 detection rounds
 // exactly as the paper's on-site experiment did.
+//
+// With -http the process serves /metrics (Prometheus text), /healthz,
+// /livez, /debug/vars and /debug/pprof on the given address. With -json
+// detection results are emitted as NDJSON events on stdout instead of
+// the human-readable lines. SIGINT/SIGTERM shut down gracefully: the
+// partial final interval is flushed through detection and the capture
+// or NetFlow source is closed cleanly.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/netip"
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	hifind "github.com/hifind/hifind"
 	"github.com/hifind/hifind/internal/netflow"
 	"github.com/hifind/hifind/internal/netmodel"
+	"github.com/hifind/hifind/internal/telemetry"
 )
 
 // detector is the shape both hifind.Detector and hifind.Parallel offer;
@@ -57,6 +69,9 @@ func run() error {
 		phases    = flag.Bool("phases", false, "print raw and after-classification alerts too")
 		statePath = flag.String("state", "", "checkpoint file: loaded at start if present, saved after every interval (live mode)")
 		workers   = flag.Int("workers", 0, "shard sketch recording across N parallel workers (0 = sequential)")
+		httpAddr  = flag.String("http", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this address (e.g. :9090)")
+		jsonOut   = flag.Bool("json", false, "emit alerts and interval summaries as NDJSON on stdout")
+		linger    = flag.Bool("linger", false, "after an offline replay, keep the -http endpoints up until interrupted")
 	)
 	flag.Parse()
 	inputs := 0
@@ -70,6 +85,9 @@ func run() error {
 		return fmt.Errorf("exactly one of -pcap/-netflow/-listen plus -edge are required")
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	opts := []hifind.Option{
 		hifind.WithInterval(*interval),
 		hifind.WithThresholdPerSecond(*threshold),
@@ -77,6 +95,14 @@ func run() error {
 	}
 	if *compact {
 		opts = append(opts, hifind.WithCompactSketches())
+	}
+	reg := telemetry.NewRegistry()
+	health := telemetry.NewHealth()
+	opts = append(opts, hifind.WithTelemetry(reg))
+	var sink *telemetry.JSONSink
+	if *jsonOut {
+		sink = telemetry.NewJSONSink(os.Stdout)
+		opts = append(opts, hifind.WithAlertSink(sink))
 	}
 	// det is the sequential or sharded engine behind one detector shape;
 	// both satisfy hifind.Replayable and the live-mode interface.
@@ -100,8 +126,18 @@ func run() error {
 		}
 		det = seq
 	}
+	var srv *telemetry.Server
+	if *httpAddr != "" {
+		var err error
+		srv, err = telemetry.Serve(*httpAddr, reg, health)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry on http://%s/metrics\n", srv.Addr())
+	}
 	if *listen != "" {
-		return runLive(det, *listen, strings.Split(*edge, ","), *interval, *statePath)
+		return runLive(ctx, det, *listen, strings.Split(*edge, ","), *interval, *statePath, reg, health)
 	}
 	path := *pcapPath
 	if path == "" {
@@ -112,22 +148,26 @@ func run() error {
 		return err
 	}
 	defer f.Close()
+	// Offline replay has no failure mode a probe could catch before the
+	// process exits; the component exists so /healthz names the source.
+	health.Register("source", func() error { return nil })
 
 	fmt.Printf("HiFIND: %0.1f MB of sketches, %v intervals, threshold %.1f SYN/s\n",
 		float64(det.MemoryBytes())/(1<<20), *interval, *threshold)
 	in := bufio.NewReaderSize(f, 1<<20)
 	var results []hifind.Result
 	if *pcapPath != "" {
-		results, err = hifind.ReplayPcap(in, strings.Split(*edge, ","), det)
+		results, err = hifind.ReplayPcapContext(ctx, in, strings.Split(*edge, ","), det)
 	} else {
-		results, err = hifind.ReplayNetFlow(in, strings.Split(*edge, ","), det)
+		results, err = hifind.ReplayNetFlowContext(ctx, in, strings.Split(*edge, ","), det)
 	}
-	if err != nil {
+	interrupted := errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
 		return err
 	}
 	totalFinal := 0
 	for _, res := range results {
-		if *phases {
+		if *phases && !*jsonOut {
 			for _, a := range res.Raw {
 				fmt.Printf("interval %3d [raw]      %s\n", res.Interval, a)
 			}
@@ -136,19 +176,30 @@ func run() error {
 			}
 		}
 		for _, a := range res.Final {
-			fmt.Printf("interval %3d ALERT %s\n", res.Interval, a)
+			if !*jsonOut {
+				fmt.Printf("interval %3d ALERT %s\n", res.Interval, a)
+			}
 			totalFinal++
 		}
 	}
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "interrupted: partial final interval flushed")
+	}
 	fmt.Printf("%d intervals analyzed, %d final alerts\n", len(results), totalFinal)
+	if *linger && srv != nil && !interrupted {
+		fmt.Fprintln(os.Stderr, "replay done; serving telemetry until interrupted")
+		<-ctx.Done()
+	}
 	return nil
 }
 
 // runLive receives NetFlow v5 over UDP and detects on wall-clock
 // intervals until the process is interrupted. The collector goroutine
 // forwards decoded flows over a channel so the detector stays
-// single-threaded.
-func runLive(det detector, addr string, edgeCIDRs []string, interval time.Duration, statePath string) error {
+// single-threaded. On SIGINT/SIGTERM the final partial interval is
+// flushed through detection before the source closes.
+func runLive(ctx context.Context, det detector, addr string, edgeCIDRs []string,
+	interval time.Duration, statePath string, reg *telemetry.Registry, health *telemetry.Health) error {
 	edge, err := netmodel.NewEdgeNetwork(edgeCIDRs...)
 	if err != nil {
 		return err
@@ -171,18 +222,31 @@ func runLive(det detector, addr string, edgeCIDRs []string, interval time.Durati
 			default: // backpressure: drop rather than block the socket
 			}
 		}
-	})
+	}, netflow.WithTelemetry(reg))
 	if err != nil {
 		return err
 	}
 	defer collector.Close()
+	closed := false
+	health.Register("collector", func() error {
+		if closed {
+			return fmt.Errorf("netflow collector closed")
+		}
+		return nil
+	})
 	fmt.Printf("listening for NetFlow v5 on %s, %v intervals; Ctrl-C to stop\n",
 		collector.Addr(), interval)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
+	report := func(res hifind.Result) {
+		pkts, recs, malformed := collector.Stats()
+		fmt.Printf("interval %d: %d datagrams, %d records, %d malformed, %d alerts\n",
+			res.Interval, pkts, recs, malformed, len(res.Final))
+		for _, a := range res.Final {
+			fmt.Printf("  ALERT %s\n", a)
+		}
+	}
 	for {
 		select {
 		case fr := <-flows:
@@ -200,12 +264,7 @@ func runLive(det detector, addr string, edgeCIDRs []string, interval time.Durati
 			if err != nil {
 				return err
 			}
-			pkts, recs, malformed := collector.Stats()
-			fmt.Printf("interval %d: %d datagrams, %d records, %d malformed, %d alerts\n",
-				res.Interval, pkts, recs, malformed, len(res.Final))
-			for _, a := range res.Final {
-				fmt.Printf("  ALERT %s\n", a)
-			}
+			report(res)
 			if statePath != "" {
 				data, err := det.SaveState()
 				if err != nil {
@@ -215,8 +274,37 @@ func runLive(det detector, addr string, edgeCIDRs []string, interval time.Durati
 					return err
 				}
 			}
-		case <-sig:
+		case <-ctx.Done():
 			fmt.Println("\nshutting down")
+			// Stop the source first so no flow arrives after the final
+			// detection, then flush the partial interval — the tail of
+			// the stream is detected, not dropped.
+			if err := collector.Close(); err != nil {
+				return err
+			}
+			closed = true
+			for {
+				select {
+				case fr := <-flows:
+					det.ObserveFlow(hifind.Flow{
+						SrcIP:   netip.AddrFrom4(fr.SrcIP.Octets()),
+						DstIP:   netip.AddrFrom4(fr.DstIP.Octets()),
+						SrcPort: fr.SrcPort,
+						DstPort: fr.DstPort,
+						Dir:     hifind.Direction(fr.Dir),
+						SYNs:    fr.SYNs,
+						SYNACKs: fr.SYNACKs,
+					})
+					continue
+				default:
+				}
+				break
+			}
+			res, err := det.EndInterval()
+			if err != nil {
+				return err
+			}
+			report(res)
 			if par, ok := det.(*hifind.Parallel); ok {
 				if _, err := par.Close(); err != nil {
 					return err

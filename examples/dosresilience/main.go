@@ -103,9 +103,17 @@ func run() error {
 				scanCaught = true
 			}
 		}
+		// The occupancy diagnostics are the operator-facing version of
+		// "fixed memory": under the spoofed flood the sketches fill up —
+		// visibly, boundedly — instead of growing. Exported as
+		// hifind_sketch_occupancy_ratio when telemetry is attached.
+		occ := res.Diag.OccRSSipDip
+		if res.Diag.OccRSSipDport > occ {
+			occ = res.Diag.OccRSSipDport
+		}
 		fmt.Printf("interval %d:\n", iv)
-		fmt.Printf("  HiFIND: %2d final alerts (scan under flood caught: %v), memory %6.1f MB (fixed)\n",
-			len(res.Final), scanCaught, float64(hif.Recorder().MemoryBytes())/(1<<20))
+		fmt.Printf("  HiFIND: %2d final alerts (scan under flood caught: %v), memory %6.1f MB (fixed), sketch occupancy %4.1f%%\n",
+			len(res.Final), scanCaught, float64(hif.Recorder().MemoryBytes())/(1<<20), 100*occ)
 		fmt.Printf("  TRW:    %d sources tracked, memory %6.1f MB and growing\n",
 			trwDet.TrackedSources(), float64(trwDet.MemoryBytes())/(1<<20))
 		fmt.Printf("  TRW-AC: cache %3.0f%% full, %d scan attempts lost to aliasing\n",

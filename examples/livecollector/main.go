@@ -21,6 +21,7 @@ import (
 	hifind "github.com/hifind/hifind"
 	"github.com/hifind/hifind/internal/netflow"
 	"github.com/hifind/hifind/internal/netmodel"
+	"github.com/hifind/hifind/internal/telemetry"
 	"github.com/hifind/hifind/internal/trace"
 )
 
@@ -32,6 +33,17 @@ func main() {
 }
 
 func run() error {
+	// One registry spans the whole pipeline: detector counters, sketch
+	// occupancy, and the collector's datagram/parse-error/lag series all
+	// land on the same /metrics page while the example runs.
+	reg := telemetry.NewRegistry()
+	srv, err := telemetry.Serve("127.0.0.1:0", reg, nil)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("telemetry on http://%s/metrics\n", srv.Addr())
+
 	det, err := hifind.New(
 		hifind.WithCompactSketches(),
 		// Each 500ms wall-clock interval replays one simulated minute, so
@@ -39,6 +51,7 @@ func run() error {
 		// per wall-clock second (= 60 per interval).
 		hifind.WithInterval(500*time.Millisecond),
 		hifind.WithThresholdPerSecond(120),
+		hifind.WithTelemetry(reg),
 	)
 	if err != nil {
 		return err
@@ -67,7 +80,7 @@ func run() error {
 		}:
 		default: // drop rather than block the socket
 		}
-	})
+	}, netflow.WithTelemetry(reg))
 	if err != nil {
 		return err
 	}
@@ -150,7 +163,10 @@ func run() error {
 			}
 			exportErr = nil // exporter done; drain remaining intervals
 		case <-deadline:
-			fmt.Println("done")
+			snap := reg.Snapshot()
+			fmt.Printf("done: telemetry saw %v datagrams, %v records, %v parse errors\n",
+				snap["netflow_datagrams_total"], snap["netflow_records_total"],
+				snap["netflow_parse_errors_total"])
 			return nil
 		}
 	}

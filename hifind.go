@@ -35,6 +35,7 @@ import (
 
 	"github.com/hifind/hifind/internal/core"
 	"github.com/hifind/hifind/internal/netmodel"
+	"github.com/hifind/hifind/internal/telemetry"
 )
 
 // Direction says which way a packet crossed the monitored edge.
@@ -194,6 +195,8 @@ type Detector struct {
 	rcfg     core.RecorderConfig
 	interval time.Duration
 	dropped  atomic.Int64
+	ins      instruments
+	sink     telemetry.Sink
 }
 
 // New builds a detector with the paper's default configuration (13.2 MB
@@ -210,7 +213,13 @@ func New(opts ...Option) (*Detector, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Detector{det: det, rcfg: rcfg, interval: cfg.interval}, nil
+	return &Detector{
+		det:      det,
+		rcfg:     rcfg,
+		interval: cfg.interval,
+		ins:      newInstruments(cfg.reg),
+		sink:     cfg.sink,
+	}, nil
 }
 
 // Interval returns the configured interval length.
@@ -223,9 +232,11 @@ func (d *Detector) Observe(p Packet) {
 	ip, ok := p.toInternal()
 	if !ok {
 		d.dropped.Add(1)
+		d.ins.dropped.Inc()
 		return
 	}
 	d.det.Observe(ip)
+	d.ins.packets.Inc()
 }
 
 // Flow is a NetFlow-style unidirectional flow summary, the alternative
@@ -266,9 +277,11 @@ func (d *Detector) ObserveFlow(f Flow) {
 	fr, ok := f.toInternal()
 	if !ok {
 		d.dropped.Add(1)
+		d.ins.dropped.Inc()
 		return
 	}
 	d.det.ObserveFlow(fr)
+	d.ins.flows.Inc()
 }
 
 // Dropped returns how many packets were ignored as non-IPv4. Safe to
@@ -276,10 +289,16 @@ func (d *Detector) ObserveFlow(f Flow) {
 func (d *Detector) Dropped() int64 { return d.dropped.Load() }
 
 // observeInternal feeds a pre-converted packet (replay path).
-func (d *Detector) observeInternal(pkt netmodel.Packet) { d.det.Observe(pkt) }
+func (d *Detector) observeInternal(pkt netmodel.Packet) {
+	d.det.Observe(pkt)
+	d.ins.packets.Inc()
+}
 
 // observeFlowInternal feeds a pre-converted flow record (replay path).
-func (d *Detector) observeFlowInternal(fr netmodel.FlowRecord) { d.det.ObserveFlow(fr) }
+func (d *Detector) observeFlowInternal(fr netmodel.FlowRecord) {
+	d.det.ObserveFlow(fr)
+	d.ins.flows.Inc()
+}
 
 // MemoryBytes returns the total sketch memory, which is independent of
 // traffic volume — the basis of HiFIND's DoS resilience.
@@ -292,7 +311,10 @@ func (d *Detector) EndInterval() (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return convertResult(res), nil
+	d.ins.recordInterval(res)
+	out := convertResult(res)
+	emitResult(d.sink, out)
+	return out, nil
 }
 
 // EndIntervalMerged runs detection over the sum of this detector's own
@@ -323,7 +345,10 @@ func (d *Detector) EndIntervalMerged(states ...[]byte) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return convertResult(res), nil
+	d.ins.recordInterval(res)
+	out := convertResult(res)
+	emitResult(d.sink, out)
+	return out, nil
 }
 
 // SaveState serializes the detector's cross-interval state — EWMA
@@ -347,6 +372,7 @@ func (d *Detector) LoadState(state []byte) error {
 type Recorder struct {
 	rec     *core.Recorder
 	dropped atomic.Int64
+	ins     instruments
 }
 
 // NewRecorder builds a recording-only instance. Use the same options as
@@ -363,7 +389,7 @@ func NewRecorder(opts ...Option) (*Recorder, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Recorder{rec: rec}, nil
+	return &Recorder{rec: rec, ins: newInstruments(cfg.reg)}, nil
 }
 
 // Observe records one packet.
@@ -371,9 +397,11 @@ func (r *Recorder) Observe(p Packet) {
 	ip, ok := p.toInternal()
 	if !ok {
 		r.dropped.Add(1)
+		r.ins.dropped.Inc()
 		return
 	}
 	r.rec.Observe(ip)
+	r.ins.packets.Inc()
 }
 
 // Dropped returns how many packets were ignored as non-IPv4. Safe to

@@ -2,6 +2,8 @@ package hifind_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"net/netip"
 	"testing"
@@ -456,5 +458,60 @@ func TestReplayPcapNGAutoDetect(t *testing.T) {
 	}
 	if !found {
 		t.Error("flood in pcapng capture not detected")
+	}
+}
+
+func TestReplayPcapContextCancel(t *testing.T) {
+	// A canceled context must stop the replay promptly AND flush the
+	// partial interval through detection — the graceful-shutdown
+	// contract cmd/hifind relies on. The trace is sized well past the
+	// context-check stride so cancellation triggers mid-replay.
+	cfg := trace.Config{
+		Seed:            6,
+		Start:           time.Date(2005, 5, 10, 0, 0, 0, 0, time.UTC),
+		Interval:        time.Minute,
+		Intervals:       3,
+		InternalPrefix:  0x81690000,
+		Servers:         20,
+		BackgroundFlows: 4000,
+		FailRate:        0.04,
+	}
+	g, err := trace.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := pcap.NewWriter(&buf)
+	if err := g.Stream(w.WritePacket); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	d := newCompact(t)
+	results, err := hifind.ReplayPcapContext(ctx, &buf, []string{"129.105.0.0/16"}, d)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(results) == 0 {
+		t.Fatal("canceled replay must still flush the partial interval")
+	}
+	// An un-canceled context replays to completion with a nil error.
+	d2 := newCompact(t)
+	var buf2 bytes.Buffer
+	w2 := pcap.NewWriter(&buf2)
+	g2, err := trace.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Stream(w2.WritePacket); err != nil {
+		t.Fatal(err)
+	}
+	full, err := hifind.ReplayPcapContext(context.Background(), &buf2, []string{"129.105.0.0/16"}, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) <= len(results) {
+		t.Fatalf("full replay yielded %d intervals, canceled %d — cancellation had no effect", len(full), len(results))
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/hifind/hifind/internal/core"
+	"github.com/hifind/hifind/internal/telemetry"
 )
 
 // Collector is the central aggregation site: it accepts one TCP connection
@@ -23,11 +24,34 @@ type Collector struct {
 	done      chan struct{}
 	wg        sync.WaitGroup
 	closeOnce sync.Once
+
+	// Telemetry handles; all nil (no-op) without WithTelemetry.
+	mReporting *telemetry.Gauge
+	mCombine   *telemetry.Histogram
+	mMissed    *telemetry.Counter
+}
+
+// CollectorOption customizes NewCollector.
+type CollectorOption func(*Collector)
+
+// WithTelemetry registers the aggregation site's aggregate_* metric
+// series on reg: how many routers contributed to the last interval, the
+// latency of merging their payloads, and how many intervals closed at
+// the deadline with routers missing.
+func WithTelemetry(reg *telemetry.Registry) CollectorOption {
+	return func(c *Collector) {
+		c.mReporting = reg.Gauge("aggregate_routers_reporting",
+			"routers whose frames contributed to the last merged interval")
+		c.mCombine = reg.Histogram("aggregate_combine_seconds",
+			"latency of merging per-router payloads (COMBINE)", telemetry.DefBuckets)
+		c.mMissed = reg.Counter("aggregate_missed_deadline_intervals_total",
+			"intervals merged at the deadline with at least one router missing")
+	}
 }
 
 // NewCollector listens on addr ("127.0.0.1:0" for tests) and expects
 // exactly routers connections.
-func NewCollector(cfg core.RecorderConfig, routers int, addr string) (*Collector, error) {
+func NewCollector(cfg core.RecorderConfig, routers int, addr string, opts ...CollectorOption) (*Collector, error) {
 	if routers < 1 {
 		return nil, fmt.Errorf("aggregate: collector for %d routers", routers)
 	}
@@ -42,6 +66,9 @@ func NewCollector(cfg core.RecorderConfig, routers int, addr string) (*Collector
 		frames:  make(chan Frame),
 		errs:    make(chan error, routers),
 		done:    make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(c)
 	}
 	c.wg.Add(1)
 	go c.acceptLoop()
@@ -120,10 +147,11 @@ func (c *Collector) collect(interval int, deadline <-chan time.Time) (*core.Reco
 			seen[f.Router] = true
 			payloads = append(payloads, f.Payload)
 		case <-deadline:
+			c.mMissed.Inc()
 			if len(payloads) == 0 {
 				return nil, 0, fmt.Errorf("aggregate: no router reported interval %d in time", interval)
 			}
-			rec, err := MergePayloads(c.cfg, payloads)
+			rec, err := c.merge(payloads)
 			return rec, len(payloads), err
 		case err := <-c.errs:
 			return nil, 0, err
@@ -131,8 +159,20 @@ func (c *Collector) collect(interval int, deadline <-chan time.Time) (*core.Reco
 			return nil, 0, fmt.Errorf("aggregate: collector closed")
 		}
 	}
-	rec, err := MergePayloads(c.cfg, payloads)
+	rec, err := c.merge(payloads)
 	return rec, len(payloads), err
+}
+
+// merge combines the gathered payloads, recording combine latency and
+// the contributing-router gauge.
+func (c *Collector) merge(payloads [][]byte) (*core.Recorder, error) {
+	start := time.Now()
+	rec, err := MergePayloads(c.cfg, payloads)
+	if err == nil {
+		c.mCombine.Observe(time.Since(start).Seconds())
+		c.mReporting.Set(float64(len(payloads)))
+	}
+	return rec, err
 }
 
 // Close shuts the listener down and waits for all goroutines to exit.

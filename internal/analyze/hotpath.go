@@ -10,27 +10,53 @@ import (
 // hotpathPackages are the sketch-family packages whose per-packet
 // operations carry the paper's line-rate budget (§5.5.2: a handful of
 // memory accesses per packet, nothing else), plus the parallel
-// ingestion engine whose producer/worker Ingest runs once per packet.
+// ingestion engine whose producer/worker Ingest runs once per packet,
+// plus the telemetry metric primitives whose Add/Set/Observe those hot
+// paths may call.
 var hotpathPackages = []string{
 	"internal/sketch",
 	"internal/revsketch",
 	"internal/sketch2d",
 	"internal/bloom",
 	"internal/pipeline",
+	"internal/telemetry",
+}
+
+// telemetryPackage scopes the instrumentation-call check below.
+var telemetryPackage = []string{"internal/telemetry"}
+
+// telemetryHotFuncs are the telemetry methods sanctioned inside hot
+// paths: single atomic operations, allocation-free by construction (and
+// alloc-checked here, since internal/telemetry is a hotpath package).
+// Everything else in the package — registration, exposition, snapshots,
+// sinks — allocates and belongs at setup or rotation time.
+var telemetryHotFuncs = map[string]bool{
+	"Add":     true,
+	"Inc":     true,
+	"Set":     true,
+	"SetMax":  true,
+	"Observe": true,
+	"Value":   true, // atomic load; cheap reads are fine
+	"Count":   true,
+	"Sum":     true,
 }
 
 // hotpathFunc reports whether a function name is part of the UPDATE /
 // ESTIMATE / COMBINE hot-path contract (paper Table 2) or the pipeline's
 // per-packet Ingest. EstimateGrid and friends share the Estimate budget,
-// hence the prefix match.
-func hotpathFunc(name string) bool {
+// hence the prefix match. In internal/telemetry the contract covers the
+// sanctioned instrumentation methods instead.
+func hotpathFunc(pkgPath, name string) bool {
+	if pathMatchesAny(pkgPath, telemetryPackage) {
+		return telemetryHotFuncs[name]
+	}
 	return name == "Update" || name == "Combine" || name == "Ingest" ||
 		strings.HasPrefix(name, "Estimate")
 }
 
 var hotpathAllocAnalyzer = &Analyzer{
 	Name: "hotpath-alloc",
-	Doc:  "forbids heap allocation (make/append/map or slice literals/fmt.Sprint*/string concat) in Update/Estimate/Combine of the sketch family",
+	Doc:  "forbids heap allocation (make/append/map or slice literals/fmt.Sprint*/string concat) and non-hot telemetry calls in Update/Estimate/Combine/Ingest of the sketch family",
 	Run:  runHotpathAlloc,
 }
 
@@ -41,7 +67,7 @@ func runHotpathAlloc(pass *Pass) {
 	info := pass.Pkg.Info
 	inspectFuncBodies(pass.Pkg, func(decl *ast.FuncDecl) {
 		name := decl.Name.Name
-		if !hotpathFunc(name) {
+		if !hotpathFunc(pass.Pkg.Path, name) {
 			return
 		}
 		ast.Inspect(decl.Body, func(n ast.Node) bool {
@@ -61,6 +87,9 @@ func runHotpathAlloc(pass *Pass) {
 						case "Sprintf", "Sprint", "Sprintln":
 							pass.Reportf(e.Pos(), "fmt.%s allocates in hot path %s", fun.Sel.Name, name)
 						}
+					}
+					if callee, ok := telemetryCallee(info, fun); ok && !telemetryHotFuncs[callee] {
+						pass.Reportf(e.Pos(), "telemetry.%s is not allocation-free; only Add/Inc/Set/SetMax/Observe-style metric ops belong in hot path %s — register metrics at construction time", callee, name)
 					}
 				}
 			case *ast.CompositeLit:
@@ -111,4 +140,25 @@ func pkgOf(info *types.Info, sel *ast.SelectorExpr) string {
 		return ""
 	}
 	return pn.Imported().Path()
+}
+
+// telemetryCallee resolves a selector call to a function or method
+// defined in internal/telemetry, reporting its name. Covers both method
+// calls on telemetry types (counter.Add) and package-qualified calls
+// (telemetry.NewRegistry), however the package was imported.
+func telemetryCallee(info *types.Info, sel *ast.SelectorExpr) (string, bool) {
+	if s, ok := info.Selections[sel]; ok {
+		fn, ok := s.Obj().(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return "", false
+		}
+		if !pathMatchesAny(fn.Pkg().Path(), telemetryPackage) {
+			return "", false
+		}
+		return fn.Name(), true
+	}
+	if pathMatchesAny(pkgOf(info, sel), telemetryPackage) {
+		return sel.Sel.Name, true
+	}
+	return "", false
 }

@@ -4,6 +4,8 @@
 // and teardown allocate freely.
 package pipeline
 
+import "github.com/hifind/hifind/internal/telemetry"
+
 type event struct {
 	key uint64
 }
@@ -43,6 +45,36 @@ func (w *worker) Ingest(b *batch) {
 	_ = seen
 	for i := 0; i < b.n; i++ {
 		w.counts[b.ev[i].key&63]++
+	}
+}
+
+// instrumented mirrors the engine's real wiring: metrics are looked up
+// once at construction and only bumped per packet.
+type instrumented struct {
+	reg     *telemetry.Registry
+	packets *telemetry.Counter
+	hwm     *telemetry.Gauge
+	lat     *telemetry.Histogram
+}
+
+// Ingest may bump pre-registered metrics — Add/SetMax/Observe are
+// single atomic ops — but must never touch the registry: registration
+// takes a lock and allocates the metric and its key.
+func (s *instrumented) Ingest(ev event) {
+	s.packets.Add(1)
+	s.hwm.SetMax(float64(ev.key))
+	s.lat.Observe(float64(ev.key))
+	c := s.reg.Counter("pipeline_late_total", "registered per packet") // want `telemetry.Counter is not allocation-free`
+	c.Inc()
+}
+
+// newInstrumented is construction: registry lookups are sanctioned here.
+func newInstrumented(reg *telemetry.Registry) *instrumented {
+	return &instrumented{
+		reg:     reg,
+		packets: reg.Counter("pipeline_events_total", "events ingested"),
+		hwm:     reg.Gauge("pipeline_key_high_water", "largest key seen"),
+		lat:     reg.Histogram("pipeline_key_seconds", "key as a latency stand-in", nil),
 	}
 }
 

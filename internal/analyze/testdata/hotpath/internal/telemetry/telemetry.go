@@ -1,0 +1,88 @@
+// Package telemetry is a golden-test stand-in for the metric
+// primitives: the sanctioned instrumentation methods (Add, Inc, Set,
+// SetMax, Observe, ...) are themselves under the hotpath-alloc
+// contract, while registration, snapshots and exposition allocate
+// freely. Calling a non-sanctioned telemetry method from inside a
+// sanctioned one is also a finding — the hot surface must not leak
+// into the slow one.
+package telemetry
+
+import "fmt"
+
+type Counter struct {
+	v int64
+}
+
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// Inc delegates to Add, which is itself sanctioned: no finding.
+func (c *Counter) Inc() {
+	c.Add(1)
+}
+
+type Gauge struct {
+	bits uint64
+}
+
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits = uint64(v)
+}
+
+// SetMax keeps a high-water mark; building a debug string per update
+// would defeat the allocation-free contract.
+func (g *Gauge) SetMax(v float64) {
+	if g == nil {
+		return
+	}
+	if uint64(v) > g.bits {
+		g.bits = uint64(v)
+	}
+	_ = fmt.Sprintf("hwm=%v", v) // want `fmt.Sprintf allocates in hot path SetMax`
+}
+
+type Histogram struct {
+	bounds  []float64
+	buckets []int64
+}
+
+// Observe scans preallocated buckets; growing them per observation is
+// the classic way instrumentation reintroduces per-packet allocation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	for i, b := range h.bounds {
+		if v <= b {
+			h.buckets[i]++
+			return
+		}
+	}
+	h.buckets = append(h.buckets, 1) // want `append allocates in hot path Observe`
+}
+
+// snapshot is exposition-side: it allocates freely and is outside the
+// contract...
+func (h *Histogram) snapshot() map[int]int64 {
+	out := make(map[int]int64, len(h.buckets))
+	for i, b := range h.buckets {
+		out[i] = b
+	}
+	return out
+}
+
+// ...which is exactly why a sanctioned method must not call it.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for _, c := range h.snapshot() { // want `telemetry.snapshot is not allocation-free`
+		n += c
+	}
+	return n
+}

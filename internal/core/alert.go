@@ -117,4 +117,25 @@ type IntervalResult struct {
 	Final    []Alert
 	// DetectionSeconds is the wall time the analysis took (paper §5.5.3).
 	DetectionSeconds float64
+	// Diag carries per-interval observability sampled before the
+	// recorder reset — the telemetry layer cannot read the sketches
+	// afterwards.
+	Diag DiagStats
+}
+
+// DiagStats is the per-interval health snapshot of the detection data
+// structures: how many candidate keys each inference step surfaced and
+// how saturated each sketch ran. Occupancies are fractions of nonzero
+// counters; candidate counts are pre-verification inference outputs.
+type DiagStats struct {
+	FloodCandidates  int // RS({DIP,Dport}) step-1 keys
+	PairCandidates   int // RS({SIP,DIP}) step-2 keys
+	SourceCandidates int // RS({SIP,Dport}) step-3 keys
+
+	OccRSSipDport  float64
+	OccRSDipDport  float64
+	OccRSSipDip    float64
+	OccVerSipDport float64
+	OccVerDipDport float64
+	OccVerSipDip   float64
 }

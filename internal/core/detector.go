@@ -249,6 +249,13 @@ func (d *Detector) EndIntervalWith(rec *Recorder) (IntervalResult, error) {
 		}
 		res.Interval = d.interval
 	}
+	// Sample structure saturation before the reset wipes it.
+	res.Diag.OccRSSipDport = rec.RSSipDport.Occupancy()
+	res.Diag.OccRSDipDport = rec.RSDipDport.Occupancy()
+	res.Diag.OccRSSipDip = rec.RSSipDip.Occupancy()
+	res.Diag.OccVerSipDport = rec.VerSipDport.Occupancy()
+	res.Diag.OccVerDipDport = rec.VerDipDport.Occupancy()
+	res.Diag.OccVerSipDip = rec.VerSipDip.Occupancy()
 	rec.Reset()
 	if rec != d.rec {
 		d.rec.Reset()
@@ -295,6 +302,7 @@ func (d *Detector) detect(rec *Recorder, g errGrids) (IntervalResult, error) {
 	if err != nil {
 		return res, err
 	}
+	res.Diag.FloodCandidates = len(floodKeys)
 	floodingDIPs := make(map[netmodel.IPv4]bool, len(floodKeys))
 	type floodCand struct {
 		dip  netmodel.IPv4
@@ -316,6 +324,7 @@ func (d *Detector) detect(rec *Recorder, g errGrids) (IntervalResult, error) {
 	if err != nil {
 		return res, err
 	}
+	res.Diag.PairCandidates = len(pairKeys)
 	floodingSIPs := make(map[netmodel.IPv4]bool)
 	attackerOf := make(map[netmodel.IPv4]netmodel.IPv4) // flooding DIP → identified SIP
 	type vscanCand struct {
@@ -342,6 +351,7 @@ func (d *Detector) detect(rec *Recorder, g errGrids) (IntervalResult, error) {
 	if err != nil {
 		return res, err
 	}
+	res.Diag.SourceCandidates = len(srcKeys)
 	type hscanCand struct {
 		sip  netmodel.IPv4
 		port uint16

@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
+
+	"github.com/hifind/hifind/internal/telemetry"
 )
 
 // Collector receives NetFlow v5 export datagrams over UDP — the transport
@@ -28,11 +31,39 @@ type Collector struct {
 	packets   int64
 	records   int64
 	malformed int64
+
+	// Telemetry handles; all nil (no-op) without WithTelemetry.
+	mDatagrams *telemetry.Counter
+	mRecords   *telemetry.Counter
+	mParseErrs *telemetry.Counter
+	mLag       *telemetry.Gauge
+}
+
+// CollectorOption customizes Listen.
+type CollectorOption func(*Collector)
+
+// WithTelemetry registers the collector's netflow_* metric series on
+// reg: datagrams received, records decoded, parse errors, and collector
+// lag (local wall clock minus the exporter's header timestamp, in
+// seconds — how far behind the router's export stream the collector
+// runs).
+func WithTelemetry(reg *telemetry.Registry) CollectorOption {
+	return func(c *Collector) {
+		c.mDatagrams = reg.Counter("netflow_datagrams_total",
+			"NetFlow v5 export datagrams received")
+		c.mRecords = reg.Counter("netflow_records_total",
+			"flow records decoded from export datagrams")
+		c.mParseErrs = reg.Counter("netflow_parse_errors_total",
+			"datagrams dropped as malformed (truncated, bad version, short records)")
+		c.mLag = reg.Gauge("netflow_collector_lag_seconds",
+			"local receive time minus exporter header timestamp")
+	}
 }
 
 // Listen binds a UDP socket (addr like "127.0.0.1:2055"; use port 0 for
-// tests) and starts receiving.
-func Listen(addr string, handler func(Record, Header)) (*Collector, error) {
+// tests) and starts receiving. Options (such as WithTelemetry) apply
+// before the first datagram is read.
+func Listen(addr string, handler func(Record, Header), opts ...CollectorOption) (*Collector, error) {
 	if handler == nil {
 		return nil, fmt.Errorf("netflow: nil handler")
 	}
@@ -45,6 +76,9 @@ func Listen(addr string, handler func(Record, Header)) (*Collector, error) {
 		return nil, fmt.Errorf("netflow: listen %s: %w", addr, err)
 	}
 	c := &Collector{conn: conn, handler: handler, done: make(chan struct{})}
+	for _, o := range opts {
+		o(c)
+	}
 	c.wg.Add(1)
 	go c.receiveLoop()
 	return c, nil
@@ -72,13 +106,19 @@ func (c *Collector) receiveLoop() {
 		hdr, records, err := Unmarshal(buf[:n])
 		c.mu.Lock()
 		c.packets++
+		c.mDatagrams.Inc()
 		if err != nil {
 			c.malformed++
+			c.mParseErrs.Inc()
 			c.mu.Unlock()
 			continue
 		}
 		c.records += int64(len(records))
+		c.mRecords.Add(int64(len(records)))
 		c.mu.Unlock()
+		if c.mLag != nil && hdr.UnixSecs != 0 {
+			c.mLag.Set(time.Since(time.Unix(int64(hdr.UnixSecs), 0)).Seconds())
+		}
 		for _, r := range records {
 			c.handler(r, hdr)
 		}

@@ -1,11 +1,13 @@
 package netflow
 
 import (
+	"encoding/binary"
 	"sync"
 	"testing"
 	"time"
 
 	"github.com/hifind/hifind/internal/netmodel"
+	"github.com/hifind/hifind/internal/telemetry"
 )
 
 // collectAll starts a collector whose handler appends into a synchronized
@@ -103,6 +105,79 @@ func TestCollectorDropsMalformedDatagrams(t *testing.T) {
 	_, _, malformed := c.Stats()
 	if malformed != 1 {
 		t.Errorf("malformed = %d, want 1", malformed)
+	}
+}
+
+// TestCollectorMalformedDatagramTelemetry feeds every malformed shape
+// Unmarshal rejects — truncated header, wrong version, impossible record
+// count, header claiming more records than the payload carries — and
+// checks that each one increments the parse-error counter while the
+// receive loop keeps decoding valid traffic.
+func TestCollectorMalformedDatagramTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	var mu sync.Mutex
+	var got []Record
+	c, err := Listen("127.0.0.1:0", func(r Record, _ Header) {
+		mu.Lock()
+		got = append(got, r)
+		mu.Unlock()
+	}, WithTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	e, err := NewExporter(c.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	valid, err := Marshal(Header{UnixSecs: 1115700000}, []Record{
+		{SrcAddr: 1, DstAddr: 2, DstPort: 80, Protocol: 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(mutate func([]byte)) []byte {
+		d := append([]byte(nil), valid...)
+		mutate(d)
+		return d
+	}
+	malformed := [][]byte{
+		valid[:HeaderLen-1], // truncated: shorter than the fixed header
+		corrupt(func(d []byte) { binary.BigEndian.PutUint16(d[0:], 9) }),  // version 9, want 5
+		corrupt(func(d []byte) { binary.BigEndian.PutUint16(d[2:], 31) }), // count over the v5 limit
+		corrupt(func(d []byte) { binary.BigEndian.PutUint16(d[2:], 2) }),  // claims 2 records, carries 1
+	}
+	for _, d := range malformed {
+		if _, err := e.conn.Write(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A valid datagram after the garbage proves the loop survived.
+	if _, err := e.conn.Write(valid); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, func() bool {
+		snap := reg.Snapshot()
+		parseErrs, _ := snap["netflow_parse_errors_total"].(int64)
+		records, _ := snap["netflow_records_total"].(int64)
+		return parseErrs == int64(len(malformed)) && records == 1
+	})
+	snap := reg.Snapshot()
+	if n, _ := snap["netflow_datagrams_total"].(int64); n != int64(len(malformed))+1 {
+		t.Errorf("netflow_datagrams_total = %v, want %d", n, len(malformed)+1)
+	}
+	_, _, statMalformed := c.Stats()
+	if statMalformed != int64(len(malformed)) {
+		t.Errorf("Stats malformed = %d, want %d", statMalformed, len(malformed))
+	}
+	mu.Lock()
+	decoded := len(got)
+	mu.Unlock()
+	if decoded != 1 {
+		t.Errorf("decoded %d records after malformed burst, want 1", decoded)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"github.com/hifind/hifind/internal/core"
+	"github.com/hifind/hifind/internal/telemetry"
 )
 
 // The producer→worker hot path must not allocate: Ingest runs once per
@@ -31,6 +32,35 @@ func TestIngestAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("Ingest allocates %v times per event, want 0", allocs)
+	}
+	p.Flush()
+	if _, err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIngestAllocsInstrumented repeats the pin with a live telemetry
+// registry: the engine's instrumentation is per-batch (counter bump and
+// high-water gauge at dispatch), so per-event ingestion stays at zero
+// allocations even when metrics are attached.
+func TestIngestAllocsInstrumented(t *testing.T) {
+	e, err := New(Config{
+		Recorder:   core.TestRecorderConfig(testSeed),
+		Workers:    1,
+		BatchSize:  64,
+		QueueDepth: 8,
+		Telemetry:  telemetry.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := e.NewProducer()
+	ev := Event{Pkt: pkt(1)}
+	allocs := testing.AllocsPerRun(2000, func() {
+		p.Ingest(ev)
+	})
+	if allocs != 0 {
+		t.Errorf("instrumented Ingest allocates %v times per event, want 0", allocs)
 	}
 	p.Flush()
 	if _, err := e.Close(); err != nil {

@@ -34,12 +34,15 @@ package pipeline
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/hifind/hifind/internal/bloom"
 	"github.com/hifind/hifind/internal/core"
 	"github.com/hifind/hifind/internal/netmodel"
+	"github.com/hifind/hifind/internal/telemetry"
 )
 
 // Policy says what a producer does when its target shard queue is full.
@@ -84,6 +87,11 @@ type Config struct {
 	QueueDepth int
 	// Policy picks the backpressure behavior (default Block).
 	Policy Policy
+	// Telemetry, when non-nil, registers the engine's pipeline_* metric
+	// series (shed events, shipped batches, per-worker queue high-water
+	// marks, epoch-barrier latency). Nil costs the hot path nothing: the
+	// metric handles stay nil and their methods are nil-safe no-ops.
+	Telemetry *telemetry.Registry
 }
 
 // withDefaults fills zero fields.
@@ -148,6 +156,11 @@ type Engine struct {
 	wg      sync.WaitGroup
 	shed    atomic.Int64
 
+	// Telemetry handles; all nil when Config.Telemetry was nil.
+	shedEvents *telemetry.Counter
+	batches    *telemetry.Counter
+	barrier    *telemetry.Histogram
+
 	ctl     sync.Mutex // guards every field below
 	closed  bool
 	spare   []*core.Recorder // fresh recorders for the next Rotate
@@ -190,6 +203,15 @@ func New(cfg Config) (*Engine, error) {
 		cfg:  cfg,
 		done: make(chan struct{}),
 	}
+	if reg := cfg.Telemetry; reg != nil {
+		e.shedEvents = reg.Counter("pipeline_shed_events_total",
+			"events dropped by the Shed backpressure policy or by shutdown races")
+		e.batches = reg.Counter("pipeline_batches_total",
+			"batches shipped to shard queues")
+		e.barrier = reg.Histogram("pipeline_epoch_barrier_seconds",
+			"latency of the rotation epoch barrier (token injection to last recorder handed back)",
+			telemetry.DefBuckets)
+	}
 	// Free-list sizing: every batch is either queued (Workers×QueueDepth),
 	// in a worker's hands (Workers), held by a producer, or free. The
 	// slack covers a small fleet of producers; beyond it, getBatch falls
@@ -218,11 +240,17 @@ func New(cfg Config) (*Engine, error) {
 			return nil, fmt.Errorf("pipeline: shard %d spare: %w", i, err)
 		}
 		e.spare[i] = spare
-		e.workers = append(e.workers, &worker{
+		w := &worker{
 			eng: e,
 			ch:  make(chan msg, cfg.QueueDepth),
 			rec: rec,
-		})
+		}
+		if reg := cfg.Telemetry; reg != nil {
+			w.hwm = reg.Gauge("pipeline_queue_depth_high_water",
+				"deepest shard queue backlog observed, in batches",
+				telemetry.Label{Name: "worker", Value: strconv.Itoa(i)})
+		}
+		e.workers = append(e.workers, w)
 	}
 	for _, w := range e.workers {
 		e.wg.Add(1)
@@ -291,6 +319,7 @@ func (e *Engine) Rotate() (*core.Recorder, error) {
 	spare := e.spare
 	e.spare = nil
 	out := make(chan *core.Recorder, len(e.workers))
+	barrierStart := time.Now()
 	// Plain blocking sends are safe: Close cannot proceed past ctl while
 	// we hold it, so workers stay alive and drain their queues.
 	for i, w := range e.workers {
@@ -300,6 +329,7 @@ func (e *Engine) Rotate() (*core.Recorder, error) {
 	for range e.workers {
 		collected = append(collected, <-out)
 	}
+	e.barrier.Observe(time.Since(barrierStart).Seconds())
 	merged := collected[0]
 	if err := merged.Merge(collected[1:]...); err != nil {
 		return nil, fmt.Errorf("pipeline: epoch merge: %w", err)
@@ -421,21 +451,28 @@ func (e *Engine) dispatch(b *batch, w *worker) {
 	if e.closed {
 		e.sendMu.RUnlock()
 		e.shed.Add(int64(b.n))
+		e.shedEvents.Add(int64(b.n))
 		e.putBatch(b)
 		return
 	}
 	if e.cfg.Policy == Shed {
 		select {
 		case w.ch <- msg{b: b}:
+			e.batches.Inc()
+			w.hwm.SetMax(float64(len(w.ch)))
 		default:
 			e.shed.Add(int64(b.n))
+			e.shedEvents.Add(int64(b.n))
 			e.putBatch(b)
 		}
 	} else {
 		select {
 		case w.ch <- msg{b: b}:
+			e.batches.Inc()
+			w.hwm.SetMax(float64(len(w.ch)))
 		case <-e.done:
 			e.shed.Add(int64(b.n))
+			e.shedEvents.Add(int64(b.n))
 			e.putBatch(b)
 		}
 	}

@@ -1,6 +1,9 @@
 package pipeline
 
-import "github.com/hifind/hifind/internal/core"
+import (
+	"github.com/hifind/hifind/internal/core"
+	"github.com/hifind/hifind/internal/telemetry"
+)
 
 // worker is one shard: a goroutine consuming batches from its queue
 // into a private recorder. The recorder is accessed only by the worker
@@ -11,6 +14,9 @@ type worker struct {
 	eng *Engine
 	ch  chan msg
 	rec *core.Recorder
+	// hwm tracks this shard's deepest observed queue backlog; nil (a
+	// no-op) when the engine is uninstrumented.
+	hwm *telemetry.Gauge
 }
 
 // run is the shard loop. It exits when the engine's done channel closes

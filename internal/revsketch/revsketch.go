@@ -230,6 +230,30 @@ func (s *Sketch) Snapshot() [][]int32 {
 // Total returns the sum of all update values.
 func (s *Sketch) Total() int64 { return s.total }
 
+// Occupancy returns the fraction of nonzero counters averaged over all
+// stages — the saturation gauge sampled at rotation by the telemetry
+// layer. High occupancy on a reversible sketch warns that reverse
+// inference will surface many spurious candidate keys.
+func (s *Sketch) Occupancy() float64 {
+	if s == nil {
+		return 0
+	}
+	var nonzero, total int
+	for j := range s.counts {
+		row := s.counts[j]
+		total += len(row)
+		for _, v := range row {
+			if v != 0 {
+				nonzero++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(nonzero) / float64(total)
+}
+
 // Reset zeroes the counters for the next interval, keeping the hashing.
 func (s *Sketch) Reset() {
 	for j := range s.counts {

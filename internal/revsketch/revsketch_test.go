@@ -497,3 +497,24 @@ func TestInferenceDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestOccupancy(t *testing.T) {
+	s := mustNew(t, Params48(), 11)
+	if s.Occupancy() != 0 {
+		t.Fatalf("empty sketch occupancy = %v", s.Occupancy())
+	}
+	s.Update(0xDEAD_BEEF_CAFE, 3)
+	p := s.Params()
+	want := float64(p.Stages) / float64(p.Stages*p.Buckets)
+	if occ := s.Occupancy(); occ != want {
+		t.Fatalf("occupancy = %v, want %v", occ, want)
+	}
+	s.Reset()
+	if s.Occupancy() != 0 {
+		t.Fatalf("occupancy after reset = %v", s.Occupancy())
+	}
+	var nilS *Sketch
+	if nilS.Occupancy() != 0 {
+		t.Fatal("nil sketch occupancy must be 0")
+	}
+}

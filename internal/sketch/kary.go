@@ -130,6 +130,32 @@ func (s *Sketch) Snapshot() [][]int32 {
 // Total returns the sum of all values updated into the sketch.
 func (s *Sketch) Total() int64 { return s.total }
 
+// Occupancy returns the fraction of counters holding a nonzero value,
+// averaged over all stages. Sampled at interval rotation it is the
+// saturation signal the telemetry layer exposes: as occupancy
+// approaches 1 the k-ary estimates lose the sparsity their variance
+// bound assumes, which is exactly the condition a DoS against the
+// monitor itself would induce.
+func (s *Sketch) Occupancy() float64 {
+	if s == nil {
+		return 0
+	}
+	var nonzero, total int
+	for i := range s.counts {
+		row := s.counts[i]
+		total += len(row)
+		for _, v := range row {
+			if v != 0 {
+				nonzero++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(nonzero) / float64(total)
+}
+
 // Reset zeroes the counters for the next measurement interval. The hash
 // functions are kept, so estimates remain comparable across intervals.
 func (s *Sketch) Reset() {

@@ -350,3 +350,24 @@ func TestGridBasics(t *testing.T) {
 		t.Error("empty grid Buckets != 0")
 	}
 }
+
+func TestOccupancy(t *testing.T) {
+	s := mustNew(t, Params{Stages: 2, Buckets: 8}, 9)
+	if s.Occupancy() != 0 {
+		t.Fatalf("empty sketch occupancy = %v", s.Occupancy())
+	}
+	s.Update(0xBEEF, 5)
+	occ := s.Occupancy()
+	// One update touches exactly one bucket per stage: 2 of 16 counters.
+	if occ != 2.0/16 {
+		t.Fatalf("occupancy = %v, want %v", occ, 2.0/16)
+	}
+	s.Reset()
+	if s.Occupancy() != 0 {
+		t.Fatalf("occupancy after reset = %v", s.Occupancy())
+	}
+	var nilS *Sketch
+	if nilS.Occupancy() != 0 {
+		t.Fatal("nil sketch occupancy must be 0")
+	}
+}

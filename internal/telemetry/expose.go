@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes every registered metric in the Prometheus text
+// exposition format (version 0.0.4): one # HELP and # TYPE comment per
+// metric name, then the samples. Metric names are emitted in sorted
+// order and label sets are pre-sorted at registration, so the output is
+// deterministic — the golden test in expose_test.go pins it.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	metrics := r.snapshot()
+	byName := make(map[string][]*metric, len(metrics))
+	names := make([]string, 0, len(metrics))
+	for _, m := range metrics {
+		if _, ok := byName[m.name]; !ok {
+			names = append(names, m.name)
+		}
+		byName[m.name] = append(byName[m.name], m)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		group := byName[name]
+		sort.Slice(group, func(i, j int) bool { return group[i].labels < group[j].labels })
+		first := group[0]
+		if first.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(first.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, first.kind); err != nil {
+			return err
+		}
+		for _, m := range group {
+			if err := writeSamples(w, m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSamples(w io.Writer, m *metric) error {
+	switch m.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", m.name, braced(m.labels), m.ctr.Value())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", m.name, braced(m.labels), formatFloat(m.gauge.Value()))
+		return err
+	default:
+		h := m.hist
+		if h == nil {
+			return nil
+		}
+		cum := h.cumulative()
+		for i, bound := range h.bounds {
+			le := Label{Name: "le", Value: formatFloat(bound)}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				m.name, braced(joinLabels(m.labels, le)), cum[i]); err != nil {
+				return err
+			}
+		}
+		inf := Label{Name: "le", Value: "+Inf"}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			m.name, braced(joinLabels(m.labels, inf)), h.Count()); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+			m.name, braced(m.labels), formatFloat(h.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.name, braced(m.labels), h.Count())
+		return err
+	}
+}
+
+// braced wraps a rendered label string in {} or returns "" for the
+// unlabeled case.
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// joinLabels appends one extra label to an already-rendered set. The
+// `le` label lands last, which Prometheus accepts (label order inside
+// braces is not significant to parsers, only to our golden test).
+func joinLabels(rendered string, l Label) string {
+	extra := l.Name + `="` + escapeLabelValue(l.Value) + `"`
+	if rendered == "" {
+		return extra
+	}
+	return rendered + "," + extra
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Snapshot returns all metric values as a JSON-encodable map in the
+// /debug/vars style: counters as int64, gauges as float64, histograms
+// as {count, sum, buckets}. Labeled series appear under
+// "name{k=\"v\"}" keys.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	for _, m := range r.snapshot() {
+		key := m.name + braced(m.labels)
+		switch m.kind {
+		case kindCounter:
+			out[key] = m.ctr.Value()
+		case kindGauge:
+			out[key] = m.gauge.Value()
+		default:
+			if m.hist == nil {
+				continue
+			}
+			buckets := make(map[string]int64, len(m.hist.bounds))
+			cum := m.hist.cumulative()
+			for i, bound := range m.hist.bounds {
+				buckets[formatFloat(bound)] = cum[i]
+			}
+			out[key] = map[string]any{
+				"count":   m.hist.Count(),
+				"sum":     m.hist.Sum(),
+				"buckets": buckets,
+			}
+		}
+	}
+	return out
+}

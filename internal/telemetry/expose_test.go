@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exact exposition output: metric
+// names sorted, labels sorted within a name, HELP/TYPE emitted once per
+// family, histograms with cumulative _bucket/_sum/_count. Downstream
+// dashboards key on these names, so changes here are breaking.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hifind_packets_observed_total", "packets recorded into the sketches").Add(42)
+	r.Counter("hifind_alerts_total", "final alerts by attack type",
+		Label{Name: "type", Value: "syn-flood"}).Add(2)
+	r.Counter("hifind_alerts_total", "final alerts by attack type",
+		Label{Name: "type", Value: "hscan"}).Add(1)
+	r.Gauge("hifind_sketch_occupancy_ratio", "fraction of nonzero counters",
+		Label{Name: "sketch", Value: "rs_sip_dport"}).Set(0.25)
+	h := r.Histogram("hifind_detection_seconds", "per-interval detection latency", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	const want = `# HELP hifind_alerts_total final alerts by attack type
+# TYPE hifind_alerts_total counter
+hifind_alerts_total{type="hscan"} 1
+hifind_alerts_total{type="syn-flood"} 2
+# HELP hifind_detection_seconds per-interval detection latency
+# TYPE hifind_detection_seconds histogram
+hifind_detection_seconds_bucket{le="0.01"} 1
+hifind_detection_seconds_bucket{le="0.1"} 2
+hifind_detection_seconds_bucket{le="1"} 2
+hifind_detection_seconds_bucket{le="+Inf"} 3
+hifind_detection_seconds_sum 2.055
+hifind_detection_seconds_count 3
+# HELP hifind_packets_observed_total packets recorded into the sketches
+# TYPE hifind_packets_observed_total counter
+hifind_packets_observed_total 42
+# HELP hifind_sketch_occupancy_ratio fraction of nonzero counters
+# TYPE hifind_sketch_occupancy_ratio gauge
+hifind_sketch_occupancy_ratio{sketch="rs_sip_dport"} 0.25
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "", Label{Name: "v", Value: "a\"b\\c\nd"}).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{v="a\"b\\c\nd"} 1` + "\n"
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("escaped sample missing\ngot:\n%s\nwant line:\n%s", b.String(), want)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "").Add(7)
+	r.Gauge("g", "", Label{Name: "k", Value: "v"}).Set(1.5)
+	r.Histogram("h", "", []float64{1}).Observe(0.5)
+	snap := r.Snapshot()
+	if snap["c_total"] != int64(7) {
+		t.Fatalf("counter snapshot: %v", snap["c_total"])
+	}
+	if snap[`g{k="v"}`] != 1.5 {
+		t.Fatalf("gauge snapshot: %v", snap[`g{k="v"}`])
+	}
+	// The whole snapshot must be JSON-encodable for /debug/vars.
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("snapshot not JSON-encodable: %v", err)
+	}
+	hm, ok := snap["h"].(map[string]any)
+	if !ok || hm["count"] != int64(1) {
+		t.Fatalf("histogram snapshot: %v", snap["h"])
+	}
+}

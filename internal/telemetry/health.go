@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+)
+
+// Probe checks one component's readiness. It returns nil when the
+// component is healthy and a descriptive error otherwise. Probes must
+// be safe for concurrent use.
+type Probe func() error
+
+// ProbeResult is the outcome of one component's probe.
+type ProbeResult struct {
+	Component string `json:"component"`
+	OK        bool   `json:"ok"`
+	Error     string `json:"error,omitempty"`
+}
+
+// Health aggregates per-component readiness probes for /healthz. The
+// zero value is ready to use; a nil *Health reports healthy with no
+// components.
+type Health struct {
+	mu     sync.Mutex
+	names  []string
+	probes map[string]Probe
+}
+
+// NewHealth returns an empty probe set.
+func NewHealth() *Health {
+	return &Health{probes: make(map[string]Probe)}
+}
+
+// Register adds (or replaces) a named component probe.
+func (h *Health) Register(name string, probe Probe) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.probes == nil {
+		h.probes = make(map[string]Probe)
+	}
+	if _, ok := h.probes[name]; !ok {
+		h.names = append(h.names, name)
+		sort.Strings(h.names)
+	}
+	h.probes[name] = probe
+}
+
+// Check runs every probe and returns results in component-name order.
+// The second return is true when all components are healthy.
+func (h *Health) Check() ([]ProbeResult, bool) {
+	if h == nil {
+		return nil, true
+	}
+	h.mu.Lock()
+	names := make([]string, len(h.names))
+	copy(names, h.names)
+	probes := make([]Probe, len(names))
+	for i, n := range names {
+		probes[i] = h.probes[n]
+	}
+	h.mu.Unlock()
+
+	results := make([]ProbeResult, len(names))
+	ok := true
+	for i, n := range names {
+		r := ProbeResult{Component: n, OK: true}
+		if err := probes[i](); err != nil {
+			r.OK = false
+			r.Error = err.Error()
+			ok = false
+		}
+		results[i] = r
+	}
+	return results, ok
+}

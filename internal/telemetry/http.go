@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Handler builds the telemetry HTTP mux:
+//
+//	/metrics       Prometheus text exposition
+//	/healthz       readiness: per-component probes, 503 when any fails
+//	/livez         liveness: 200 as long as the process serves HTTP
+//	/debug/vars    expvar-style JSON snapshot of every metric
+//	/debug/pprof/  the standard runtime profiles
+//
+// Either argument may be nil: a nil registry serves empty /metrics and
+// a nil health serves an always-ready /healthz.
+func Handler(reg *Registry, health *Health) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if reg != nil {
+			_ = reg.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		results, ok := health.Check()
+		status := "ok"
+		code := http.StatusOK
+		if !ok {
+			status = "unhealthy"
+			code = http.StatusServiceUnavailable
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status":     status,
+			"components": results,
+		})
+	})
+	mux.HandleFunc("/livez", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if reg == nil {
+			_ = enc.Encode(map[string]any{})
+			return
+		}
+		_ = enc.Encode(reg.Snapshot())
+	})
+	// net/http/pprof registers on http.DefaultServeMux in init(); wire
+	// its handlers onto our private mux instead so importing telemetry
+	// never mutates global state beyond that unavoidable init.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running telemetry HTTP server. Close stops it.
+type Server struct {
+	ln        net.Listener
+	srv       *http.Server
+	closeOnce sync.Once
+	err       error
+}
+
+// Serve binds addr (e.g. ":9090" or "127.0.0.1:0") and serves the
+// telemetry mux until Close. It returns once the listener is bound, so
+// Addr is immediately valid.
+func Serve(addr string, reg *Registry, health *Health) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           Handler(reg, health),
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go func() {
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.err = err
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	return s.ln.Addr().String()
+}
+
+// Close shuts the server down and releases the listener.
+func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		err = s.srv.Close()
+	})
+	return err
+}

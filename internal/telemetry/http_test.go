@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec.Code, rec.Body.String()
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up_total", "").Inc()
+	health := NewHealth()
+	health.Register("collector", func() error { return nil })
+	h := Handler(r, health)
+
+	if code, body := get(t, h, "/metrics"); code != 200 || !strings.Contains(body, "up_total 1") {
+		t.Fatalf("/metrics: code=%d body=%q", code, body)
+	}
+	if code, body := get(t, h, "/healthz"); code != 200 || !strings.Contains(body, `"status":"ok"`) {
+		t.Fatalf("/healthz: code=%d body=%q", code, body)
+	}
+	if code, body := get(t, h, "/livez"); code != 200 || body != "ok\n" {
+		t.Fatalf("/livez: code=%d body=%q", code, body)
+	}
+	code, body := get(t, h, "/debug/vars")
+	if code != 200 {
+		t.Fatalf("/debug/vars: code=%d", code)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if snap["up_total"] != float64(1) {
+		t.Fatalf("/debug/vars missing up_total: %v", snap)
+	}
+	if code, _ := get(t, h, "/debug/pprof/"); code != 200 {
+		t.Fatalf("/debug/pprof/: code=%d", code)
+	}
+}
+
+func TestHealthzUnhealthy(t *testing.T) {
+	health := NewHealth()
+	health.Register("source", func() error { return errors.New("pcap closed") })
+	code, body := get(t, Handler(nil, health), "/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("code = %d, want 503", code)
+	}
+	if !strings.Contains(body, "pcap closed") {
+		t.Fatalf("body missing probe error: %q", body)
+	}
+}
+
+func TestNilArguments(t *testing.T) {
+	h := Handler(nil, nil)
+	if code, _ := get(t, h, "/metrics"); code != 200 {
+		t.Fatal("/metrics with nil registry must serve 200")
+	}
+	if code, _ := get(t, h, "/healthz"); code != 200 {
+		t.Fatal("/healthz with nil health must serve 200")
+	}
+}
+
+func TestServe(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served_total", "").Add(9)
+	s, err := Serve("127.0.0.1:0", r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "served_total 9") {
+		t.Fatalf("served body: %q", body)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestJSONSink(t *testing.T) {
+	var b strings.Builder
+	s := NewJSONSink(&b)
+	s.Emit(Event{Kind: "alert", Fields: map[string]any{"type": "syn-flood", "key": "10.0.0.1:80"}})
+	s.Emit(Event{Kind: "interval", Fields: map[string]any{"alerts": 1}})
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 NDJSON lines, got %d: %q", len(lines), b.String())
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != "alert" || ev.Fields["type"] != "syn-flood" {
+		t.Fatalf("decoded event: %+v", ev)
+	}
+	var multi MultiSink = []Sink{s, nil, s}
+	multi.Emit(Event{Kind: "x"})
+	if got := strings.Count(b.String(), `"kind":"x"`); got != 2 {
+		t.Fatalf("MultiSink delivered %d times, want 2", got)
+	}
+}

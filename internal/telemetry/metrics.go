@@ -1,0 +1,178 @@
+// Package telemetry is a zero-dependency observability subsystem for the
+// HiFIND reproduction: atomic metric primitives, a named registry, a
+// Prometheus text-exposition encoder, component health probes, an HTTP
+// server (/metrics, /healthz, /debug/vars, /debug/pprof), and a
+// structured JSON alert sink.
+//
+// The design constraint that shapes everything here is the paper's
+// line-rate budget (§5.5.2): recording a packet must cost a handful of
+// memory accesses and nothing else. Hot-path instrumentation therefore
+// uses only single atomic operations, and every metric method is safe to
+// call on a nil receiver — an uninstrumented Detector carries nil metric
+// pointers and pays one predictable branch per call site, no allocation,
+// no interface dispatch, no lock.
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64 metric. The zero value is
+// ready to use; a nil *Counter is a no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. Lock-free and allocation-free.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric that can go up and down, stored as raw
+// IEEE-754 bits in a uint64 so Set is a single atomic store. A nil
+// *Gauge is a no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value. Lock-free and allocation-free.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// SetMax raises the gauge to v if v exceeds the current value — a
+// high-water mark. The CAS loop retries only under contention and never
+// allocates.
+func (g *Gauge) SetMax(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Add increments the gauge by delta via a CAS loop.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value (0 on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into cumulative buckets with fixed
+// upper bounds, in the Prometheus style: bucket i counts observations
+// <= bounds[i], and a final implicit +Inf bucket counts everything.
+// Observe is lock-free and allocation-free; a nil *Histogram is a no-op.
+type Histogram struct {
+	bounds  []float64 // sorted ascending, set at construction, immutable
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// newHistogram builds a histogram with the given sorted upper bounds.
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// cumulative returns the cumulative per-bound counts (excluding +Inf,
+// which equals Count). Used by the exposition encoder.
+func (h *Histogram) cumulative() []int64 {
+	out := make([]int64, len(h.bounds))
+	var run int64
+	for i := range h.bounds {
+		run += h.buckets[i].Load()
+		out[i] = run
+	}
+	return out
+}
+
+// DefBuckets are default latency buckets in seconds, spanning the
+// rotation/combine durations seen in the experiments (sub-millisecond
+// merges up to multi-second full-phase detection).
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}

@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Add(3)
+	c.Inc()
+	if got := c.Value(); got != 4 {
+		t.Fatalf("Value = %d, want 4", got)
+	}
+}
+
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var (
+		c *Counter
+		g *Gauge
+		h *Histogram
+	)
+	c.Add(1)
+	c.Inc()
+	g.Set(1)
+	g.SetMax(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil metrics must read as zero")
+	}
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	var g Gauge
+	g.Set(5)
+	g.SetMax(3)
+	if g.Value() != 5 {
+		t.Fatalf("SetMax lowered the gauge: %v", g.Value())
+	}
+	g.SetMax(8)
+	if g.Value() != 8 {
+		t.Fatalf("SetMax did not raise the gauge: %v", g.Value())
+	}
+	g.Add(-2)
+	if g.Value() != 6 {
+		t.Fatalf("Add: got %v, want 6", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 5, 10})
+	for _, v := range []float64{0.5, 1, 3, 7, 100} {
+		h.Observe(v)
+	}
+	cum := h.cumulative()
+	want := []int64{2, 3, 4} // <=1: {0.5,1}; <=5: +{3}; <=10: +{7}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, cum[i], want[i])
+		}
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-111.5) > 1e-9 {
+		t.Fatalf("Sum = %v, want 111.5", h.Sum())
+	}
+}
+
+func TestRegistryIdempotentAndKindMismatch(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help")
+	b := r.Counter("x_total", "help")
+	if a != b {
+		t.Fatal("re-registration must return the same handle")
+	}
+	l1 := r.Counter("labeled_total", "", Label{Name: "t", Value: "a"})
+	l2 := r.Counter("labeled_total", "", Label{Name: "t", Value: "b"})
+	if l1 == l2 {
+		t.Fatal("distinct label values must yield distinct handles")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch must panic")
+		}
+	}()
+	r.Gauge("x_total", "help")
+}
+
+func TestRegistryInvalidName(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "9x", "a-b", "a b", "a.b"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q must panic", bad)
+				}
+			}()
+			r.Counter(bad, "")
+		}()
+	}
+}
+
+func TestHealthCheck(t *testing.T) {
+	h := NewHealth()
+	h.Register("b", func() error { return nil })
+	h.Register("a", func() error { return errors.New("down") })
+	results, ok := h.Check()
+	if ok {
+		t.Fatal("Check must report unhealthy")
+	}
+	if len(results) != 2 || results[0].Component != "a" || results[1].Component != "b" {
+		t.Fatalf("results not in name order: %+v", results)
+	}
+	if results[0].OK || results[0].Error != "down" {
+		t.Fatalf("probe a: %+v", results[0])
+	}
+	h.Register("a", func() error { return nil })
+	if _, ok := h.Check(); !ok {
+		t.Fatal("replaced probe must report healthy")
+	}
+	var nilH *Health
+	if _, ok := nilH.Check(); !ok {
+		t.Fatal("nil Health must report healthy")
+	}
+}
+
+func TestHotPathAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "", DefBuckets)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		g.Set(2)
+		g.SetMax(3)
+		h.Observe(0.004)
+	}); n != 0 {
+		t.Fatalf("hot-path metric ops allocate: %v allocs/op", n)
+	}
+}

@@ -1,0 +1,196 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is one name="value" pair attached to a metric at registration
+// time. Labels are rendered once, when the metric is created, so the
+// hot path never touches them.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// kind discriminates the concrete metric behind a registry entry.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// metric is one registered series: a name, pre-rendered labels, and
+// exactly one of the three value types.
+type metric struct {
+	name   string
+	help   string
+	kind   kind
+	labels string // rendered `k1="v1",k2="v2"`, "" when unlabeled
+	ctr    *Counter
+	gauge  *Gauge
+	hist   *Histogram
+}
+
+// Registry holds named metrics and hands out their atomic handles.
+// Registration takes a mutex; the handles themselves are lock-free.
+// Re-registering the same (name, labels) returns the existing handle,
+// so call sites don't need init-once plumbing. The zero Registry is not
+// usable; call NewRegistry.
+type Registry struct {
+	mu      sync.Mutex
+	byKey   map[string]*metric
+	metrics []*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*metric)}
+}
+
+// Counter registers (or fetches) a counter. Panics if the name is
+// invalid or already registered as a different kind — both are wiring
+// bugs, following the expvar precedent.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	m := r.register(name, help, kindCounter, labels)
+	return m.ctr
+}
+
+// Gauge registers (or fetches) a gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	m := r.register(name, help, kindGauge, labels)
+	return m.gauge
+}
+
+// Histogram registers (or fetches) a histogram with the given bucket
+// upper bounds (sorted ascending; +Inf is implicit). Pass DefBuckets
+// for latency metrics.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	m := r.register(name, help, kindHistogram, labels)
+	if m.hist == nil {
+		m.hist = newHistogram(bounds)
+	}
+	return m.hist
+}
+
+func (r *Registry) register(name, help string, k kind, labels []Label) *metric {
+	if r == nil {
+		panic("telemetry: register on nil Registry")
+	}
+	if !validName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	rendered := renderLabels(labels)
+	key := name + "{" + rendered + "}"
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byKey[key]; ok {
+		if m.kind != k {
+			panic(fmt.Sprintf("telemetry: %s already registered as %s, requested %s", name, m.kind, k))
+		}
+		return m
+	}
+	m := &metric{name: name, help: help, kind: k, labels: rendered}
+	switch k {
+	case kindCounter:
+		m.ctr = &Counter{}
+	case kindGauge:
+		m.gauge = &Gauge{}
+	case kindHistogram:
+		// filled in by Histogram(), which knows the bounds
+	}
+	r.byKey[key] = m
+	r.metrics = append(r.metrics, m)
+	return m
+}
+
+// renderLabels sorts labels by name and renders them to the exposition
+// inner form `k1="v1",k2="v2"`. Values are escaped per the Prometheus
+// text format (backslash, quote, newline).
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	for i, l := range ls {
+		if !validName(l.Name) {
+			panic(fmt.Sprintf("telemetry: invalid label name %q", l.Name))
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// validName reports whether s matches the Prometheus metric/label name
+// charset [a-zA-Z_][a-zA-Z0-9_]*.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// snapshot copies the metric list under the lock so encoders can walk
+// it without holding the registry mutex.
+func (r *Registry) snapshot() []*metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*metric, len(r.metrics))
+	copy(out, r.metrics)
+	return out
+}

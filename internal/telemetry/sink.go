@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one structured occurrence worth surfacing to an operator:
+// an alert, an interval summary, a shutdown. Fields carry the
+// event-specific payload (attack keys, counts, durations).
+type Event struct {
+	Time   time.Time      `json:"time"`
+	Kind   string         `json:"kind"`
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// Sink receives events. Emit must be safe for concurrent use; it runs
+// on the detection path (per interval, never per packet), so modest
+// per-call cost is acceptable.
+type Sink interface {
+	Emit(Event)
+}
+
+// JSONSink writes each event as one JSON line (NDJSON) to w. It
+// replaces the printf-style reporting in cmd/hifind when -json is set.
+type JSONSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewJSONSink returns a sink writing NDJSON to w.
+func NewJSONSink(w io.Writer) *JSONSink {
+	return &JSONSink{w: w}
+}
+
+// Emit writes the event; encoding errors are dropped because the sink
+// runs on the detection path where there is no one to return them to.
+func (s *JSONSink) Emit(ev Event) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	enc := json.NewEncoder(s.w)
+	_ = enc.Encode(ev)
+}
+
+// MultiSink fans one event out to several sinks.
+type MultiSink []Sink
+
+// Emit delivers ev to every sink in order.
+func (m MultiSink) Emit(ev Event) {
+	for _, s := range m {
+		if s != nil {
+			s.Emit(ev)
+		}
+	}
+}

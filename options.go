@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/hifind/hifind/internal/core"
+	"github.com/hifind/hifind/internal/telemetry"
 )
 
 // config carries everything an option can set.
@@ -29,6 +30,9 @@ type config struct {
 	batchSize  int
 	queueDepth int
 	shed       bool
+	// Observability (nil means uninstrumented — zero hot-path cost).
+	reg  *telemetry.Registry
+	sink telemetry.Sink
 }
 
 func defaultConfig() config {
@@ -228,6 +232,35 @@ func WithQueueDepth(n int) Option {
 func WithShedOnOverload() Option {
 	return func(c *config) error {
 		c.shed = true
+		return nil
+	}
+}
+
+// WithTelemetry attaches a metrics registry. The detector registers its
+// hifind_* series (and a Parallel its pipeline_* series) on it and keeps
+// them current: packet/flow counters on the hot path, rotation duration,
+// alert counts by type, sketch occupancy and inference candidate gauges
+// at each interval end. Without this option the hot path carries nil
+// metric handles and pays only a dead branch per call site.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(c *config) error {
+		if reg == nil {
+			return fmt.Errorf("hifind: nil telemetry registry")
+		}
+		c.reg = reg
+		return nil
+	}
+}
+
+// WithAlertSink routes structured detection events into sink: one
+// "alert" event per final alert and one "interval" summary per rotation.
+// Replaces printf-style reporting in operational deployments.
+func WithAlertSink(sink telemetry.Sink) Option {
+	return func(c *config) error {
+		if sink == nil {
+			return fmt.Errorf("hifind: nil alert sink")
+		}
+		c.sink = sink
 		return nil
 	}
 }

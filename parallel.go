@@ -8,6 +8,7 @@ import (
 	"github.com/hifind/hifind/internal/core"
 	"github.com/hifind/hifind/internal/netmodel"
 	"github.com/hifind/hifind/internal/pipeline"
+	"github.com/hifind/hifind/internal/telemetry"
 )
 
 // Parallel is a HiFIND instance whose recording stage is sharded across
@@ -33,6 +34,8 @@ type Parallel struct {
 	eng      *pipeline.Engine
 	main     *pipeline.Producer
 	dropped  atomic.Int64
+	ins      instruments
+	sink     telemetry.Sink
 }
 
 // NewParallel builds a sharded detector. Worker count defaults to
@@ -63,11 +66,19 @@ func NewParallel(opts ...Option) (*Parallel, error) {
 		BatchSize:  cfg.batchSize,
 		QueueDepth: cfg.queueDepth,
 		Policy:     policy,
+		Telemetry:  cfg.reg,
 	})
 	if err != nil {
 		return nil, err
 	}
-	p := &Parallel{det: det, rcfg: rcfg, interval: cfg.interval, eng: eng}
+	p := &Parallel{
+		det:      det,
+		rcfg:     rcfg,
+		interval: cfg.interval,
+		eng:      eng,
+		ins:      newInstruments(cfg.reg),
+		sink:     cfg.sink,
+	}
 	p.main = eng.NewProducer()
 	return p, nil
 }
@@ -84,9 +95,11 @@ func (p *Parallel) Observe(pkt Packet) {
 	ip, ok := pkt.toInternal()
 	if !ok {
 		p.dropped.Add(1)
+		p.ins.dropped.Inc()
 		return
 	}
 	p.main.Ingest(pipeline.Event{Pkt: ip})
+	p.ins.packets.Inc()
 }
 
 // ObserveFlow records one flow summary through the default producer.
@@ -95,19 +108,23 @@ func (p *Parallel) ObserveFlow(f Flow) {
 	fr, ok := f.toInternal()
 	if !ok {
 		p.dropped.Add(1)
+		p.ins.dropped.Inc()
 		return
 	}
 	p.main.Ingest(pipeline.Event{Flow: fr, IsFlow: true})
+	p.ins.flows.Inc()
 }
 
 // observeInternal feeds a pre-converted packet (replay path).
 func (p *Parallel) observeInternal(pkt netmodel.Packet) {
 	p.main.Ingest(pipeline.Event{Pkt: pkt})
+	p.ins.packets.Inc()
 }
 
 // observeFlowInternal feeds a pre-converted flow record (replay path).
 func (p *Parallel) observeFlowInternal(fr netmodel.FlowRecord) {
 	p.main.Ingest(pipeline.Event{Flow: fr, IsFlow: true})
+	p.ins.flows.Inc()
 }
 
 // Dropped returns how many packets were ignored as non-IPv4, summed
@@ -153,7 +170,10 @@ func (p *Parallel) EndInterval() (Result, error) {
 	if err := p.eng.Recycle(); err != nil {
 		return Result{}, err
 	}
-	return convertResult(res), nil
+	p.ins.recordInterval(res)
+	out := convertResult(res)
+	emitResult(p.sink, out)
+	return out, nil
 }
 
 // SaveState serializes the cross-interval state exactly like
@@ -193,7 +213,10 @@ func (p *Parallel) Close() (Result, error) {
 	if err := p.det.Recorder().Services.Union(leftover.Services); err != nil {
 		return Result{}, fmt.Errorf("hifind: parallel services: %w", err)
 	}
-	return convertResult(res), nil
+	p.ins.recordInterval(res)
+	out := convertResult(res)
+	emitResult(p.sink, out)
+	return out, nil
 }
 
 // Producer is an ingestion handle for one feeding goroutine of a
@@ -216,9 +239,11 @@ func (pr *Producer) Observe(pkt Packet) {
 	ip, ok := pkt.toInternal()
 	if !ok {
 		pr.par.dropped.Add(1)
+		pr.par.ins.dropped.Inc()
 		return
 	}
 	pr.prod.Ingest(pipeline.Event{Pkt: ip})
+	pr.par.ins.packets.Inc()
 }
 
 // ObserveFlow records one flow summary.
@@ -226,9 +251,11 @@ func (pr *Producer) ObserveFlow(f Flow) {
 	fr, ok := f.toInternal()
 	if !ok {
 		pr.par.dropped.Add(1)
+		pr.par.ins.dropped.Inc()
 		return
 	}
 	pr.prod.Ingest(pipeline.Event{Flow: fr, IsFlow: true})
+	pr.par.ins.flows.Inc()
 }
 
 // Flush ships the handle's partial batch to the workers.

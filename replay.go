@@ -1,6 +1,7 @@
 package hifind
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -10,6 +11,11 @@ import (
 	"github.com/hifind/hifind/internal/netmodel"
 	"github.com/hifind/hifind/internal/pcap"
 )
+
+// ctxCheckStride is how many replayed events pass between context
+// checks — frequent enough that an interrupt lands within microseconds,
+// rare enough that the check never shows up in a profile.
+const ctxCheckStride = 4096
 
 // Replayable is the detector shape the replay functions drive: both the
 // sequential *Detector and the sharded *Parallel satisfy it. The
@@ -34,6 +40,15 @@ type Replayable interface {
 // "129.105.0.0/16") so packet direction can be recovered from
 // addresses; it must not be empty.
 func ReplayPcap(r io.Reader, edgeCIDRs []string, d Replayable) ([]Result, error) {
+	return ReplayPcapContext(context.Background(), r, edgeCIDRs, d)
+}
+
+// ReplayPcapContext is ReplayPcap with cancellation: when ctx is
+// canceled mid-trace the replay stops promptly, closes the current
+// partial interval so its traffic still reaches detection (nothing
+// observed is lost), and returns the results gathered so far together
+// with ctx.Err(). cmd/hifind uses this for SIGINT/SIGTERM shutdown.
+func ReplayPcapContext(ctx context.Context, r io.Reader, edgeCIDRs []string, d Replayable) ([]Result, error) {
 	edge, err := netmodel.NewEdgeNetwork(edgeCIDRs...)
 	if err != nil {
 		return nil, err
@@ -47,8 +62,13 @@ func ReplayPcap(r io.Reader, edgeCIDRs []string, d Replayable) ([]Result, error)
 		intervalStart time.Time
 		sawPacket     bool
 		interval      = d.Interval()
+		n             int
 	)
 	for {
+		n++
+		if n%ctxCheckStride == 0 && ctx.Err() != nil {
+			return flushPartial(results, sawPacket, d, ctx)
+		}
 		pkt, err := pr.Next()
 		if errors.Is(err, io.EOF) {
 			break
@@ -80,6 +100,19 @@ func ReplayPcap(r io.Reader, edgeCIDRs []string, d Replayable) ([]Result, error)
 	return results, nil
 }
 
+// flushPartial closes the in-progress interval on cancellation so the
+// tail of the trace is detected, not dropped, then reports ctx.Err().
+func flushPartial(results []Result, saw bool, d Replayable, ctx context.Context) ([]Result, error) {
+	if saw {
+		res, err := d.EndInterval()
+		if err != nil {
+			return results, err
+		}
+		results = append(results, res)
+	}
+	return results, ctx.Err()
+}
+
 // ReplayNetFlow streams a length-delimited NetFlow v5 export file (as
 // written by cmd/tracegen -format netflow, or any exporter whose UDP
 // datagrams were length-prefixed into a file) through a sequential or
@@ -88,6 +121,14 @@ func ReplayPcap(r io.Reader, edgeCIDRs []string, d Replayable) ([]Result, error)
 // recorded with sketches of HiFIND on the fly" (§5.1). Interval
 // boundaries follow the flows' end times.
 func ReplayNetFlow(r io.Reader, edgeCIDRs []string, d Replayable) ([]Result, error) {
+	return ReplayNetFlowContext(context.Background(), r, edgeCIDRs, d)
+}
+
+// ReplayNetFlowContext is ReplayNetFlow with cancellation, with the
+// same contract as ReplayPcapContext: a canceled context stops the
+// replay, flushes the partial interval through detection, and returns
+// the accumulated results alongside ctx.Err().
+func ReplayNetFlowContext(ctx context.Context, r io.Reader, edgeCIDRs []string, d Replayable) ([]Result, error) {
 	edge, err := netmodel.NewEdgeNetwork(edgeCIDRs...)
 	if err != nil {
 		return nil, err
@@ -98,8 +139,13 @@ func ReplayNetFlow(r io.Reader, edgeCIDRs []string, d Replayable) ([]Result, err
 		intervalStart time.Time
 		sawFlow       bool
 		interval      = d.Interval()
+		n             int
 	)
 	for {
+		n++
+		if n%ctxCheckStride == 0 && ctx.Err() != nil {
+			return flushPartial(results, sawFlow, d, ctx)
+		}
 		rec, hdr, err := nr.Next()
 		if errors.Is(err, io.EOF) {
 			break
