@@ -36,6 +36,19 @@ FUZZTIME ?= 10s
 fuzz-short:
 	$(GO) test -fuzz FuzzReadPacket -fuzztime $(FUZZTIME) ./internal/pcap
 	$(GO) test -fuzz FuzzInference -fuzztime $(FUZZTIME) ./internal/revsketch
+	$(GO) test -fuzz FuzzFrameDecode -fuzztime $(FUZZTIME) ./internal/aggregate
+
+# Deterministic fault-injection matrix over the multi-router aggregation
+# path: each seed derives a full schedule of connection resets, corrupted
+# bytes, chunked and duplicated writes (internal/faultnet), and the
+# invariant checked is byte-exactness of every merge over its reported
+# contributor set. CI runs seeds 1..3 under -race.
+FAULT_SEEDS ?= 1 2 3
+.PHONY: fault-matrix
+fault-matrix:
+	for s in $(FAULT_SEEDS); do \
+		FAULT_SEED=$$s $(GO) test -race -run 'TestFaultMatrix|TestCrashReconnectPartialInterval' -count=1 -v ./internal/aggregate || exit 1; \
+	done
 
 # End-to-end telemetry smoke test: replays a small synthetic trace with
 # the -http endpoints up, checks /metrics and /healthz, and requires a

@@ -10,10 +10,14 @@ set -eu
 
 workdir=$(mktemp -d)
 pid=""
+extra_pids=""
 cleanup() {
     if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
         kill "$pid" 2>/dev/null || true
     fi
+    for p in $extra_pids; do
+        kill "$p" 2>/dev/null || true
+    done
     rm -rf "$workdir"
 }
 trap cleanup EXIT
@@ -97,5 +101,87 @@ if [ "$rc" -ne 0 ]; then
     cat "$workdir/stderr.log" >&2
     exit 1
 fi
+
+# ---------------------------------------------------------------------
+# Multi-router aggregation under a router crash: run a 3-router split of
+# the same trace through -report processes into a -collect process, kill
+# one router mid-run (SIGKILL — a crash, not a shutdown), restart it a
+# moment later, and require that the collector (a) degraded some interval
+# to a partial merge instead of stalling, (b) counted the reconnect, and
+# (c) recovered to full 3/3 merges afterwards.
+echo "smoke: multi-router aggregation with a mid-run router crash"
+"$workdir/hifind" -collect 127.0.0.1:0 -routers 3 -epochs 6 -compact \
+    -deadline 4s >"$workdir/collect.log" 2>&1 &
+cpid=$!
+extra_pids="$cpid"
+
+agg_addr=""
+for _ in $(seq 1 100); do
+    agg_addr=$(sed -n 's|^collecting from [0-9]* routers on \([^,]*\),.*|\1|p' "$workdir/collect.log")
+    [ -n "$agg_addr" ] && break
+    if ! kill -0 "$cpid" 2>/dev/null; then
+        echo "smoke: collector exited before listening" >&2
+        cat "$workdir/collect.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$agg_addr" ]; then
+    echo "smoke: collector address never appeared" >&2
+    exit 1
+fi
+echo "smoke: collector on $agg_addr"
+
+start_router() {
+    "$workdir/hifind" -report "$agg_addr" -router "$1" -of 3 \
+        -pcap "$workdir/smoke.pcap" -edge 129.105.0.0/16 \
+        -epochs 6 -start-epoch "$2" -pace 1s -compact \
+        >"$workdir/router$1.log" 2>&1 &
+    echo $!
+}
+r0=$(start_router 0 0); extra_pids="$extra_pids $r0"
+r1=$(start_router 1 0); extra_pids="$extra_pids $r1"
+r2=$(start_router 2 0); extra_pids="$extra_pids $r2"
+
+# Let the run reach mid-flight, then crash router 2 and bring it back
+# skipping the epochs it missed (its hello handshake prunes the rest).
+sleep 2.5
+kill -9 "$r2" 2>/dev/null || true
+echo "smoke: killed router 2 mid-run"
+sleep 1.5
+r2b=$(start_router 2 4); extra_pids="$extra_pids $r2b"
+echo "smoke: restarted router 2 at epoch 4"
+
+rc=0
+wait "$cpid" || rc=$?
+if [ "$rc" -ne 0 ]; then
+    echo "smoke: collector exited $rc" >&2
+    cat "$workdir/collect.log" >&2
+    exit 1
+fi
+wait "$r0" "$r1" "$r2b" 2>/dev/null || true
+extra_pids=""
+
+grep -q "partial=true" "$workdir/collect.log" || {
+    echo "smoke: no partial interval despite a crashed router" >&2
+    cat "$workdir/collect.log" >&2
+    exit 1
+}
+# Recovery: a full 3/3 merge after the last partial one.
+awk '
+    /partial=true/ { partial = NR }
+    /3\/3 routers, partial=false/ { if (partial) recovered = NR }
+    END { exit !(partial && recovered > partial) }
+' "$workdir/collect.log" || {
+    echo "smoke: no full merge after the partial interval (no recovery)" >&2
+    cat "$workdir/collect.log" >&2
+    exit 1
+}
+grep "collector done" "$workdir/collect.log" | grep -qE "reconnects=[1-9]" || {
+    echo "smoke: collector counted no reconnect after the restart" >&2
+    cat "$workdir/collect.log" >&2
+    exit 1
+}
+echo "smoke: partial interval, reconnect, and recovery all observed"
 
 echo "smoke: ok"

@@ -73,7 +73,32 @@ func run() error {
 		jsonOut   = flag.Bool("json", false, "emit alerts and interval summaries as NDJSON on stdout")
 		linger    = flag.Bool("linger", false, "after an offline replay, keep the -http endpoints up until interrupted")
 	)
+	af := registerAggregateFlags()
 	flag.Parse()
+
+	// Multi-router aggregation modes run their own loop: -collect is the
+	// central merge-and-detect site, -report an edge router shipping its
+	// sketch state. Neither uses the single-process replay path below.
+	if af.collect != "" || af.report != "" {
+		if af.report != "" && (*pcapPath == "" || *edge == "") {
+			return fmt.Errorf("-report requires -pcap and -edge")
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		reg := telemetry.NewRegistry()
+		health := telemetry.NewHealth()
+		if *httpAddr != "" {
+			srv, err := telemetry.Serve(*httpAddr, reg, health)
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "telemetry on http://%s/metrics\n", srv.Addr())
+		}
+		_, err := runAggregateMode(ctx, af, *pcapPath, *edge, *compact, *threshold, *interval, *alpha, reg, health)
+		return err
+	}
+
 	inputs := 0
 	for _, v := range []string{*pcapPath, *nfPath, *listen} {
 		if v != "" {

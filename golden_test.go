@@ -1,0 +1,195 @@
+package hifind_test
+
+// End-to-end detection regression suite: each scenario builds a fully
+// deterministic capture with the internal trace generator, replays it
+// through the public facade, and compares the complete per-interval alert
+// output against a checked-in golden file. Any PR that shifts detection
+// behavior — a threshold tweak, a sketch change, a heuristic reorder —
+// shows up as a golden diff instead of slipping through silently.
+//
+// Regenerate after an *intentional* behavior change with:
+//
+//	go test -run TestGoldenDetection -update .
+//
+// and review the golden diff like any other code change.
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	hifind "github.com/hifind/hifind"
+	"github.com/hifind/hifind/internal/netmodel"
+	"github.com/hifind/hifind/internal/pcap"
+	"github.com/hifind/hifind/internal/trace"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden detection files with observed output")
+
+// goldenScenarios is the regression corpus: the two paper-shaped presets,
+// a hand-built multi-attack interval, and a benign-only control whose
+// golden asserts zero alerts.
+func goldenScenarios() map[string]trace.Config {
+	mixed := trace.Config{
+		Seed:            303,
+		Start:           time.Date(2005, 5, 10, 0, 0, 0, 0, time.UTC),
+		Interval:        time.Minute,
+		Intervals:       8,
+		InternalPrefix:  0x81690000, // 129.105.0.0
+		Servers:         40,
+		BackgroundFlows: 600,
+		OutboundFlows:   100,
+		FailRate:        0.04,
+	}
+	mixed.Attacks = []trace.Attack{
+		{Type: trace.SYNFlood, Spoofed: true, Victim: 0x8169c801, /* 129.105.200.1 */
+			Ports: []uint16{80}, StartInterval: 1, EndInterval: 6, Rate: 500,
+			ResponseRate: 0.1, Cause: "spoofed flood"},
+		{Type: trace.HorizontalScan, Attackers: []netmodel.IPv4{0x0a141401},
+			Victim: 0x81698000, Ports: []uint16{445}, Targets: 800,
+			StartInterval: 2, EndInterval: 5, Rate: 800, Cause: "worm hscan"},
+		{Type: trace.VerticalScan, Attackers: []netmodel.IPv4{0x0a282802},
+			Victim: 0x81698010, Ports: verticalPorts(), Targets: 1,
+			StartInterval: 3, EndInterval: 6, Rate: 600, Cause: "recon vscan"},
+		{Type: trace.BlockScan, Attackers: []netmodel.IPv4{0x0a3c3c03},
+			Victim: 0x81698100, Ports: blockPorts(), Targets: 10,
+			StartInterval: 2, EndInterval: 6, Rate: 1600, ResponseRate: 0.01,
+			Cause: "block sweep"},
+	}
+
+	benign := trace.Config{
+		Seed:            404,
+		Start:           time.Date(2005, 5, 10, 0, 0, 0, 0, time.UTC),
+		Interval:        time.Minute,
+		Intervals:       8,
+		InternalPrefix:  0x81690000,
+		Servers:         40,
+		BackgroundFlows: 600,
+		OutboundFlows:   100,
+		FailRate:        0.04,
+	}
+
+	return map[string]trace.Config{
+		"nu-preset":     trace.NUConfig(101, 10, 0.5),
+		"lbl-preset":    trace.LBLConfig(202, 10, 0.5),
+		"mixed-attacks": mixed,
+		"benign-only":   benign,
+	}
+}
+
+func verticalPorts() []uint16 {
+	ports := make([]uint16, 0, 64)
+	for p := uint16(1); p <= 64; p++ {
+		ports = append(ports, p)
+	}
+	return ports
+}
+
+// blockPorts is a 10×20 address-by-port block, hot enough per pair and
+// per port that the hscan and vscan constituents both fire and merge.
+func blockPorts() []uint16 {
+	ports := make([]uint16, 20)
+	for i := range ports {
+		ports[i] = uint16(7000 + i)
+	}
+	return ports
+}
+
+func TestGoldenDetection(t *testing.T) {
+	for name, cfg := range goldenScenarios() {
+		t.Run(name, func(t *testing.T) {
+			g, err := trace.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			w := pcap.NewWriter(&buf)
+			if err := g.Stream(w.WritePacket); err != nil {
+				t.Fatal(err)
+			}
+			edge := fmt.Sprintf("%s/16", cfg.InternalPrefix)
+			d := newCompact(t)
+			results, err := hifind.ReplayPcap(&buf, []string{edge}, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := formatGolden(results)
+
+			path := filepath.Join("testdata", "golden", name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("updated %s", path)
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("detection output diverged from %s (rerun with -update only if the change is intentional):\n%s",
+					path, goldenDiff(string(want), got))
+			}
+		})
+	}
+}
+
+// formatGolden renders replay results into the canonical golden text: one
+// header line per interval with the per-phase alert counts, then the
+// final alerts sorted lexically (detection order is deterministic, but
+// sorting keeps the files stable against harmless reordering).
+func formatGolden(results []hifind.Result) string {
+	var b strings.Builder
+	for _, r := range results {
+		fmt.Fprintf(&b, "interval %d: raw=%d classified=%d final=%d\n",
+			r.Interval, len(r.Raw), len(r.AfterClassification), len(r.Final))
+		lines := make([]string, 0, len(r.Final))
+		for _, a := range r.Final {
+			lines = append(lines, a.String())
+		}
+		sort.Strings(lines)
+		for _, l := range lines {
+			fmt.Fprintf(&b, "  %s\n", l)
+		}
+	}
+	return b.String()
+}
+
+// goldenDiff renders a compact first-divergence report; full-file dumps
+// drown the signal when one interval shifts.
+func goldenDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	var b strings.Builder
+	max := len(wl)
+	if len(gl) > max {
+		max = len(gl)
+	}
+	shown := 0
+	for i := 0; i < max && shown < 12; i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			fmt.Fprintf(&b, "line %d:\n  golden: %q\n  got:    %q\n", i+1, w, g)
+			shown++
+		}
+	}
+	if shown == 0 {
+		return "(files differ only in length)"
+	}
+	return b.String()
+}

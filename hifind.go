@@ -144,6 +144,10 @@ type Alert struct {
 	// Fanout approximates the number of distinct hosts (hscan) or ports
 	// (vscan) touched.
 	Fanout int
+	// Partial marks alerts from an interval merged without every router's
+	// report (multi-router aggregation under a deadline); magnitudes are
+	// lower bounds there.
+	Partial bool
 }
 
 // String renders the alert for humans.
@@ -181,6 +185,10 @@ type Result struct {
 	AfterClassification []Alert
 	Final               []Alert
 	DetectionTime       time.Duration
+	// Partial marks an interval whose merge closed at the collection
+	// deadline without every router's state. Detection over the surviving
+	// routers is sound but a lower bound.
+	Partial bool
 }
 
 // Detector is a complete HiFIND instance. The sketch-recording path is
@@ -430,6 +438,7 @@ func convertResult(res core.IntervalResult) Result {
 		AfterClassification: convertAlerts(res.Phase2),
 		Final:               convertAlerts(res.Final),
 		DetectionTime:       time.Duration(res.DetectionSeconds * float64(time.Second)),
+		Partial:             res.Partial,
 	}
 }
 
@@ -442,6 +451,7 @@ func convertAlerts(in []core.Alert) []Alert {
 			Magnitude: a.Estimate,
 			Fanout:    a.FanoutEstimate,
 			Port:      a.Port,
+			Partial:   a.Partial,
 		}
 		switch a.Type {
 		case core.AlertSYNFlood:

@@ -9,9 +9,7 @@
 package aggregate
 
 import (
-	"encoding/binary"
 	"fmt"
-	"io"
 	"math/rand"
 
 	"github.com/hifind/hifind/internal/core"
@@ -71,49 +69,4 @@ func MergePayloads(cfg core.RecorderConfig, payloads [][]byte) (*core.Recorder, 
 		recs[i] = rec
 	}
 	return MergeRecorders(cfg, recs...)
-}
-
-// Frame is one router's per-interval report.
-type Frame struct {
-	Router   uint32
-	Interval uint32
-	Payload  []byte
-}
-
-const maxFramePayload = 256 << 20
-
-// WriteFrame writes a length-prefixed frame.
-func WriteFrame(w io.Writer, f Frame) error {
-	var hdr [12]byte
-	binary.LittleEndian.PutUint32(hdr[0:], f.Router)
-	binary.LittleEndian.PutUint32(hdr[4:], f.Interval)
-	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(f.Payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("aggregate: frame header: %w", err)
-	}
-	if _, err := w.Write(f.Payload); err != nil {
-		return fmt.Errorf("aggregate: frame payload: %w", err)
-	}
-	return nil
-}
-
-// ReadFrame reads one frame.
-func ReadFrame(r io.Reader) (Frame, error) {
-	var hdr [12]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return Frame{}, err // io.EOF passes through for clean shutdown
-	}
-	n := binary.LittleEndian.Uint32(hdr[8:])
-	if n > maxFramePayload {
-		return Frame{}, fmt.Errorf("aggregate: frame of %d bytes exceeds cap", n)
-	}
-	f := Frame{
-		Router:   binary.LittleEndian.Uint32(hdr[0:]),
-		Interval: binary.LittleEndian.Uint32(hdr[4:]),
-		Payload:  make([]byte, n),
-	}
-	if _, err := io.ReadFull(r, f.Payload); err != nil {
-		return Frame{}, fmt.Errorf("aggregate: frame payload: %w", err)
-	}
-	return f, nil
 }

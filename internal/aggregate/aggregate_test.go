@@ -1,13 +1,12 @@
 package aggregate
 
 import (
-	"bytes"
-	"sync"
 	"testing"
 	"time"
 
 	"github.com/hifind/hifind/internal/core"
 	"github.com/hifind/hifind/internal/netmodel"
+	"github.com/hifind/hifind/internal/telemetry"
 	"github.com/hifind/hifind/internal/trace"
 )
 
@@ -55,36 +54,10 @@ func TestSplitter(t *testing.T) {
 	}
 }
 
-func TestFrameRoundTrip(t *testing.T) {
-	var buf bytes.Buffer
-	want := Frame{Router: 2, Interval: 7, Payload: []byte("sketch-state")}
-	if err := WriteFrame(&buf, want); err != nil {
-		t.Fatal(err)
-	}
-	got, err := ReadFrame(&buf)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got.Router != want.Router || got.Interval != want.Interval || !bytes.Equal(got.Payload, want.Payload) {
-		t.Errorf("frame round trip: %+v != %+v", got, want)
-	}
-	if _, err := ReadFrame(&buf); err == nil {
-		t.Error("empty stream should error")
-	}
-}
-
-func TestReadFrameRejectsHugePayload(t *testing.T) {
-	var buf bytes.Buffer
-	buf.Write([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff})
-	if _, err := ReadFrame(&buf); err == nil {
-		t.Error("4GB frame accepted")
-	}
-}
-
 // TestAggregatedDetectionMatchesSingleRouter reproduces §5.3.2: split the
-// trace per-packet over three routers, merge the serialized recorders at a
-// collector over real TCP, and verify detection equals a single router
-// seeing everything.
+// trace per-packet over three routers, ship the serialized recorders to a
+// collector over real TCP via Reporters, and verify detection equals a
+// single router seeing everything.
 func TestAggregatedDetectionMatchesSingleRouter(t *testing.T) {
 	rcfg := core.TestRecorderConfig(0x5151)
 	dcfg := core.DetectorConfig{Threshold: 60}
@@ -100,7 +73,7 @@ func TestAggregatedDetectionMatchesSingleRouter(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Aggregated: three router recorders + collector + detector.
+	// Aggregated: three router recorders + reporters + collector + detector.
 	collector, err := NewCollector(rcfg, 3, "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -111,15 +84,13 @@ func TestAggregatedDetectionMatchesSingleRouter(t *testing.T) {
 		t.Fatal(err)
 	}
 	routers := make([]*core.Recorder, 3)
-	clients := make([]*RouterClient, 3)
+	reporters := make([]*Reporter, 3)
 	for i := range routers {
 		if routers[i], err = core.NewRecorder(rcfg); err != nil {
 			t.Fatal(err)
 		}
-		if clients[i], err = Dial(uint32(i), collector.Addr()); err != nil {
-			t.Fatal(err)
-		}
-		defer clients[i].Close()
+		reporters[i] = NewReporter(uint32(i), collector.Addr())
+		defer reporters[i].Close()
 	}
 	split, err := NewSplitter(3, 99)
 	if err != nil {
@@ -142,28 +113,17 @@ func TestAggregatedDetectionMatchesSingleRouter(t *testing.T) {
 		}
 		singleAlerts = append(singleAlerts, sres.Final...)
 
-		// Ship all three router states concurrently, as real routers would.
-		var wg sync.WaitGroup
-		sendErrs := make([]error, 3)
-		for i := range clients {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				sendErrs[i] = clients[i].SendInterval(iv, routers[i])
-			}(i)
+		// Report enqueues a marshaled snapshot, so resetting immediately
+		// afterwards is safe even though delivery is asynchronous.
+		for i, r := range reporters {
+			if err := r.Report(uint64(iv), routers[i]); err != nil {
+				t.Fatalf("router %d report: %v", i, err)
+			}
+			routers[i].Reset()
 		}
 		merged, err := collector.CollectInterval(iv)
-		wg.Wait()
-		for i, e := range sendErrs {
-			if e != nil {
-				t.Fatalf("router %d send: %v", i, e)
-			}
-		}
 		if err != nil {
 			t.Fatal(err)
-		}
-		for _, r := range routers {
-			r.Reset()
 		}
 		ares, err := aggDet.EndIntervalWith(merged)
 		if err != nil {
@@ -203,27 +163,67 @@ func TestMergePayloadsValidation(t *testing.T) {
 	}
 }
 
-func TestCollectorProtocolViolations(t *testing.T) {
+// TestCollectorFutureAndStaleFrames pins the epoch-relative frame
+// handling: a frame for an epoch ahead of the one being collected is
+// buffered and merged when its epoch opens, a frame for a closed epoch
+// is counted stale and dropped, and a deadline with nothing gathered
+// reports ErrNoFrames.
+func TestCollectorFutureAndStaleFrames(t *testing.T) {
 	rcfg := core.TestRecorderConfig(0x2)
-	collector, err := NewCollector(rcfg, 1, "127.0.0.1:0")
+	reg := telemetry.NewRegistry()
+	collector, err := NewCollector(rcfg, 1, "127.0.0.1:0", WithTelemetry(reg))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer collector.Close()
-	client, err := Dial(0, collector.Addr())
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer client.Close()
+	rep := NewReporter(0, collector.Addr())
+	defer rep.Close()
 	rec, err := core.NewRecorder(rcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := client.SendInterval(5, rec); err != nil {
+	rec.Observe(netmodel.Packet{SrcIP: 1, DstIP: 2, DstPort: 80,
+		Flags: netmodel.FlagSYN, Dir: netmodel.Inbound})
+	payload, err := rec.MarshalBinary()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := collector.CollectInterval(0); err == nil {
-		t.Error("wrong-interval frame accepted")
+
+	// The router runs ahead: it reports epoch 5 while the collector still
+	// collects epoch 0.
+	if err := rep.ReportPayload(5, payload); err != nil {
+		t.Fatal(err)
+	}
+	timer := time.NewTimer(300 * time.Millisecond)
+	defer timer.Stop()
+	if _, _, err := collector.CollectEpoch(0, timer.C); err == nil {
+		t.Error("epoch 0 with no frames should report ErrNoFrames")
+	}
+	// The buffered epoch-5 frame merges once its epoch opens.
+	merged, info, err := collector.CollectEpoch(5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Partial || len(info.Contributors) != 1 {
+		t.Errorf("epoch 5: info = %+v, want full with 1 contributor", info)
+	}
+	if merged.Packets() != 1 {
+		t.Errorf("epoch 5 merged %d packets, want 1", merged.Packets())
+	}
+
+	// A report for the now-closed epoch 1 is stale; epoch 6 still works.
+	if err := rep.ReportPayload(1, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.ReportPayload(6, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := collector.CollectEpoch(6, nil); err != nil {
+		t.Fatal(err)
+	}
+	stale := reg.Counter("aggregate_stale_frames_total", "").Value()
+	if stale != 1 {
+		t.Errorf("aggregate_stale_frames_total = %d, want 1", stale)
 	}
 }
 
@@ -261,22 +261,19 @@ func TestCollectIntervalWithinToleratesDeadRouter(t *testing.T) {
 	defer collector.Close()
 	// Only two of the three expected routers connect and report.
 	for id := uint32(0); id < 2; id++ {
-		client, err := Dial(id, collector.Addr())
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer client.Close()
+		rep := NewReporter(id, collector.Addr())
+		defer rep.Close()
 		rec, err := core.NewRecorder(rcfg)
 		if err != nil {
 			t.Fatal(err)
 		}
 		rec.Observe(netmodel.Packet{SrcIP: 1 + netmodel.IPv4(id), DstIP: 2, DstPort: 80,
 			Flags: netmodel.FlagSYN, Dir: netmodel.Inbound})
-		if err := client.SendInterval(0, rec); err != nil {
+		if err := rep.Report(0, rec); err != nil {
 			t.Fatal(err)
 		}
 	}
-	merged, contributed, err := collector.CollectIntervalWithin(0, 500*time.Millisecond)
+	merged, contributed, err := collector.CollectIntervalWithin(0, 2*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}

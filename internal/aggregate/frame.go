@@ -1,0 +1,226 @@
+package aggregate
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Wire framing for router→collector reports (DESIGN.md §11). The seed
+// repo shipped raw length-prefixed frames, which a single flipped bit
+// turns into garbage for the rest of the connection; this codec makes
+// every frame independently verifiable and the stream resynchronizable:
+//
+//	offset size field
+//	0      4    magic "HFA1" (0x48464131, big-endian on the wire)
+//	4      1    version (currently 1)
+//	5      1    flags (hello / resend)
+//	6      4    router id (LE)
+//	10     8    interval epoch (LE)
+//	18     4    payload length (LE)
+//	22     4    payload CRC32-Castagnoli (LE)
+//	26     4    header CRC32-Castagnoli over bytes [0,26) (LE)
+//	30     n    payload
+//
+// A reader that hits garbage — bad magic, unknown version, implausible
+// length, or a header CRC mismatch — discards one byte at a time until
+// the next plausible header and counts one corrupt event per contiguous
+// garbage run (skip-and-count). A frame whose payload CRC fails is
+// dropped whole and counted, and decoding continues at the next frame:
+// one corrupt report costs one interval from one router, never the
+// connection.
+
+// FrameVersion is the codec version this package speaks.
+const FrameVersion = 1
+
+// frameMagic starts every frame ("HFA1").
+var frameMagic = [4]byte{'H', 'F', 'A', '1'}
+
+// headerSize is the fixed frame header length in bytes.
+const headerSize = 30
+
+// Frame flag bits.
+const (
+	// FlagHello marks the collector→router resync frame sent on every
+	// (re)connect: Epoch carries the lowest interval the collector will
+	// still merge, so a reconnecting router can prune its spill buffer of
+	// reports that can no longer contribute.
+	FlagHello uint8 = 1 << iota
+	// FlagResend marks a frame re-sent from a router's spill buffer after
+	// a reconnect (observability only; the collector treats it normally).
+	FlagResend
+)
+
+// DefaultMaxFramePayload caps how large a payload a decoder accepts.
+// The paper's full sketch set serializes to ≈13.2 MB; 256 MB leaves two
+// decimal orders of headroom while still bounding a hostile length field.
+const DefaultMaxFramePayload = 256 << 20
+
+// crcTable is the Castagnoli polynomial table shared by encode and decode.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Frame is one router's per-interval report (or a collector hello).
+type Frame struct {
+	Router  uint32
+	Epoch   uint64
+	Flags   uint8
+	Payload []byte
+}
+
+// IsHello reports whether the frame is a collector resync hello.
+func (f Frame) IsHello() bool { return f.Flags&FlagHello != 0 }
+
+// AppendFrame appends the wire encoding of f to dst and returns the
+// extended slice.
+func AppendFrame(dst []byte, f Frame) []byte {
+	var hdr [headerSize]byte
+	copy(hdr[0:4], frameMagic[:])
+	hdr[4] = FrameVersion
+	hdr[5] = f.Flags
+	binary.LittleEndian.PutUint32(hdr[6:], f.Router)
+	binary.LittleEndian.PutUint64(hdr[10:], f.Epoch)
+	binary.LittleEndian.PutUint32(hdr[18:], uint32(len(f.Payload)))
+	binary.LittleEndian.PutUint32(hdr[22:], crc32.Checksum(f.Payload, crcTable))
+	binary.LittleEndian.PutUint32(hdr[26:], crc32.Checksum(hdr[:26], crcTable))
+	dst = append(dst, hdr[:]...)
+	return append(dst, f.Payload...)
+}
+
+// EncodeFrame returns the wire encoding of f.
+func EncodeFrame(f Frame) []byte {
+	return AppendFrame(make([]byte, 0, headerSize+len(f.Payload)), f)
+}
+
+// WriteFrame writes one frame in a single Write call, so a transport
+// fault either delivers the frame bytes contiguously or truncates them —
+// it never interleaves two frames.
+func WriteFrame(w io.Writer, f Frame) error {
+	if _, err := w.Write(EncodeFrame(f)); err != nil {
+		return fmt.Errorf("aggregate: write frame: %w", err)
+	}
+	return nil
+}
+
+// DecoderOption customizes a Decoder.
+type DecoderOption func(*Decoder)
+
+// WithMaxPayload overrides the decoder's payload-size cap. Headers
+// announcing more are treated as corrupt and resynchronized past.
+func WithMaxPayload(n int) DecoderOption {
+	return func(d *Decoder) {
+		if n > 0 {
+			d.maxPayload = n
+		}
+	}
+}
+
+// Decoder reads frames off a byte stream with skip-and-count corruption
+// handling. Not safe for concurrent use.
+type Decoder struct {
+	br         *bufio.Reader
+	maxPayload int
+	corrupt    int64
+	skipping   bool // inside a contiguous garbage run already counted
+}
+
+// NewDecoder wraps r.
+func NewDecoder(r io.Reader, opts ...DecoderOption) *Decoder {
+	d := &Decoder{br: bufio.NewReaderSize(r, 64<<10), maxPayload: DefaultMaxFramePayload}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// Corrupt returns how many corrupt events the decoder has skipped: one
+// per contiguous garbage run, one per payload-CRC failure, and one for a
+// frame truncated by the end of the stream.
+func (d *Decoder) Corrupt() int64 { return d.corrupt }
+
+// noteGarbage counts the start of a garbage run exactly once.
+func (d *Decoder) noteGarbage() {
+	if !d.skipping {
+		d.skipping = true
+		d.corrupt++
+	}
+}
+
+// Next returns the next intact frame. It returns io.EOF at a clean
+// stream end and io.ErrUnexpectedEOF when the stream ends inside a
+// frame or a garbage run (both already counted via Corrupt).
+func (d *Decoder) Next() (Frame, error) {
+	for {
+		hdr, err := d.br.Peek(headerSize)
+		if err != nil {
+			if len(hdr) == 0 && !d.skipping {
+				return Frame{}, io.EOF
+			}
+			// Trailing bytes that never formed a frame: a truncated
+			// header or the tail of a garbage run.
+			d.noteGarbage()
+			return Frame{}, io.ErrUnexpectedEOF
+		}
+		plen := int(binary.LittleEndian.Uint32(hdr[18:]))
+		switch {
+		case [4]byte(hdr[0:4]) != frameMagic,
+			hdr[4] != FrameVersion,
+			plen > d.maxPayload,
+			binary.LittleEndian.Uint32(hdr[26:]) != crc32.Checksum(hdr[:26], crcTable):
+			d.noteGarbage()
+			// Resync: drop one byte and look for the next magic.
+			if _, err := d.br.Discard(1); err != nil {
+				return Frame{}, io.ErrUnexpectedEOF
+			}
+			continue
+		}
+		d.skipping = false
+		f := Frame{
+			Flags:  hdr[5],
+			Router: binary.LittleEndian.Uint32(hdr[6:]),
+			Epoch:  binary.LittleEndian.Uint64(hdr[10:]),
+		}
+		wantCRC := binary.LittleEndian.Uint32(hdr[22:])
+		if _, err := d.br.Discard(headerSize); err != nil {
+			return Frame{}, fmt.Errorf("aggregate: decode: %w", err)
+		}
+		payload, err := d.readPayload(plen)
+		if err != nil {
+			// Stream ended mid-payload; the partial frame is corrupt.
+			d.corrupt++
+			return Frame{}, io.ErrUnexpectedEOF
+		}
+		if crc32.Checksum(payload, crcTable) != wantCRC {
+			d.corrupt++
+			continue // skip this frame, keep the stream
+		}
+		f.Payload = payload
+		return f, nil
+	}
+}
+
+// readPayload reads exactly n payload bytes, growing the buffer in
+// bounded chunks so a hostile length field costs allocation only in
+// proportion to bytes actually received — a truncated 200 MB claim
+// allocates what arrived, not 200 MB.
+func (d *Decoder) readPayload(n int) ([]byte, error) {
+	const chunk = 64 << 10
+	cap0 := n
+	if cap0 > chunk {
+		cap0 = chunk
+	}
+	buf := make([]byte, 0, cap0)
+	for len(buf) < n {
+		step := n - len(buf)
+		if step > chunk {
+			step = chunk
+		}
+		start := len(buf)
+		buf = append(buf, make([]byte, step)...)
+		if _, err := io.ReadFull(d.br, buf[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}

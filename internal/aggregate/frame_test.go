@@ -1,0 +1,180 @@
+package aggregate
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	frames := []Frame{
+		{Router: 2, Epoch: 7, Payload: []byte("sketch-state")},
+		{Router: 0xFFFFFFFF, Epoch: 1<<63 + 5, Flags: FlagResend, Payload: nil},
+		{Flags: FlagHello, Epoch: 42},
+	}
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec := NewDecoder(&buf)
+	for i, want := range frames {
+		got, err := dec.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Router != want.Router || got.Epoch != want.Epoch || got.Flags != want.Flags ||
+			!bytes.Equal(got.Payload, want.Payload) {
+			t.Errorf("frame %d round trip: %+v != %+v", i, got, want)
+		}
+		if got.IsHello() != want.IsHello() {
+			t.Errorf("frame %d hello flag lost", i)
+		}
+	}
+	if _, err := dec.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("clean stream end: err = %v, want io.EOF", err)
+	}
+	if dec.Corrupt() != 0 {
+		t.Errorf("clean stream counted %d corrupt events", dec.Corrupt())
+	}
+}
+
+// TestWriteFrameSingleWrite pins the atomicity contract the reporter's
+// at-least-once retry depends on: one frame, one Write call, so a
+// transport fault truncates a frame but never interleaves two.
+func TestWriteFrameSingleWrite(t *testing.T) {
+	w := &countingWriter{}
+	if err := WriteFrame(w, Frame{Router: 1, Epoch: 2, Payload: make([]byte, 4096)}); err != nil {
+		t.Fatal(err)
+	}
+	if w.calls != 1 {
+		t.Errorf("WriteFrame made %d Write calls, want 1", w.calls)
+	}
+}
+
+type countingWriter struct{ calls int }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.calls++
+	return len(p), nil
+}
+
+// TestDecoderResyncAfterGarbage interleaves garbage runs with valid
+// frames: the decoder must recover every intact frame and count each
+// contiguous garbage run exactly once.
+func TestDecoderResyncAfterGarbage(t *testing.T) {
+	f1 := Frame{Router: 1, Epoch: 10, Payload: []byte("first")}
+	f2 := Frame{Router: 2, Epoch: 11, Payload: []byte("second")}
+	var buf bytes.Buffer
+	buf.WriteString("leading garbage that is longer than a header abcdefgh")
+	buf.Write(EncodeFrame(f1))
+	buf.Write([]byte{0xde, 0xad, 0xbe, 0xef})
+	buf.Write(EncodeFrame(f2))
+
+	dec := NewDecoder(&buf)
+	got1, err := dec.Next()
+	if err != nil || got1.Router != 1 {
+		t.Fatalf("first frame: %+v, %v", got1, err)
+	}
+	got2, err := dec.Next()
+	if err != nil || got2.Router != 2 {
+		t.Fatalf("second frame: %+v, %v", got2, err)
+	}
+	if _, err := dec.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("stream end: %v", err)
+	}
+	if dec.Corrupt() != 2 {
+		t.Errorf("Corrupt() = %d, want 2 (one per garbage run)", dec.Corrupt())
+	}
+}
+
+// TestDecoderHugeLengthHeader feeds a header whose CRC is valid but
+// whose announced payload exceeds the cap: the decoder must treat it as
+// garbage, resync, and still find the frame behind it.
+func TestDecoderHugeLengthHeader(t *testing.T) {
+	bad := EncodeFrame(Frame{Router: 9, Epoch: 1})
+	binary.LittleEndian.PutUint32(bad[18:], 0xFFFFFFF0)                         // huge plen...
+	binary.LittleEndian.PutUint32(bad[26:], crc32.Checksum(bad[:26], crcTable)) // ...with a valid header CRC
+	good := Frame{Router: 3, Epoch: 2, Payload: []byte("ok")}
+
+	var buf bytes.Buffer
+	buf.Write(bad)
+	buf.Write(EncodeFrame(good))
+	dec := NewDecoder(&buf, WithMaxPayload(1<<20))
+	got, err := dec.Next()
+	if err != nil || got.Router != 3 {
+		t.Fatalf("frame after huge header: %+v, %v", got, err)
+	}
+	if dec.Corrupt() != 1 {
+		t.Errorf("Corrupt() = %d, want 1", dec.Corrupt())
+	}
+}
+
+// TestDecoderPayloadCRCFailure flips one payload byte: that frame is
+// dropped and counted, and the stream keeps decoding.
+func TestDecoderPayloadCRCFailure(t *testing.T) {
+	f1 := Frame{Router: 1, Epoch: 1, Payload: []byte("to be corrupted")}
+	f2 := Frame{Router: 2, Epoch: 1, Payload: []byte("intact")}
+	enc := EncodeFrame(f1)
+	enc[headerSize+3] ^= 0x40 // payload byte
+	var buf bytes.Buffer
+	buf.Write(enc)
+	buf.Write(EncodeFrame(f2))
+
+	dec := NewDecoder(&buf)
+	got, err := dec.Next()
+	if err != nil || got.Router != 2 {
+		t.Fatalf("frame after corrupt payload: %+v, %v", got, err)
+	}
+	if dec.Corrupt() != 1 {
+		t.Errorf("Corrupt() = %d, want 1", dec.Corrupt())
+	}
+}
+
+// TestDecoderTruncation cuts the stream mid-payload — what a connection
+// reset mid-frame produces. The decoder must report ErrUnexpectedEOF and
+// count the partial frame as corrupt rather than hanging or succeeding.
+func TestDecoderTruncation(t *testing.T) {
+	enc := EncodeFrame(Frame{Router: 1, Epoch: 1, Payload: bytes.Repeat([]byte("x"), 1024)})
+	dec := NewDecoder(bytes.NewReader(enc[:headerSize+100]))
+	if _, err := dec.Next(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated payload: err = %v, want ErrUnexpectedEOF", err)
+	}
+	if dec.Corrupt() != 1 {
+		t.Errorf("Corrupt() = %d, want 1", dec.Corrupt())
+	}
+
+	// Truncated mid-header, too.
+	dec = NewDecoder(bytes.NewReader(enc[:10]))
+	if _, err := dec.Next(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated header: err = %v, want ErrUnexpectedEOF", err)
+	}
+	if dec.Corrupt() != 1 {
+		t.Errorf("Corrupt() = %d, want 1", dec.Corrupt())
+	}
+}
+
+// TestDecoderHeaderCorruption flips a bit inside the header: the header
+// CRC must catch it even though magic and version still read correctly,
+// and the decoder resyncs to the next frame.
+func TestDecoderHeaderCorruption(t *testing.T) {
+	enc := EncodeFrame(Frame{Router: 7, Epoch: 3, Payload: []byte("p")})
+	enc[10] ^= 0x01 // low bit of the epoch field
+	var buf bytes.Buffer
+	buf.Write(enc)
+	good := Frame{Router: 8, Epoch: 3, Payload: []byte("q")}
+	buf.Write(EncodeFrame(good))
+
+	dec := NewDecoder(&buf)
+	got, err := dec.Next()
+	if err != nil || got.Router != 8 {
+		t.Fatalf("frame after corrupt header: %+v, %v", got, err)
+	}
+	if dec.Corrupt() < 1 {
+		t.Errorf("Corrupt() = %d, want ≥1", dec.Corrupt())
+	}
+}

@@ -1,0 +1,64 @@
+package aggregate
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzFrameDecode drives the wire decoder with arbitrary byte streams —
+// truncated frames, bit-flipped headers, hostile length fields, garbage
+// between frames. The decoder must never panic, never allocate
+// unboundedly, terminate on every input, and uphold its accounting
+// contract: every decoded frame re-encodes to bytes present in the
+// input, and a stream that ends in anything but a clean frame boundary
+// reports ErrUnexpectedEOF with the garbage counted.
+func FuzzFrameDecode(f *testing.F) {
+	f.Add(EncodeFrame(Frame{Router: 1, Epoch: 2, Payload: []byte("payload")}))
+	f.Add(EncodeFrame(Frame{Flags: FlagHello, Epoch: 9}))
+	f.Add(append(EncodeFrame(Frame{Router: 3, Epoch: 4, Flags: FlagResend, Payload: []byte("x")}),
+		EncodeFrame(Frame{Router: 3, Epoch: 5})...))
+	f.Add([]byte("garbage that is not a frame at all, longer than one header"))
+	truncated := EncodeFrame(Frame{Router: 7, Epoch: 8, Payload: bytes.Repeat([]byte("y"), 256)})
+	f.Add(truncated[:len(truncated)-40])
+	flipped := EncodeFrame(Frame{Router: 9, Epoch: 10, Payload: []byte("abc")})
+	flipped[12] ^= 0x08
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxPayload = 1 << 16
+		dec := NewDecoder(bytes.NewReader(data), WithMaxPayload(maxPayload))
+		var frames int
+		prev := int64(0)
+		for {
+			fr, err := dec.Next()
+			if c := dec.Corrupt(); c < prev {
+				t.Fatalf("corrupt counter went backwards: %d -> %d", prev, c)
+			} else {
+				prev = c
+			}
+			if err != nil {
+				if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+					t.Fatalf("decoder error is neither EOF nor ErrUnexpectedEOF: %v", err)
+				}
+				if errors.Is(err, io.ErrUnexpectedEOF) && dec.Corrupt() == 0 {
+					t.Fatal("unexpected EOF without a counted corrupt event")
+				}
+				break
+			}
+			frames++
+			if len(fr.Payload) > maxPayload {
+				t.Fatalf("decoded payload of %d bytes exceeds the %d cap", len(fr.Payload), maxPayload)
+			}
+			// Round-trip: an accepted frame is exactly a substring of the
+			// input (CRC-verified bytes cannot have been invented).
+			if !bytes.Contains(data, EncodeFrame(fr)) {
+				t.Fatalf("decoded frame %+v does not re-encode to input bytes", fr)
+			}
+			if frames > len(data)/headerSize+1 {
+				t.Fatalf("more frames (%d) than the input could hold", frames)
+			}
+		}
+	})
+}

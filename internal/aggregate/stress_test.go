@@ -3,6 +3,7 @@ package aggregate
 import (
 	"bytes"
 	"fmt"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -57,11 +58,10 @@ func stressRecorderConfig(seed uint64) core.RecorderConfig {
 // TestCollectorConcurrentRouters is the race-oriented stress test for the
 // aggregation path: N router goroutines record and ship their intervals
 // while the collector merges concurrently. Run under -race this exercises
-// the accept loop, per-connection read loops, the frames channel, and
-// Close teardown; the merged result must still equal a single-threaded
-// reference merge, interval by interval. The collector protocol requires
-// all routers to finish an interval before any starts the next, so each
-// interval ends with a gate the collector opens after merging.
+// the accept loop, per-connection read loops, the frames channel, and the
+// future-epoch buffering — routers free-run ahead of the collector (the
+// pending buffer absorbs the skew), and the merged result must still
+// equal a single-threaded reference merge, interval by interval.
 func TestCollectorConcurrentRouters(t *testing.T) {
 	const (
 		routers      = 8
@@ -82,11 +82,6 @@ func TestCollectorConcurrentRouters(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	gates := make([]chan struct{}, intervals)
-	for i := range gates {
-		gates[i] = make(chan struct{})
-	}
-
 	var wg sync.WaitGroup
 	errs := make(chan error, routers)
 	for r := 0; r < routers; r++ {
@@ -98,22 +93,21 @@ func TestCollectorConcurrentRouters(t *testing.T) {
 				errs <- err
 				return
 			}
-			client, err := Dial(uint32(r), collector.Addr())
-			if err != nil {
-				errs <- err
-				return
-			}
-			defer client.Close()
+			rep := NewReporter(uint32(r), collector.Addr())
+			defer rep.Close()
 			for iv := 0; iv < intervals; iv++ {
 				for _, p := range routerPackets(r, iv, pktsPerRound) {
 					rec.Observe(p)
 				}
-				if err := client.SendInterval(iv, rec); err != nil {
+				if err := rep.Report(uint64(iv), rec); err != nil {
 					errs <- fmt.Errorf("router %d interval %d: %w", r, iv, err)
 					return
 				}
 				rec.Reset()
-				<-gates[iv] // wait for the collector to finish this interval
+			}
+			// Every report must drain before Close abandons the spill.
+			for rep.Pending() > 0 {
+				time.Sleep(time.Millisecond)
 			}
 		}(r)
 	}
@@ -123,7 +117,6 @@ func TestCollectorConcurrentRouters(t *testing.T) {
 		if err != nil {
 			t.Fatalf("interval %d: %v", iv, err)
 		}
-		close(gates[iv])
 		// One recorder observing every router's traffic for this interval:
 		// sketch linearity makes the merged state bit-identical to it.
 		ref.Reset()
@@ -155,15 +148,28 @@ func TestCollectorConcurrentRouters(t *testing.T) {
 	}
 }
 
-// TestCollectorCloseDuringTraffic tears the collector down while routers
-// are still streaming frames nobody collects: Close must unblock the
-// accept loop and every read loop without leaking goroutines or racing
-// them (the -race build checks the latter). Collector.Close waits on its
-// WaitGroup, so a hang here is a leaked goroutine.
+// TestCollectorCloseDuringTraffic tears the collector down while raw
+// connections are still streaming frames nobody collects: the frames
+// channel fills, every read loop blocks on it, and Close must still
+// unblock the accept loop and every read loop without leaking goroutines
+// or racing them (the -race build checks the latter). Collector.Close
+// waits on its WaitGroup, so a hang here is a leaked goroutine.
 func TestCollectorCloseDuringTraffic(t *testing.T) {
 	const routers = 4
 	rcfg := stressRecorderConfig(0xc105e)
 	collector, err := NewCollector(rcfg, routers, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := core.NewRecorder(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range routerPackets(0, 0, 10) {
+		rec.Observe(p)
+	}
+	payload, err := rec.MarshalBinary()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,41 +180,67 @@ func TestCollectorCloseDuringTraffic(t *testing.T) {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			rec, err := core.NewRecorder(rcfg)
+			conn, err := net.Dial("tcp", collector.Addr())
 			if err != nil {
 				started.Done()
 				return
 			}
-			for _, p := range routerPackets(r, 0, 10) {
-				rec.Observe(p)
-			}
-			client, err := Dial(uint32(r), collector.Addr())
-			if err != nil {
-				started.Done()
-				return
-			}
-			defer client.Close()
+			defer conn.Close()
 			// First frame is on the wire before we report ready; after
 			// that, spam until Close tears the connection down.
 			first := true
-			for iv := 0; ; iv++ {
-				if err := client.SendInterval(iv, rec); err != nil {
-					if first {
-						started.Done()
-					}
-					return
-				}
+			for iv := uint64(0); ; iv++ {
+				err := WriteFrame(conn, Frame{Router: uint32(r), Epoch: iv, Payload: payload})
 				if first {
 					started.Done()
 					first = false
+				}
+				if err != nil {
+					return
 				}
 			}
 		}(r)
 	}
 
-	started.Wait() // every router is connected and has sent at least once
+	started.Wait() // every router is connected and has written at least once
 	if err := collector.Close(); err != nil {
 		t.Fatal(err)
 	}
 	wg.Wait()
+}
+
+// TestCollectorCloseWithIdleConnection is the regression test for the
+// shutdown race the seed had: a router connects but never sends a frame,
+// and the collector is closed before the expected population ever
+// reports. Close must tear down the idle connection's read loop (blocked
+// in the decoder) and return; the seed's Close only closed the listener
+// and hung on its WaitGroup.
+func TestCollectorCloseWithIdleConnection(t *testing.T) {
+	rcfg := stressRecorderConfig(0x1d1e)
+	collector, err := NewCollector(rcfg, 3, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", collector.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Consume the hello so the read loop is provably past its write and
+	// parked in the decoder when Close runs.
+	dec := NewDecoder(conn)
+	if f, err := dec.Next(); err != nil || !f.IsHello() {
+		t.Fatalf("hello = %+v, %v", f, err)
+	}
+
+	closed := make(chan error, 1)
+	go func() { closed <- collector.Close() }()
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung with an idle connection open")
+	}
 }

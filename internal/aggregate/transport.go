@@ -1,43 +1,120 @@
 package aggregate
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/hifind/hifind/internal/core"
 	"github.com/hifind/hifind/internal/telemetry"
 )
 
-// Collector is the central aggregation site: it accepts one TCP connection
-// per router, reads one frame per router per interval, merges the payloads
-// and hands the merged recorder to the caller. Lifetime is explicit:
-// NewCollector starts listening, Close stops the accept loop and waits for
-// it to exit (no fire-and-forget goroutines).
-type Collector struct {
-	cfg       core.RecorderConfig
-	routers   int
-	ln        net.Listener
-	frames    chan Frame
-	errs      chan error
-	done      chan struct{}
-	wg        sync.WaitGroup
-	closeOnce sync.Once
+// ErrNoFrames reports an epoch whose deadline passed before any router's
+// frame arrived: there is nothing to merge. Callers running a wall-clock
+// epoch loop treat it as a fully missed interval and keep going.
+var ErrNoFrames = errors.New("aggregate: no router reported in time")
 
-	// Telemetry handles; all nil (no-op) without WithTelemetry.
-	mReporting *telemetry.Gauge
-	mCombine   *telemetry.Histogram
-	mMissed    *telemetry.Counter
+// maxPendingEpochs bounds how many future epochs the collector buffers
+// frames for. Routers run at most one interval ahead of the collector in
+// a healthy deployment; eight absorbs deep reconnect backlogs while
+// keeping a hostile or runaway router from growing memory without bound.
+const maxPendingEpochs = 8
+
+// helloWriteTimeout bounds the resync hello written to every accepted
+// connection; a peer that won't even drain 30 bytes is dead.
+const helloWriteTimeout = 5 * time.Second
+
+// Collector is the central aggregation site: it accepts router
+// connections (including reconnects — the router population is dynamic),
+// reads CRC-checked frames, and merges one epoch at a time by sketch
+// linearity. On every accepted connection it first writes a hello frame
+// carrying the lowest epoch it will still merge, so reconnecting routers
+// can prune spill buffers instead of re-sending reports that would be
+// discarded as stale.
+//
+// Frame handling is epoch-relative: frames for the epoch being collected
+// merge (first frame per router wins; duplicates from at-least-once
+// resends are counted and ignored), frames for future epochs are
+// buffered, frames for closed epochs are counted and dropped, and
+// corrupt frames cost one report, not the connection (see Decoder).
+//
+// CollectEpoch must be called from a single goroutine. Lifetime is
+// explicit: NewCollector starts listening, Close stops the accept loop,
+// tears down every router connection, and waits for all goroutines.
+type Collector struct {
+	cfg        core.RecorderConfig
+	routers    int
+	ln         net.Listener
+	frames     chan Frame
+	errs       chan error
+	done       chan struct{}
+	wg         sync.WaitGroup
+	closeOnce  sync.Once
+	epoch      atomic.Uint64 // epoch currently being collected (hello value)
+	maxPayload int
+	observer   func(router uint32, epoch uint64)
+
+	// pending buffers frames for epochs ahead of the one being
+	// collected; touched only by the CollectEpoch goroutine.
+	pending map[uint64]*epochBuf
+
+	// Telemetry handles; all nil (no-op) without WithTelemetry. The
+	// counters are internally atomic, not mutex-guarded.
+	mReporting  *telemetry.Gauge
+	mCombine    *telemetry.Histogram
+	mMissed     *telemetry.Counter
+	mPartial    *telemetry.Counter
+	mReconnects *telemetry.Counter
+	mCorrupt    *telemetry.Counter
+	mStale      *telemetry.Counter
+	mDuplicate  *telemetry.Counter
+
+	mu      sync.Mutex
+	closing bool
+	conns   map[net.Conn]struct{}
+	known   map[uint32]bool // router ids that have reported at least once
+}
+
+// epochBuf gathers one epoch's frames.
+type epochBuf struct {
+	payloads [][]byte
+	routers  []uint32
+	seen     map[uint32]bool
+}
+
+func newEpochBuf() *epochBuf { return &epochBuf{seen: make(map[uint32]bool)} }
+
+func (b *epochBuf) add(f Frame) bool {
+	if b.seen[f.Router] {
+		return false
+	}
+	b.seen[f.Router] = true
+	b.payloads = append(b.payloads, f.Payload)
+	b.routers = append(b.routers, f.Router)
+	return true
+}
+
+// EpochInfo describes how one epoch's merge closed.
+type EpochInfo struct {
+	Epoch uint64
+	// Contributors lists the router ids whose frames were merged, in
+	// arrival order.
+	Contributors []uint32
+	// Partial marks an epoch closed at the deadline with at least one
+	// expected router missing.
+	Partial bool
 }
 
 // CollectorOption customizes NewCollector.
 type CollectorOption func(*Collector)
 
 // WithTelemetry registers the aggregation site's aggregate_* metric
-// series on reg: how many routers contributed to the last interval, the
-// latency of merging their payloads, and how many intervals closed at
-// the deadline with routers missing.
+// series on reg: routers contributing per interval, COMBINE latency,
+// deadline misses, partial intervals, router reconnects, and corrupt /
+// stale / duplicate frame counts.
 func WithTelemetry(reg *telemetry.Registry) CollectorOption {
 	return func(c *Collector) {
 		c.mReporting = reg.Gauge("aggregate_routers_reporting",
@@ -45,12 +122,40 @@ func WithTelemetry(reg *telemetry.Registry) CollectorOption {
 		c.mCombine = reg.Histogram("aggregate_combine_seconds",
 			"latency of merging per-router payloads (COMBINE)", telemetry.DefBuckets)
 		c.mMissed = reg.Counter("aggregate_missed_deadline_intervals_total",
-			"intervals merged at the deadline with at least one router missing")
+			"intervals whose deadline fired with at least one router missing")
+		c.mPartial = reg.Counter("aggregate_partial_intervals_total",
+			"intervals merged from a strict subset of the expected routers")
+		c.mReconnects = reg.Counter("aggregate_reconnects_total",
+			"router connections re-established after an earlier report")
+		c.mCorrupt = reg.Counter("aggregate_corrupt_frames_total",
+			"frames dropped by CRC or framing corruption (skip-and-count)")
+		c.mStale = reg.Counter("aggregate_stale_frames_total",
+			"frames discarded for already-closed epochs or overflowing the future-epoch buffer")
+		c.mDuplicate = reg.Counter("aggregate_duplicate_frames_total",
+			"frames ignored because the router already reported the epoch")
 	}
 }
 
+// WithMaxFramePayload caps the per-frame payload size the collector's
+// decoders accept (default DefaultMaxFramePayload).
+func WithMaxFramePayload(n int) CollectorOption {
+	return func(c *Collector) {
+		if n > 0 {
+			c.maxPayload = n
+		}
+	}
+}
+
+// WithFrameObserver registers fn to run (on the CollectEpoch goroutine)
+// for every frame accepted into the current or a buffered future epoch.
+// Deterministic fault tests use it to sequence deadline decisions on
+// observed arrivals instead of sleeps.
+func WithFrameObserver(fn func(router uint32, epoch uint64)) CollectorOption {
+	return func(c *Collector) { c.observer = fn }
+}
+
 // NewCollector listens on addr ("127.0.0.1:0" for tests) and expects
-// exactly routers connections.
+// frames from `routers` distinct routers per epoch.
 func NewCollector(cfg core.RecorderConfig, routers int, addr string, opts ...CollectorOption) (*Collector, error) {
 	if routers < 1 {
 		return nil, fmt.Errorf("aggregate: collector for %d routers", routers)
@@ -60,12 +165,16 @@ func NewCollector(cfg core.RecorderConfig, routers int, addr string, opts ...Col
 		return nil, fmt.Errorf("aggregate: listen: %w", err)
 	}
 	c := &Collector{
-		cfg:     cfg,
-		routers: routers,
-		ln:      ln,
-		frames:  make(chan Frame),
-		errs:    make(chan error, routers),
-		done:    make(chan struct{}),
+		cfg:        cfg,
+		routers:    routers,
+		ln:         ln,
+		frames:     make(chan Frame, routers),
+		errs:       make(chan error, 1),
+		done:       make(chan struct{}),
+		conns:      make(map[net.Conn]struct{}),
+		known:      make(map[uint32]bool),
+		pending:    make(map[uint64]*epochBuf),
+		maxPayload: DefaultMaxFramePayload,
 	}
 	for _, o := range opts {
 		o(c)
@@ -78,16 +187,59 @@ func NewCollector(cfg core.RecorderConfig, routers int, addr string, opts ...Col
 // Addr returns the listening address for routers to dial.
 func (c *Collector) Addr() string { return c.ln.Addr().String() }
 
+// Routers returns the expected router count.
+func (c *Collector) Routers() int { return c.routers }
+
+// register tracks an accepted connection for teardown; it refuses new
+// connections once Close has begun so shutdown cannot race the accept
+// loop into leaking a reader.
+func (c *Collector) register(conn net.Conn) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closing {
+		return false
+	}
+	c.conns[conn] = struct{}{}
+	return true
+}
+
+func (c *Collector) unregister(conn net.Conn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.conns, conn)
+}
+
+// noteRouter records the first frame of a connection's router id and
+// counts a reconnect when that router has reported before on another
+// connection.
+func (c *Collector) noteRouter(id uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.known[id] {
+		c.mReconnects.Inc()
+		return
+	}
+	c.known[id] = true
+}
+
 func (c *Collector) acceptLoop() {
 	defer c.wg.Done()
-	for i := 0; i < c.routers; i++ {
+	for {
 		conn, err := c.ln.Accept()
 		if err != nil {
 			select {
 			case <-c.done: // Close was called; quiet exit
 			default:
-				c.errs <- fmt.Errorf("aggregate: accept: %w", err)
+				select {
+				case c.errs <- fmt.Errorf("aggregate: accept: %w", err):
+				default:
+				}
 			}
+			return
+		}
+		if !c.register(conn) {
+			//lint:ignore unchecked-close collector is shutting down; the refused peer sees a reset either way
+			conn.Close()
 			return
 		}
 		c.wg.Add(1)
@@ -97,12 +249,35 @@ func (c *Collector) acceptLoop() {
 
 func (c *Collector) readLoop(conn net.Conn) {
 	defer c.wg.Done()
-	//lint:ignore unchecked-close read-side teardown; the stream already ended (EOF or collector Close) and a close error carries no signal
+	defer c.unregister(conn)
+	//lint:ignore unchecked-close read-side teardown; the stream already ended and a close error carries no signal
 	defer conn.Close()
+
+	// Resync hello: tell the router the lowest epoch still worth sending.
+	_ = conn.SetWriteDeadline(time.Now().Add(helloWriteTimeout))
+	if err := WriteFrame(conn, Frame{Flags: FlagHello, Epoch: c.epoch.Load()}); err != nil {
+		return
+	}
+	_ = conn.SetWriteDeadline(time.Time{})
+
+	dec := NewDecoder(conn, WithMaxPayload(c.maxPayload))
+	var counted int64
+	routerKnown := false
 	for {
-		f, err := ReadFrame(conn)
+		f, err := dec.Next()
+		if delta := dec.Corrupt() - counted; delta > 0 {
+			c.mCorrupt.Add(delta)
+			counted = dec.Corrupt()
+		}
 		if err != nil {
-			return // EOF or Close; per-connection errors end the stream
+			return // EOF, reset, or truncated tail; the frames that made it through stand
+		}
+		if f.IsHello() {
+			continue // routers never send hellos; tolerate echoes
+		}
+		if !routerKnown {
+			routerKnown = true
+			c.noteRouter(f.Router)
 		}
 		select {
 		case c.frames <- f:
@@ -112,55 +287,103 @@ func (c *Collector) readLoop(conn net.Conn) {
 	}
 }
 
-// CollectInterval blocks until one frame per router arrives for the given
-// interval, then returns the merged recorder. Frames for other intervals
-// are a protocol violation and reported as errors.
+// CollectEpoch blocks until every expected router has reported the given
+// epoch, the deadline channel fires, or the collector closes. On a
+// deadline with at least one frame gathered it merges what arrived and
+// flags the result Partial; with none it returns ErrNoFrames. A nil
+// deadline waits indefinitely. Must be called from one goroutine, with
+// epochs non-decreasing.
+func (c *Collector) CollectEpoch(epoch uint64, deadline <-chan time.Time) (*core.Recorder, EpochInfo, error) {
+	c.epoch.Store(epoch)
+	info := EpochInfo{Epoch: epoch}
+	// Frames buffered for closed epochs can no longer merge; drop them.
+	for e, b := range c.pending {
+		if e < epoch {
+			c.mStale.Add(int64(len(b.payloads)))
+			delete(c.pending, e)
+		}
+	}
+	buf, ok := c.pending[epoch]
+	if ok {
+		delete(c.pending, epoch)
+	} else {
+		buf = newEpochBuf()
+	}
+	for len(buf.seen) < c.routers {
+		select {
+		case f := <-c.frames:
+			c.sortFrame(f, epoch, buf)
+		case <-deadline:
+			c.mMissed.Inc()
+			c.epoch.Store(epoch + 1)
+			if len(buf.payloads) == 0 {
+				return nil, info, fmt.Errorf("%w (epoch %d)", ErrNoFrames, epoch)
+			}
+			c.mPartial.Inc()
+			info.Partial = true
+			info.Contributors = buf.routers
+			rec, err := c.merge(buf.payloads)
+			return rec, info, err
+		case err := <-c.errs:
+			return nil, info, err
+		case <-c.done:
+			return nil, info, fmt.Errorf("aggregate: collector closed")
+		}
+	}
+	c.epoch.Store(epoch + 1)
+	info.Contributors = buf.routers
+	rec, err := c.merge(buf.payloads)
+	return rec, info, err
+}
+
+// sortFrame routes one frame relative to the epoch being collected.
+func (c *Collector) sortFrame(f Frame, epoch uint64, buf *epochBuf) {
+	switch {
+	case f.Epoch == epoch:
+		if !buf.add(f) {
+			c.mDuplicate.Inc()
+			return
+		}
+	case f.Epoch < epoch:
+		c.mStale.Inc()
+		return
+	default: // future epoch: buffer, bounded
+		b, ok := c.pending[f.Epoch]
+		if !ok {
+			if len(c.pending) >= maxPendingEpochs {
+				c.mStale.Inc()
+				return
+			}
+			b = newEpochBuf()
+			c.pending[f.Epoch] = b
+		}
+		if !b.add(f) {
+			c.mDuplicate.Inc()
+			return
+		}
+	}
+	if c.observer != nil {
+		c.observer(f.Router, f.Epoch)
+	}
+}
+
+// CollectInterval blocks until one frame per router arrives for the
+// given interval, then returns the merged recorder.
 func (c *Collector) CollectInterval(interval int) (*core.Recorder, error) {
-	rec, _, err := c.collect(interval, nil)
+	rec, _, err := c.CollectEpoch(uint64(interval), nil)
 	return rec, err
 }
 
-// CollectIntervalWithin is CollectInterval with a deadline: when a router
-// dies mid-interval, aggregation proceeds with whatever arrived in time —
-// detection over most of the edge beats no detection, and sketch linearity
-// makes the partial merge exactly the traffic the surviving routers saw.
-// It reports how many routers contributed. At least one frame is required.
+// CollectIntervalWithin is CollectInterval with a deadline: when a
+// router dies mid-interval, aggregation proceeds with whatever arrived
+// in time — detection over most of the edge beats no detection, and
+// sketch linearity makes the partial merge exactly the traffic the
+// surviving routers saw. It reports how many routers contributed.
 func (c *Collector) CollectIntervalWithin(interval int, timeout time.Duration) (*core.Recorder, int, error) {
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
-	return c.collect(interval, timer.C)
-}
-
-func (c *Collector) collect(interval int, deadline <-chan time.Time) (*core.Recorder, int, error) {
-	payloads := make([][]byte, 0, c.routers)
-	seen := make(map[uint32]bool, c.routers)
-	for len(payloads) < c.routers {
-		select {
-		case f := <-c.frames:
-			if int(f.Interval) != interval {
-				return nil, 0, fmt.Errorf("aggregate: router %d sent interval %d during %d",
-					f.Router, f.Interval, interval)
-			}
-			if seen[f.Router] {
-				return nil, 0, fmt.Errorf("aggregate: duplicate frame from router %d", f.Router)
-			}
-			seen[f.Router] = true
-			payloads = append(payloads, f.Payload)
-		case <-deadline:
-			c.mMissed.Inc()
-			if len(payloads) == 0 {
-				return nil, 0, fmt.Errorf("aggregate: no router reported interval %d in time", interval)
-			}
-			rec, err := c.merge(payloads)
-			return rec, len(payloads), err
-		case err := <-c.errs:
-			return nil, 0, err
-		case <-c.done:
-			return nil, 0, fmt.Errorf("aggregate: collector closed")
-		}
-	}
-	rec, err := c.merge(payloads)
-	return rec, len(payloads), err
+	rec, info, err := c.CollectEpoch(uint64(interval), timer.C)
+	return rec, len(info.Contributors), err
 }
 
 // merge combines the gathered payloads, recording combine latency and
@@ -175,43 +398,26 @@ func (c *Collector) merge(payloads [][]byte) (*core.Recorder, error) {
 	return rec, err
 }
 
-// Close shuts the listener down and waits for all goroutines to exit.
+// Close shuts the listener and every router connection down and waits
+// for all goroutines to exit. Safe to call at any point in the
+// collector's life, including before any router has connected.
 func (c *Collector) Close() error {
 	var err error
 	c.closeOnce.Do(func() {
+		c.mu.Lock()
+		c.closing = true
+		conns := make([]net.Conn, 0, len(c.conns))
+		for conn := range c.conns {
+			conns = append(conns, conn)
+		}
+		c.mu.Unlock()
 		close(c.done)
 		err = c.ln.Close()
+		for _, conn := range conns {
+			//lint:ignore unchecked-close teardown of a connection whose stream we are abandoning
+			conn.Close()
+		}
 		c.wg.Wait()
 	})
 	return err
 }
-
-// RouterClient is the edge-router side: it records locally and ships its
-// state each interval.
-type RouterClient struct {
-	id   uint32
-	conn net.Conn
-}
-
-// Dial connects a router to the collector.
-func Dial(id uint32, addr string) (*RouterClient, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("aggregate: dial %s: %w", addr, err)
-	}
-	return &RouterClient{id: id, conn: conn}, nil
-}
-
-// SendInterval serializes the recorder and ships it as this interval's
-// frame. The caller resets the recorder afterwards (the detector side does
-// this for merged state; each router does it locally).
-func (r *RouterClient) SendInterval(interval int, rec *core.Recorder) error {
-	payload, err := rec.MarshalBinary()
-	if err != nil {
-		return err
-	}
-	return WriteFrame(r.conn, Frame{Router: r.id, Interval: uint32(interval), Payload: payload})
-}
-
-// Close closes the router's connection.
-func (r *RouterClient) Close() error { return r.conn.Close() }

@@ -64,6 +64,12 @@ type Alert struct {
 	// FanoutEstimate approximates the number of distinct destinations
 	// (hscan) or ports (vscan) the attacker touched, from the 2D sketch.
 	FanoutEstimate int
+	// Partial marks alerts from an interval whose multi-router merge
+	// closed at the deadline with at least one router missing: the alert
+	// is real for the traffic the surviving routers saw, but magnitudes
+	// are lower bounds and attacks visible only through the missing
+	// router may be absent.
+	Partial bool
 }
 
 // Key returns a dedup identity for the alert: alerts for the same culprit
@@ -115,6 +121,9 @@ type IntervalResult struct {
 	Raw      []Alert
 	Phase2   []Alert
 	Final    []Alert
+	// Partial marks intervals detected over an incomplete multi-router
+	// merge (see Alert.Partial).
+	Partial bool
 	// DetectionSeconds is the wall time the analysis took (paper §5.5.3).
 	DetectionSeconds float64
 	// Diag carries per-interval observability sampled before the

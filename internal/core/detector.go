@@ -207,6 +207,15 @@ func (d *Detector) EndInterval() (IntervalResult, error) {
 // detector's own recorder. The supplied recorder must share the
 // configuration of the detector's.
 func (d *Detector) EndIntervalWith(rec *Recorder) (IntervalResult, error) {
+	return d.EndIntervalWithPartial(rec, false)
+}
+
+// EndIntervalWithPartial is EndIntervalWith for merges that closed at
+// the collection deadline with routers missing: the result and each of
+// its alerts are flagged Partial, so downstream consumers (mitigation,
+// dashboards) can weigh them as lower bounds over the surviving routers'
+// traffic rather than the whole edge.
+func (d *Detector) EndIntervalWithPartial(rec *Recorder, partial bool) (IntervalResult, error) {
 	if !d.rec.Compatible(rec) {
 		return IntervalResult{}, fmt.Errorf("core: recorder incompatible with detector")
 	}
@@ -262,6 +271,14 @@ func (d *Detector) EndIntervalWith(rec *Recorder) (IntervalResult, error) {
 	}
 	d.interval++
 	res.DetectionSeconds = time.Since(started).Seconds()
+	if partial {
+		res.Partial = true
+		for _, alerts := range [][]Alert{res.Raw, res.Phase2, res.Final} {
+			for i := range alerts {
+				alerts[i].Partial = true
+			}
+		}
+	}
 	return res, nil
 }
 

@@ -1,0 +1,283 @@
+// Package faultnet wraps net.Conn and net.Listener with deterministic,
+// seeded fault injection for tests: scheduled connection resets, partial
+// (truncated) and chunked writes, byte corruption at chosen offsets,
+// duplicated writes, fixed per-write latency, and dial failures. Every
+// fault is driven either by an explicit schedule or by a Plan derived
+// deterministically from a seed, so a failing test reproduces from its
+// seed alone — no timing dependence, no real packet loss.
+//
+// Faults are injected on the write side only: the writer and the reader
+// of one connection see the same corrupted byte stream, which is exactly
+// what a fault on the wire produces.
+package faultnet
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Plan schedules the faults of one connection. The zero value injects
+// nothing. Offsets and write indices count from the start of the
+// connection: offset = bytes accepted so far, write index = Write calls
+// so far (0-based).
+type Plan struct {
+	// FailConnect makes the dialer (or listener, for accepted conns)
+	// close the connection immediately, before any byte moves.
+	FailConnect bool
+	// ResetAfterBytes kills the connection once that many bytes have been
+	// written through: the Write that crosses the boundary delivers only
+	// the bytes below it (a partial write on the wire), returns an error,
+	// and every later Write fails. Zero disables.
+	ResetAfterBytes int64
+	// CorruptAt XORs the byte at each listed absolute write offset with
+	// the corresponding mask (mask 0 means 0xFF, so a listed offset is
+	// never a silent no-op).
+	CorruptAt map[int64]byte
+	// ChunkWrites splits every Write into pieces of at most this many
+	// bytes, exercising short-read reassembly downstream. Zero disables.
+	ChunkWrites int
+	// DuplicateWrites re-sends the full data of the listed write indices
+	// a second time, back to back — a duplicated frame if the protocol
+	// writes frames atomically.
+	DuplicateWrites map[int]bool
+	// WriteDelay sleeps this long before every Write. Use only to widen
+	// real race windows in stress tests; deterministic tests keep it 0.
+	WriteDelay time.Duration
+}
+
+// RandomPlan derives a reproducible plan from a seed: with the given
+// per-byte corruption rate, a reset roughly every resetEveryBytes
+// written (0 disables resets), chunked writes, and an occasional
+// duplicated write. Two calls with one seed yield identical plans.
+func RandomPlan(seed int64, corruptRate float64, resetEveryBytes int64) *Plan {
+	rng := rand.New(rand.NewSource(seed))
+	p := &Plan{
+		ChunkWrites:     512 + rng.Intn(4096),
+		CorruptAt:       make(map[int64]byte),
+		DuplicateWrites: map[int]bool{3 + rng.Intn(64): true},
+	}
+	if corruptRate > 0 {
+		// Scatter corruption over the first 32 MB with the requested
+		// density; connections shorter than a gap see no corruption.
+		const span = 32 << 20
+		for off := int64(rng.ExpFloat64() / corruptRate); off < span; off += 1 + int64(rng.ExpFloat64()/corruptRate) {
+			p.CorruptAt[off] = byte(rng.Intn(256))
+		}
+	}
+	if resetEveryBytes > 0 {
+		p.ResetAfterBytes = resetEveryBytes/2 + rng.Int63n(resetEveryBytes)
+	}
+	return p
+}
+
+// Conn wraps a net.Conn with one Plan. Reads pass through untouched.
+type Conn struct {
+	net.Conn
+	plan *Plan
+
+	mu      sync.Mutex
+	written int64
+	writes  int
+	dead    bool
+}
+
+// WrapConn applies plan to c. A nil plan injects nothing.
+func WrapConn(c net.Conn, plan *Plan) *Conn {
+	if plan == nil {
+		plan = &Plan{}
+	}
+	return &Conn{Conn: c, plan: plan}
+}
+
+// Written returns how many bytes the wrapper has accepted so far.
+func (c *Conn) Written() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.written
+}
+
+// Write applies the plan: corruption, chunking, duplication, delay, and
+// the scheduled reset. On reset it delivers the prefix below the
+// boundary, closes the underlying connection, and fails this and every
+// later Write.
+func (c *Conn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.plan.WriteDelay > 0 {
+		time.Sleep(c.plan.WriteDelay)
+	}
+	if c.dead {
+		return 0, fmt.Errorf("faultnet: connection reset by plan")
+	}
+	idx := c.writes
+	c.writes++
+
+	data := b
+	// Corrupt scheduled offsets within this write's span, copying the
+	// caller's buffer once on first hit.
+	if len(c.plan.CorruptAt) > 0 {
+		copied := false
+		for i := range b {
+			if mask, ok := c.plan.CorruptAt[c.written+int64(i)]; ok {
+				if !copied {
+					data = append([]byte(nil), b...)
+					copied = true
+				}
+				if mask == 0 {
+					mask = 0xFF
+				}
+				data[i] ^= mask
+			}
+		}
+	}
+
+	// Scheduled reset: deliver the prefix, then die.
+	if r := c.plan.ResetAfterBytes; r > 0 && c.written+int64(len(data)) > r {
+		keep := r - c.written
+		if keep < 0 {
+			keep = 0
+		}
+		if keep > 0 {
+			n, err := c.writeChunked(data[:keep])
+			c.written += int64(n)
+			if err != nil {
+				c.dead = true
+				return n, err
+			}
+		}
+		c.dead = true
+		//lint:ignore unchecked-close injected fault: the peer sees a reset either way
+		c.Conn.Close()
+		return int(keep), fmt.Errorf("faultnet: connection reset by plan after %d bytes", c.written)
+	}
+
+	n, err := c.writeChunked(data)
+	c.written += int64(n)
+	if err != nil {
+		return n, err
+	}
+	if c.plan.DuplicateWrites[idx] {
+		if _, err := c.writeChunked(data); err != nil {
+			return n, err
+		}
+	}
+	return n, err
+}
+
+// writeChunked forwards data to the underlying conn in ChunkWrites-sized
+// pieces (or whole, when chunking is off).
+func (c *Conn) writeChunked(data []byte) (int, error) {
+	step := c.plan.ChunkWrites
+	if step <= 0 || step >= len(data) {
+		return c.Conn.Write(data)
+	}
+	total := 0
+	for len(data) > 0 {
+		k := step
+		if k > len(data) {
+			k = len(data)
+		}
+		n, err := c.Conn.Write(data[:k])
+		total += n
+		if err != nil {
+			return total, err
+		}
+		data = data[k:]
+	}
+	return total, nil
+}
+
+// Planner hands out the plan for the i-th connection (0-based accept or
+// dial order). Returning nil injects nothing for that connection.
+type Planner func(i int) *Plan
+
+// Listener wraps a net.Listener, applying the planner to each accepted
+// connection in accept order.
+type Listener struct {
+	net.Listener
+	planner Planner
+
+	mu sync.Mutex
+	n  int
+}
+
+// WrapListener applies planner to every accepted connection.
+func WrapListener(ln net.Listener, planner Planner) *Listener {
+	return &Listener{Listener: ln, planner: planner}
+}
+
+// Accept accepts the next connection and wraps it with its plan. A plan
+// with FailConnect closes the connection immediately and accepts the
+// next one, so the dialer observes connect-then-reset.
+func (l *Listener) Accept() (net.Conn, error) {
+	for {
+		conn, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		i := l.n
+		l.n++
+		l.mu.Unlock()
+		var plan *Plan
+		if l.planner != nil {
+			plan = l.planner(i)
+		}
+		if plan != nil && plan.FailConnect {
+			//lint:ignore unchecked-close injected fault: rejecting the connection is the point
+			conn.Close()
+			continue
+		}
+		return WrapConn(conn, plan), nil
+	}
+}
+
+// Dialer produces faulty client connections: the planner keys on the
+// dial attempt index, and a FailConnect plan fails the dial itself.
+type Dialer struct {
+	// Dial is the underlying dial function (defaults to net.Dial "tcp").
+	Dial func(addr string) (net.Conn, error)
+
+	planner Planner
+	mu      sync.Mutex
+	n       int
+}
+
+// NewDialer builds a Dialer over planner.
+func NewDialer(planner Planner) *Dialer {
+	return &Dialer{planner: planner}
+}
+
+// Attempts returns how many dials have been made.
+func (d *Dialer) Attempts() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.n
+}
+
+// DialContextFree dials addr, applying the plan for this attempt.
+func (d *Dialer) DialContextFree(addr string) (net.Conn, error) {
+	d.mu.Lock()
+	i := d.n
+	d.n++
+	d.mu.Unlock()
+	var plan *Plan
+	if d.planner != nil {
+		plan = d.planner(i)
+	}
+	if plan != nil && plan.FailConnect {
+		return nil, fmt.Errorf("faultnet: dial attempt %d refused by plan", i)
+	}
+	dial := d.Dial
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	conn, err := dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return WrapConn(conn, plan), nil
+}
