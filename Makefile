@@ -37,6 +37,7 @@ fuzz-short:
 	$(GO) test -fuzz FuzzReadPacket -fuzztime $(FUZZTIME) ./internal/pcap
 	$(GO) test -fuzz FuzzInference -fuzztime $(FUZZTIME) ./internal/revsketch
 	$(GO) test -fuzz FuzzFrameDecode -fuzztime $(FUZZTIME) ./internal/aggregate
+	$(GO) test -fuzz FuzzObserve -fuzztime $(FUZZTIME) ./internal/core
 
 # Deterministic fault-injection matrix over the multi-router aggregation
 # path: each seed derives a full schedule of connection resets, corrupted
@@ -60,3 +61,14 @@ smoke:
 .PHONY: bench
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Hot-path regression gate: re-measure the fused-vs-legacy engine
+# comparison and compare the *speedups* (machine-independent ratios)
+# against the committed BENCH_hotpath.json. Fails on >10% speedup
+# regression or if the NetFlow replay collapse drops below 2x.
+# Refresh the committed baseline with: go run ./cmd/benchtables -table hotpath
+FRESH_HOTPATH ?= BENCH_hotpath.fresh.json
+.PHONY: bench-gate
+bench-gate:
+	$(GO) run ./cmd/benchtables -table hotpath -benchout $(FRESH_HOTPATH)
+	$(GO) run ./cmd/benchgate -baseline BENCH_hotpath.json -fresh $(FRESH_HOTPATH)

@@ -1,0 +1,106 @@
+// Command benchgate enforces the hot-path performance contract: it
+// compares a freshly measured engine comparison (the BENCH_hotpath.json
+// shape written by `benchtables -table hotpath`) against the committed
+// baseline and exits non-zero on regression.
+//
+// The gate judges speedups — fused/legacy ratios measured back to back
+// in one process — never absolute packets/sec, so a slower CI machine
+// cannot fail the gate and a faster one cannot mask a regression. Three
+// rules:
+//
+//  1. FlowSpeedup ≥ -min-flow-speedup (default 2.0): the weighted-update
+//     collapse of NetFlow replay must survive; this is the floor the
+//     fused engine exists to clear, not a relative check.
+//  2. PacketSpeedup ≥ 1.0: the fused engine must never be slower than
+//     legacy on the per-packet path.
+//  3. Each fresh speedup ≥ (1 - tolerance) × baseline speedup (default
+//     tolerance 10%): the margin recorded in the committed JSON must not
+//     silently erode.
+//
+//	benchgate -baseline BENCH_hotpath.json -fresh /tmp/fresh.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/hifind/hifind/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_hotpath.json", "committed baseline JSON")
+		freshPath    = flag.String("fresh", "", "freshly measured JSON (required)")
+		tolerance    = flag.Float64("tolerance", 0.10, "allowed fractional speedup regression vs baseline")
+		minFlow      = flag.Float64("min-flow-speedup", 2.0, "absolute floor for the NetFlow replay speedup")
+	)
+	flag.Parse()
+	if *freshPath == "" {
+		return fmt.Errorf("-fresh is required (run `benchtables -table hotpath -benchout <file>` first)")
+	}
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		return err
+	}
+	fresh, err := load(*freshPath)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("hot-path gate: baseline %s, fresh %s (tolerance %.0f%%)\n",
+		*baselinePath, *freshPath, 100**tolerance)
+	fmt.Printf("  packet speedup: baseline %.2fx, fresh %.2fx\n", baseline.PacketSpeedup, fresh.PacketSpeedup)
+	fmt.Printf("  flow speedup:   baseline %.2fx, fresh %.2fx\n", baseline.FlowSpeedup, fresh.FlowSpeedup)
+
+	var failures []string
+	if fresh.FlowSpeedup < *minFlow {
+		failures = append(failures, fmt.Sprintf(
+			"NetFlow replay speedup %.2fx below the %.1fx floor — the weighted-update collapse is broken",
+			fresh.FlowSpeedup, *minFlow))
+	}
+	if fresh.PacketSpeedup < 1.0 {
+		failures = append(failures, fmt.Sprintf(
+			"fused per-packet path is slower than legacy (%.2fx)", fresh.PacketSpeedup))
+	}
+	check := func(name string, base, got float64) {
+		if floor := base * (1 - *tolerance); got < floor {
+			failures = append(failures, fmt.Sprintf(
+				"%s speedup regressed: %.2fx vs baseline %.2fx (floor %.2fx)", name, got, base, floor))
+		}
+	}
+	check("packet", baseline.PacketSpeedup, fresh.PacketSpeedup)
+	check("flow", baseline.FlowSpeedup, fresh.FlowSpeedup)
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "benchgate: FAIL:", f)
+		}
+		return fmt.Errorf("%d check(s) failed", len(failures))
+	}
+	fmt.Println("  PASS")
+	return nil
+}
+
+func load(path string) (experiments.HotpathBench, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return experiments.HotpathBench{}, err
+	}
+	var b experiments.HotpathBench
+	if err := json.Unmarshal(data, &b); err != nil {
+		return experiments.HotpathBench{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.LegacyPacketPPS <= 0 || b.LegacyFlowRPS <= 0 {
+		return experiments.HotpathBench{}, fmt.Errorf("%s: not a hotpath benchmark (zero legacy rates)", path)
+	}
+	return b, nil
+}

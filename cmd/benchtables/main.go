@@ -27,7 +27,7 @@ func main() {
 func run() error {
 	var (
 		table = flag.String("table", "all",
-			"which artifact to regenerate: 1, 4, 5, 6, 7, 9, f4, mr, val, ma, perf, pipeline, telemetry, mit, ttd, ablation or all")
+			"which artifact to regenerate: 1, 4, 5, 6, 7, 9, f4, mr, val, ma, perf, pipeline, telemetry, hotpath, mit, ttd, ablation or all")
 		full     = flag.Bool("full", false, "run at the larger scale")
 		benchout = flag.String("benchout", "",
 			"write the pipeline/telemetry benchmark results as JSON to this file (default BENCH_telemetry.json for -table telemetry)")
@@ -189,6 +189,37 @@ func run() error {
 		}
 		if out != "" {
 			data, err := json.MarshalIndent(tb, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", out)
+		}
+	}
+	if want("hotpath") {
+		section("Hot path — fused vs legacy update engine")
+		packets := 1_000_000
+		flows := 100_000
+		if *full {
+			packets, flows = 4_000_000, 400_000
+		}
+		hb, err := experiments.HotpathThroughput(packets, flows)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatHotpath(hb))
+		// As with the telemetry table, -table all leaves the committed
+		// JSON alone; asking for the hotpath table explicitly records it.
+		out := ""
+		if *table == "hotpath" {
+			if out = *benchout; out == "" {
+				out = "BENCH_hotpath.json"
+			}
+		}
+		if out != "" {
+			data, err := json.MarshalIndent(hb, "", "  ")
 			if err != nil {
 				return err
 			}

@@ -18,6 +18,7 @@ var hotpathPackages = []string{
 	"internal/revsketch",
 	"internal/sketch2d",
 	"internal/bloom",
+	"internal/core",
 	"internal/pipeline",
 	"internal/telemetry",
 }
@@ -42,16 +43,22 @@ var telemetryHotFuncs = map[string]bool{
 }
 
 // hotpathFunc reports whether a function name is part of the UPDATE /
-// ESTIMATE / COMBINE hot-path contract (paper Table 2) or the pipeline's
-// per-packet Ingest. EstimateGrid and friends share the Estimate budget,
-// hence the prefix match. In internal/telemetry the contract covers the
+// ESTIMATE / COMBINE hot-path contract (paper Table 2), the pipeline's
+// per-packet Ingest, the recorder's per-packet Observe/ObserveFlow and
+// fused update internals, or the plan API the fused engine fills and
+// applies per packet. EstimateGrid and friends share the Estimate
+// budget, and updateFused/updateLegacy share Observe's, hence the
+// prefix matches. In internal/telemetry the contract covers the
 // sanctioned instrumentation methods instead.
 func hotpathFunc(pkgPath, name string) bool {
 	if pathMatchesAny(pkgPath, telemetryPackage) {
 		return telemetryHotFuncs[name]
 	}
-	return name == "Update" || name == "Combine" || name == "Ingest" ||
-		strings.HasPrefix(name, "Estimate")
+	return name == "Update" || name == "UpdateAt" || name == "FillPlan" ||
+		name == "Combine" || name == "Ingest" ||
+		strings.HasPrefix(name, "Estimate") ||
+		strings.HasPrefix(name, "Observe") ||
+		strings.HasPrefix(name, "update")
 }
 
 var hotpathAllocAnalyzer = &Analyzer{

@@ -1,0 +1,76 @@
+// Package core is a golden-test stand-in for the recorder's fused
+// update engine: hotpath-alloc extends over internal/core's per-packet
+// surface — Observe/ObserveFlow, the update* internals, and the
+// FillPlan/UpdateAt plan API — so allocation in any of them must be
+// flagged, while constructors and plan pre-allocation stay free.
+package core
+
+import "fmt"
+
+type Plan struct {
+	idx []uint32
+}
+
+type Recorder struct {
+	counts [8]int32
+	plan   Plan
+	labels []string
+}
+
+func (r *Recorder) Observe(key uint64) {
+	scratch := make([]uint32, 8) // want `make allocates in hot path Observe`
+	_ = scratch
+	r.counts[key&7]++
+}
+
+func (r *Recorder) ObserveFlow(key uint64, n int) {
+	r.labels = append(r.labels, "flow") // want `append allocates in hot path ObserveFlow`
+	r.counts[key&7] += int32(n)
+}
+
+func (r *Recorder) updateFused(key uint64, v int32) {
+	lbl := fmt.Sprintf("k%d", key) // want `fmt.Sprintf allocates in hot path updateFused`
+	_ = lbl
+	r.counts[key&7] += v
+}
+
+func (r *Recorder) FillPlan(key uint64) {
+	p := new(Plan) // want `new allocates in hot path FillPlan`
+	_ = p
+	r.plan.idx[0] = uint32(key & 7)
+}
+
+func (r *Recorder) UpdateAt(v int32) {
+	m := map[int]int32{0: v} // want `map literal allocates in hot path UpdateAt`
+	_ = m
+	r.counts[r.plan.idx[0]] += v
+}
+
+// Clean shows the sanctioned fused shape: the plan buffer is allocated
+// once at construction and every per-packet call only indexes it.
+type Clean struct {
+	counts [8]int32
+	plan   Plan
+}
+
+// NewClean is a constructor, not a hot-path operation: allocation is fine.
+func NewClean() *Clean {
+	return &Clean{plan: Plan{idx: make([]uint32, 8)}}
+}
+
+func (c *Clean) Observe(key uint64) {
+	c.FillPlan(key)
+	c.UpdateAt(1)
+}
+
+func (c *Clean) FillPlan(key uint64) {
+	for i := range c.plan.idx {
+		c.plan.idx[i] = uint32(key & 7)
+	}
+}
+
+func (c *Clean) UpdateAt(v int32) {
+	for _, ix := range c.plan.idx {
+		c.counts[ix] += v
+	}
+}

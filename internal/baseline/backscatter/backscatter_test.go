@@ -123,3 +123,34 @@ func TestSampleCapBoundsMemory(t *testing.T) {
 		t.Error("capped sample broke validation")
 	}
 }
+
+func TestNewRejectsInvalidConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted the zero config")
+	}
+	if _, err := New(Config{MinResponses: 100, MinDistinctSlash8: 10, SampleCap: 10}); err == nil {
+		t.Fatal("New accepted cap below min responses")
+	}
+}
+
+func TestVictimsExcludesLowVolumeSources(t *testing.T) {
+	a := mustNew(t)
+	loud := netmodel.MustParseIPv4("129.105.30.30")
+	quiet := netmodel.MustParseIPv4("129.105.30.31")
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 60; i++ {
+		a.Observe(response(loud, netmodel.IPv4(rng.Uint32()), false))
+	}
+	for i := 0; i < 5; i++ {
+		a.Observe(response(quiet, netmodel.IPv4(rng.Uint32()), false))
+	}
+	if got := a.Victims(); len(got) != 1 || got[0] != loud {
+		t.Fatalf("Victims = %v, want only %s", got, loud)
+	}
+	if a.Responses(quiet) != 5 {
+		t.Fatalf("Responses(quiet) = %d, want 5", a.Responses(quiet))
+	}
+	if a.Responses(netmodel.MustParseIPv4("192.0.2.7")) != 0 {
+		t.Fatal("unseen victim has nonzero responses")
+	}
+}

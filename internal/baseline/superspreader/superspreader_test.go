@@ -117,3 +117,40 @@ func TestNonSYNIgnored(t *testing.T) {
 		t.Error("non-SYN or outbound packets counted")
 	}
 }
+
+func TestNewRejectsInvalidConfig(t *testing.T) {
+	if _, err := New(Config{K: 0, SampleRate: 16}); err == nil {
+		t.Fatal("New accepted k=0")
+	}
+	if _, err := New(Config{K: 100, SampleRate: 0}); err == nil {
+		t.Fatal("New accepted rate=0")
+	}
+}
+
+func TestThresholdBelowSampleRateClampsToOne(t *testing.T) {
+	// K < SampleRate makes the sampled threshold round to zero; the
+	// detector must still require at least one retained destination, so
+	// an unseen source is never flagged.
+	d := mustNew(t, Config{K: 2, SampleRate: 16, Seed: 3})
+	if got := d.Superspreaders(); len(got) != 0 {
+		t.Fatalf("empty detector flagged %v", got)
+	}
+	src := netmodel.MustParseIPv4("203.0.113.9")
+	for i := 0; i < 256; i++ {
+		d.Observe(synIn(src, netmodel.IPv4(0x08080000+uint32(i))))
+	}
+	got := d.Superspreaders()
+	if len(got) != 1 || got[0] != src {
+		t.Fatalf("Superspreaders = %v, want [%s]", got, src)
+	}
+}
+
+func TestEstimateUnseenSourceIsZero(t *testing.T) {
+	d := mustNew(t, DefaultConfig(4))
+	if est := d.Estimate(netmodel.MustParseIPv4("192.0.2.1")); est != 0 {
+		t.Fatalf("Estimate of unseen source = %d, want 0", est)
+	}
+	if d.MemoryBytes() != 0 {
+		t.Fatalf("empty detector reports %d bytes", d.MemoryBytes())
+	}
+}

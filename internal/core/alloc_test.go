@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/hifind/hifind/internal/netmodel"
+)
+
+// The fused engine's zero-allocation pin: plans and key powers are
+// preallocated or stack-resident, so Observe and ObserveFlow must not
+// allocate on either engine. The hotpath-alloc lint rule guards the
+// source; this guards escape-analysis regressions the AST rule cannot
+// see.
+
+func allocRecorder(t *testing.T, e Engine) *Recorder {
+	t.Helper()
+	r, err := NewRecorder(TestRecorderConfig(0xa110c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetEngine(e)
+	return r
+}
+
+func TestObserveAllocs(t *testing.T) {
+	for _, e := range []Engine{EngineFused, EngineLegacy} {
+		r := allocRecorder(t, e)
+		var i uint32
+		allocs := testing.AllocsPerRun(1000, func() {
+			r.Observe(netmodel.Packet{
+				SrcIP: netmodel.IPv4(0x08080000 | i), DstIP: 0x81690101,
+				SrcPort: 40000, DstPort: uint16(i),
+				Flags: netmodel.FlagSYN, Dir: netmodel.Inbound,
+			})
+			r.Observe(netmodel.Packet{
+				SrcIP: 0x81690101, DstIP: netmodel.IPv4(0x08080000 | i),
+				SrcPort: uint16(i), DstPort: 40000,
+				Flags: netmodel.FlagSYN | netmodel.FlagACK, Dir: netmodel.Outbound,
+			})
+			i++
+		})
+		if allocs != 0 {
+			t.Errorf("%v Observe allocates %v times per call, want 0", e, allocs)
+		}
+	}
+}
+
+func TestObserveFlowAllocs(t *testing.T) {
+	for _, e := range []Engine{EngineFused, EngineLegacy} {
+		r := allocRecorder(t, e)
+		var i uint32
+		allocs := testing.AllocsPerRun(1000, func() {
+			r.ObserveFlow(netmodel.FlowRecord{
+				SrcIP: netmodel.IPv4(0x08080000 | i), DstIP: 0x81690101,
+				SrcPort: 40000, DstPort: uint16(i),
+				Dir: netmodel.Inbound, SYNs: 3,
+			})
+			r.ObserveFlow(netmodel.FlowRecord{
+				SrcIP: 0x81690101, DstIP: netmodel.IPv4(0x08080000 | i),
+				SrcPort: uint16(i), DstPort: 40000,
+				Dir: netmodel.Outbound, SYNACKs: 2,
+			})
+			i++
+		})
+		if allocs != 0 {
+			t.Errorf("%v ObserveFlow allocates %v times per call, want 0", e, allocs)
+		}
+	}
+}

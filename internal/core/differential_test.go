@@ -1,0 +1,284 @@
+package core
+
+// Differential harness for the fused update engine: every test drives
+// the fused and legacy paths with identical input and requires the
+// complete serialized recorder state — every sketch counter, every
+// Bloom bit, every total — to match byte for byte. The legacy engine is
+// the independently written reference (per-sketch hashing, per-SYN
+// NetFlow replay), so agreement here proves the fused engine's shared
+// hash powers, bucket plans and weighted updates change nothing but
+// speed.
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/hifind/hifind/internal/netmodel"
+	"github.com/hifind/hifind/internal/trace"
+)
+
+// diffRecorders builds one fused and one legacy recorder on the same
+// configuration.
+func diffRecorders(t *testing.T, seed uint64) (fused, legacy *Recorder) {
+	t.Helper()
+	cfg := TestRecorderConfig(seed)
+	var err error
+	if fused, err = NewRecorder(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if legacy, err = NewRecorder(cfg); err != nil {
+		t.Fatal(err)
+	}
+	legacy.SetEngine(EngineLegacy)
+	if fused.Engine() != EngineFused || legacy.Engine() != EngineLegacy {
+		t.Fatal("engine selection did not stick")
+	}
+	return fused, legacy
+}
+
+// diffEvent is one observation fed identically to both engines.
+type diffEvent struct {
+	pkt    netmodel.Packet
+	flow   netmodel.FlowRecord
+	isFlow bool
+}
+
+// diffStream generates a deterministic mixed stream of packets and flow
+// records: inbound SYNs, outbound SYN/ACKs, ignorable noise, and flow
+// records with a spread of SYN/SYNACK counts including the corners the
+// weighted path collapses (0 and 1 and large).
+func diffStream(seed int64, n int) []diffEvent {
+	rng := rand.New(rand.NewSource(seed))
+	flowCounts := []int{0, 1, 2, 3, 7, 64, 1000}
+	events := make([]diffEvent, 0, n)
+	for i := 0; i < n; i++ {
+		sip := netmodel.IPv4(rng.Uint32())
+		dip := netmodel.IPv4(0x81690000 | rng.Uint32()&0xffff)
+		sport := uint16(1024 + rng.Intn(60000))
+		dport := uint16(rng.Intn(1 << 16))
+		switch rng.Intn(5) {
+		case 0: // inbound SYN
+			events = append(events, diffEvent{pkt: netmodel.Packet{
+				SrcIP: sip, DstIP: dip, SrcPort: sport, DstPort: dport,
+				Flags: netmodel.FlagSYN, Dir: netmodel.Inbound,
+			}})
+		case 1: // outbound SYN/ACK
+			events = append(events, diffEvent{pkt: netmodel.Packet{
+				SrcIP: dip, DstIP: sip, SrcPort: dport, DstPort: sport,
+				Flags: netmodel.FlagSYN | netmodel.FlagACK, Dir: netmodel.Outbound,
+			}})
+		case 2: // noise the recorder must ignore identically
+			events = append(events, diffEvent{pkt: netmodel.Packet{
+				SrcIP: sip, DstIP: dip, SrcPort: sport, DstPort: dport,
+				Flags: netmodel.FlagACK, Dir: netmodel.Inbound,
+			}})
+		case 3: // inbound flow record (weighted SYN replay)
+			events = append(events, diffEvent{isFlow: true, flow: netmodel.FlowRecord{
+				SrcIP: sip, DstIP: dip, SrcPort: sport, DstPort: dport,
+				Dir: netmodel.Inbound, SYNs: flowCounts[rng.Intn(len(flowCounts))],
+			}})
+		case 4: // outbound flow record (weighted SYN/ACK replay)
+			events = append(events, diffEvent{isFlow: true, flow: netmodel.FlowRecord{
+				SrcIP: dip, DstIP: sip, SrcPort: dport, DstPort: sport,
+				Dir: netmodel.Outbound, SYNACKs: flowCounts[rng.Intn(len(flowCounts))],
+			}})
+		}
+	}
+	return events
+}
+
+func feed(r *Recorder, events []diffEvent) {
+	for _, e := range events {
+		if e.isFlow {
+			r.ObserveFlow(e.flow)
+		} else {
+			r.Observe(e.pkt)
+		}
+	}
+}
+
+// requireIdentical compares the full serialized state plus the counters
+// MarshalBinary does not carry.
+func requireIdentical(t *testing.T, fused, legacy *Recorder, label string) {
+	t.Helper()
+	fb, err := fused.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := legacy.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fb, lb) {
+		t.Fatalf("%s: fused and legacy serialized state diverged (%d vs %d bytes)",
+			label, len(fb), len(lb))
+	}
+	if fused.Packets() != legacy.Packets() {
+		t.Fatalf("%s: packets %d vs %d", label, fused.Packets(), legacy.Packets())
+	}
+	if fused.MemoryAccesses() != legacy.MemoryAccesses() {
+		t.Fatalf("%s: memory accesses %d vs %d", label, fused.MemoryAccesses(), legacy.MemoryAccesses())
+	}
+}
+
+// TestDifferentialSequential drives both engines with identical mixed
+// packet/flow streams across several seeds and requires byte-identical
+// state.
+func TestDifferentialSequential(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 42} {
+		events := diffStream(seed, 4000)
+		fused, legacy := diffRecorders(t, 0xd1ff)
+		feed(fused, events)
+		feed(legacy, events)
+		requireIdentical(t, fused, legacy, "sequential")
+	}
+}
+
+// TestDifferentialEgress covers the direction-flipped orientation,
+// where ObserveFlow rewrites the record before the weighted update.
+func TestDifferentialEgress(t *testing.T) {
+	cfg := TestRecorderConfig(0xe9e9)
+	cfg.Orientation = Egress
+	fused, err := NewRecorder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := NewRecorder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy.SetEngine(EngineLegacy)
+	events := diffStream(9, 4000)
+	feed(fused, events)
+	feed(legacy, events)
+	requireIdentical(t, fused, legacy, "egress")
+}
+
+// TestDifferentialCombine splits one stream across three "routers" per
+// engine, merges each engine's routers with COMBINE, and requires the
+// aggregates to be byte-identical — the multi-router path.
+func TestDifferentialCombine(t *testing.T) {
+	const routers = 3
+	events := diffStream(7, 6000)
+	var fusedR, legacyR []*Recorder
+	for i := 0; i < routers; i++ {
+		f, l := diffRecorders(t, 0xc0fe)
+		fusedR, legacyR = append(fusedR, f), append(legacyR, l)
+	}
+	for i, e := range events {
+		r := i % routers
+		if e.isFlow {
+			fusedR[r].ObserveFlow(e.flow)
+			legacyR[r].ObserveFlow(e.flow)
+		} else {
+			fusedR[r].Observe(e.pkt)
+			legacyR[r].Observe(e.pkt)
+		}
+	}
+	if err := fusedR[0].Merge(fusedR[1:]...); err != nil {
+		t.Fatal(err)
+	}
+	if err := legacyR[0].Merge(legacyR[1:]...); err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, fusedR[0], legacyR[0], "combine")
+	// Cross-engine merge must also work: the engines are deliberately
+	// not part of compatibility.
+	if !fusedR[0].Compatible(legacyR[0]) {
+		t.Fatal("fused and legacy recorders must stay compatible")
+	}
+}
+
+// TestDifferentialDetectorAlerts runs the full detector (all three
+// phases) over a multi-attack trace on both engines and requires
+// identical alert output in every interval.
+func TestDifferentialDetectorAlerts(t *testing.T) {
+	cfg := trace.Config{
+		Seed:            1212,
+		Start:           time.Date(2005, 5, 10, 0, 0, 0, 0, time.UTC),
+		Interval:        time.Minute,
+		Intervals:       6,
+		InternalPrefix:  0x81690000,
+		Servers:         30,
+		BackgroundFlows: 400,
+		OutboundFlows:   80,
+		FailRate:        0.04,
+		Attacks: []trace.Attack{
+			{Type: trace.SYNFlood, Spoofed: true, Victim: 0x8169c801,
+				Ports: []uint16{80}, StartInterval: 1, EndInterval: 4, Rate: 400,
+				ResponseRate: 0.1, Cause: "flood"},
+			{Type: trace.HorizontalScan, Attackers: []netmodel.IPv4{0x0a141401},
+				Victim: 0x81698000, Ports: []uint16{445}, Targets: 600,
+				StartInterval: 2, EndInterval: 4, Rate: 600, Cause: "hscan"},
+		},
+	}
+	mkDet := func(engine Engine) *Detector {
+		d, err := NewDetector(TestRecorderConfig(0xa1e7), DetectorConfig{Threshold: 60})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Recorder().SetEngine(engine)
+		return d
+	}
+	fusedRes := runTrace(t, mkDet(EngineFused), cfg)
+	legacyRes := runTrace(t, mkDet(EngineLegacy), cfg)
+	if len(fusedRes) != len(legacyRes) {
+		t.Fatalf("interval counts differ: %d vs %d", len(fusedRes), len(legacyRes))
+	}
+	for i := range fusedRes {
+		f, l := fusedRes[i], legacyRes[i]
+		render := func(alerts []Alert) []string {
+			out := make([]string, len(alerts))
+			for j, a := range alerts {
+				out[j] = a.String()
+			}
+			return out
+		}
+		for _, phase := range []struct {
+			name string
+			f, l []Alert
+		}{
+			{"raw", f.Raw, l.Raw},
+			{"phase2", f.Phase2, l.Phase2},
+			{"final", f.Final, l.Final},
+		} {
+			fa, la := render(phase.f), render(phase.l)
+			if len(fa) != len(la) {
+				t.Fatalf("interval %d %s: %d vs %d alerts", i, phase.name, len(fa), len(la))
+			}
+			for j := range fa {
+				if fa[j] != la[j] {
+					t.Fatalf("interval %d %s alert %d: %q vs %q", i, phase.name, j, fa[j], la[j])
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialMarshalRoundTripKeepsEngineWorking ensures a recorder
+// that loaded serialized state keeps producing fused updates identical
+// to legacy ones (the plans are re-sized after unmarshal).
+func TestDifferentialMarshalRoundTripKeepsEngineWorking(t *testing.T) {
+	fused, legacy := diffRecorders(t, 0xbeef)
+	pre := diffStream(11, 1000)
+	feed(fused, pre)
+	feed(legacy, pre)
+	blob, err := fused.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewRecorder(TestRecorderConfig(0xbeef))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	restored.memoryAccesses = legacy.MemoryAccesses()
+	post := diffStream(12, 1000)
+	feed(restored, post)
+	feed(legacy, post)
+	requireIdentical(t, restored, legacy, "post-restore")
+}

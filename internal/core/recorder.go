@@ -87,6 +87,38 @@ func TestRecorderConfig(seed uint64) RecorderConfig {
 	return cfg
 }
 
+// Engine selects which update implementation a Recorder runs. Both
+// engines build byte-identical state (proven by the differential suite
+// in differential_test.go); the fused engine is the default and the
+// legacy engine survives as the independently-written reference it is
+// compared against.
+type Engine int
+
+const (
+	// EngineFused computes each packed key's polynomial hash powers once
+	// per packet and shares them across every structure consuming that
+	// key, routes counter writes through preallocated bucket plans, and
+	// collapses NetFlow replay into one exact weighted update per record
+	// (sketch linearity: Update(k, v·c) ≡ c× Update(k, v)).
+	EngineFused Engine = iota
+	// EngineLegacy is the original path: every structure re-hashes its
+	// key independently and ObserveFlow replays records one synthetic
+	// SYN at a time.
+	EngineLegacy
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	switch e {
+	case EngineFused:
+		return "fused"
+	case EngineLegacy:
+		return "legacy"
+	default:
+		return fmt.Sprintf("engine(%d)", int(e))
+	}
+}
+
 // Recorder is the streaming data-recording front end of HiFIND: the three
 // reversible sketches, their verifiers, the original sketch, the two 2D
 // sketches and the active-service Bloom filter (paper §5.1). A Recorder
@@ -118,6 +150,25 @@ type Recorder struct {
 
 	packets        int64
 	memoryAccesses int64
+
+	// engine picks the update implementation. Deliberately not part of
+	// RecorderConfig: fused and legacy recorders build identical state,
+	// so the choice must not affect Compatible or multi-router merging.
+	engine Engine
+	// plans is the fused engine's preallocated hash-plan scratch — one
+	// bucket plan per structure, filled and applied once per update.
+	plans updatePlans
+}
+
+// updatePlans holds one reusable bucket plan per recorder structure.
+type updatePlans struct {
+	rsSipDport, rsDipDport, rsSipDip *revsketch.Plan
+	verSipDport                      *sketch.Plan
+	verDipDport                      *sketch.Plan
+	verSipDip                        *sketch.Plan
+	osDipDport                       *sketch.Plan
+	twoDSipDportXDip                 *sketch2d.Plan
+	twoDSipDipXDport                 *sketch2d.Plan
 }
 
 // NewRecorder builds an empty recorder.
@@ -168,11 +219,35 @@ func NewRecorder(cfg RecorderConfig) (*Recorder, error) {
 	if r.Services, err = bloom.New(cfg.ServiceCapacity, 0.01, cfg.Seed^0x0a); err != nil {
 		return nil, fmt.Errorf("core: service filter: %w", err)
 	}
+	r.plans = r.newPlans()
 	return r, nil
+}
+
+// newPlans sizes one bucket plan per structure for the fused engine.
+func (r *Recorder) newPlans() updatePlans {
+	return updatePlans{
+		rsSipDport:       r.RSSipDport.NewPlan(),
+		rsDipDport:       r.RSDipDport.NewPlan(),
+		rsSipDip:         r.RSSipDip.NewPlan(),
+		verSipDport:      r.VerSipDport.NewPlan(),
+		verDipDport:      r.VerDipDport.NewPlan(),
+		verSipDip:        r.VerSipDip.NewPlan(),
+		osDipDport:       r.OSDipDport.NewPlan(),
+		twoDSipDportXDip: r.TwoDSipDportXDip.NewPlan(),
+		twoDSipDipXDport: r.TwoDSipDipXDport.NewPlan(),
+	}
 }
 
 // Config returns the recorder configuration.
 func (r *Recorder) Config() RecorderConfig { return r.cfg }
+
+// SetEngine switches the update implementation. Safe any time between
+// updates; recorders on different engines remain Compatible and
+// mergeable because both build identical state.
+func (r *Recorder) SetEngine(e Engine) { r.engine = e }
+
+// Engine returns the active update implementation.
+func (r *Recorder) Engine() Engine { return r.engine }
 
 // Observe records one packet. Only two packet classes matter to the
 // #SYN−#SYN/ACK signal (paper §3.3): connection-opening SYNs crossing the
@@ -197,8 +272,13 @@ func (r *Recorder) Observe(pkt netmodel.Packet) {
 	r.packets++
 }
 
-// ObserveFlow records a NetFlow-style flow record by replaying its SYN and
-// SYN/ACK counts (the evaluation traces in the paper are NetFlow exports).
+// ObserveFlow records a NetFlow-style flow record (the evaluation traces
+// in the paper are NetFlow exports). The fused engine applies each
+// record as one exact weighted update per direction — sketch linearity
+// makes Update(k, v·c) identical to c repeated Update(k, v), including
+// under int32 wraparound — so replay cost is O(1) per record instead of
+// O(SYNs); the legacy engine keeps the per-SYN replay loop the
+// differential suite compares against.
 func (r *Recorder) ObserveFlow(rec netmodel.FlowRecord) {
 	if r.cfg.Orientation == Egress {
 		// Flip the record's edge-crossing direction so the shared
@@ -210,22 +290,66 @@ func (r *Recorder) ObserveFlow(rec netmodel.FlowRecord) {
 		}
 	}
 	if rec.Dir == netmodel.Inbound && rec.SYNs > 0 {
-		for i := 0; i < rec.SYNs; i++ {
-			r.update(rec.SrcIP, rec.DstIP, rec.DstPort, +1, true)
+		if r.engine == EngineLegacy {
+			for i := 0; i < rec.SYNs; i++ {
+				r.updateLegacy(rec.SrcIP, rec.DstIP, rec.DstPort, +1, true)
+			}
+		} else {
+			// Chunk pathologically large counts so the int32 weight stays
+			// faithful (a count ≡ 0 mod 2^32 must not skip the OS sketch);
+			// one iteration for any realistic record.
+			for left := rec.SYNs; left > 0; {
+				c := left
+				if c > flowChunk {
+					c = flowChunk
+				}
+				r.updateFused(rec.SrcIP, rec.DstIP, rec.DstPort, int32(c), int32(c), int64(c))
+				left -= c
+			}
 		}
 		r.packets += int64(rec.SYNs)
 	}
 	if rec.Dir == netmodel.Outbound && rec.SYNACKs > 0 {
-		for i := 0; i < rec.SYNACKs; i++ {
-			r.update(rec.DstIP, rec.SrcIP, rec.SrcPort, -1, false)
+		if r.engine == EngineLegacy {
+			for i := 0; i < rec.SYNACKs; i++ {
+				r.updateLegacy(rec.DstIP, rec.SrcIP, rec.SrcPort, -1, false)
+			}
+		} else {
+			for left := rec.SYNACKs; left > 0; {
+				c := left
+				if c > flowChunk {
+					c = flowChunk
+				}
+				r.updateFused(rec.DstIP, rec.SrcIP, rec.SrcPort, -int32(c), 0, int64(c))
+				left -= c
+			}
 		}
 		r.Services.Add(netmodel.PackDIPDport(rec.SrcIP, rec.SrcPort))
 		r.packets += int64(rec.SYNACKs)
 	}
 }
 
+// flowChunk bounds one weighted update's collapsed packet count well
+// inside int32 range.
+const flowChunk = 1 << 30
+
 // update applies one ±1 to every structure under connection (sip,dip,dport).
 func (r *Recorder) update(sip, dip netmodel.IPv4, dport uint16, v int32, countSYN bool) {
+	if r.engine == EngineLegacy {
+		r.updateLegacy(sip, dip, dport, v, countSYN)
+		return
+	}
+	var syn int32
+	if countSYN {
+		syn = 1
+	}
+	r.updateFused(sip, dip, dport, v, syn, 1)
+}
+
+// updateLegacy is the original per-sketch path: each structure mangles
+// and hashes its key independently. Kept verbatim as the reference
+// implementation the differential suite checks the fused engine against.
+func (r *Recorder) updateLegacy(sip, dip netmodel.IPv4, dport uint16, v int32, countSYN bool) {
 	kSipDport := netmodel.PackSIPDport(sip, dport)
 	kDipDport := netmodel.PackDIPDport(dip, dport)
 	kSipDip := netmodel.PackSIPDIP(sip, dip)
@@ -250,6 +374,59 @@ func (r *Recorder) update(sip, dip netmodel.IPv4, dport uint16, v int32, countSY
 		acc += int64(r.cfg.Original.Stages)
 	}
 	r.memoryAccesses += acc
+}
+
+// updateFused applies value v to every #SYN−#SYN/ACK structure under
+// connection (sip,dip,dport) and syn to the OS sketch, accounting
+// memory accesses for n collapsed packets. Each key's hash work happens
+// exactly once: the five hashed values (three packed connection keys
+// plus the two 2D y-keys) get their polynomial powers computed up front
+// and fanned out to every structure consuming them, and counter writes
+// go through the recorder's preallocated bucket plans. State is
+// bit-identical to the legacy path: power-basis Poly4 evaluation equals
+// Horner on the reduced field, plans cache exactly the indices Update
+// derives, and weighted adds equal repeated adds by linearity.
+func (r *Recorder) updateFused(sip, dip netmodel.IPv4, dport uint16, v, syn int32, n int64) {
+	kSipDport := netmodel.PackSIPDport(sip, dport)
+	kDipDport := netmodel.PackDIPDport(dip, dport)
+	kSipDip := netmodel.PackSIPDIP(sip, dip)
+
+	ppSipDport := sketch.PowersOf(kSipDport)
+	ppDipDport := sketch.PowersOf(kDipDport)
+	ppSipDip := sketch.PowersOf(kSipDip)
+	ppDip := sketch.PowersOf(uint64(dip))
+	ppDport := sketch.PowersOf(uint64(dport))
+
+	p := &r.plans
+	r.RSSipDport.FillPlan(kSipDport, p.rsSipDport)
+	r.RSDipDport.FillPlan(kDipDport, p.rsDipDport)
+	r.RSSipDip.FillPlan(kSipDip, p.rsSipDip)
+	r.VerSipDport.FillPlan(ppSipDport, p.verSipDport)
+	r.VerDipDport.FillPlan(ppDipDport, p.verDipDport)
+	r.VerSipDip.FillPlan(ppSipDip, p.verSipDip)
+	r.TwoDSipDportXDip.FillPlan(ppSipDport, ppDip, p.twoDSipDportXDip)
+	r.TwoDSipDipXDport.FillPlan(ppSipDip, ppDport, p.twoDSipDipXDport)
+
+	r.RSSipDport.UpdateAt(p.rsSipDport, v)
+	r.RSDipDport.UpdateAt(p.rsDipDport, v)
+	r.RSSipDip.UpdateAt(p.rsSipDip, v)
+	r.VerSipDport.UpdateAt(p.verSipDport, v)
+	r.VerDipDport.UpdateAt(p.verDipDport, v)
+	r.VerSipDip.UpdateAt(p.verSipDip, v)
+	if syn != 0 {
+		r.OSDipDport.FillPlan(ppDipDport, p.osDipDport)
+		r.OSDipDport.UpdateAt(p.osDipDport, syn)
+	}
+	r.TwoDSipDportXDip.UpdateAt(p.twoDSipDportXDip, v)
+	r.TwoDSipDipXDport.UpdateAt(p.twoDSipDipXDport, v)
+
+	// Same per-packet access budget as the legacy path, scaled by the
+	// number of packets this weighted update collapses.
+	acc := int64(3*r.cfg.RS48.Stages + 3*r.cfg.Verifier.Stages + 2*r.cfg.TwoD.Stages)
+	if syn != 0 {
+		acc += int64(r.cfg.Original.Stages)
+	}
+	r.memoryAccesses += acc * n
 }
 
 // Packets returns how many packets were observed.
@@ -410,5 +587,9 @@ func (r *Recorder) UnmarshalBinary(data []byte) error {
 	if len(data) != 0 {
 		return fmt.Errorf("core: %d trailing bytes after recorder blocks", len(data))
 	}
+	// The blocks rebuild each structure in place; re-size the fused
+	// engine's plans in case the loaded geometry differs from the one the
+	// recorder was constructed with.
+	r.plans = r.newPlans()
 	return nil
 }

@@ -1,0 +1,350 @@
+package faultnet
+
+import (
+	"bytes"
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeConn is an in-memory net.Conn half that records every Write call
+// separately, so tests can assert both the delivered byte stream and the
+// chunk boundaries the wrapper produced.
+type fakeConn struct {
+	writes [][]byte
+	closed bool
+}
+
+func (c *fakeConn) Write(b []byte) (int, error) {
+	c.writes = append(c.writes, append([]byte(nil), b...))
+	return len(b), nil
+}
+
+func (c *fakeConn) Read(b []byte) (int, error)         { return 0, nil }
+func (c *fakeConn) Close() error                       { c.closed = true; return nil }
+func (c *fakeConn) LocalAddr() net.Addr                { return nil }
+func (c *fakeConn) RemoteAddr() net.Addr               { return nil }
+func (c *fakeConn) SetDeadline(t time.Time) error      { return nil }
+func (c *fakeConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *fakeConn) SetWriteDeadline(t time.Time) error { return nil }
+
+func (c *fakeConn) bytes() []byte {
+	var all []byte
+	for _, w := range c.writes {
+		all = append(all, w...)
+	}
+	return all
+}
+
+func TestRandomPlanDeterministic(t *testing.T) {
+	for _, seed := range []int64{1, 2, 42, -7} {
+		a := RandomPlan(seed, 1e-4, 1<<20)
+		b := RandomPlan(seed, 1e-4, 1<<20)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: two derivations differ:\n%+v\n%+v", seed, a, b)
+		}
+		if len(a.CorruptAt) == 0 {
+			t.Fatalf("seed %d: corruptRate 1e-4 over 32 MB produced no corruption offsets", seed)
+		}
+		if a.ResetAfterBytes < 1<<19 || a.ResetAfterBytes >= 3<<19 {
+			t.Fatalf("seed %d: ResetAfterBytes %d outside [every/2, 3·every/2)", seed, a.ResetAfterBytes)
+		}
+		if a.ChunkWrites < 512 || a.ChunkWrites >= 512+4096 {
+			t.Fatalf("seed %d: ChunkWrites %d outside [512, 4608)", seed, a.ChunkWrites)
+		}
+		if len(a.DuplicateWrites) != 1 {
+			t.Fatalf("seed %d: want exactly one duplicated write index, got %v", seed, a.DuplicateWrites)
+		}
+	}
+}
+
+func TestRandomPlanSeedsDiffer(t *testing.T) {
+	a := RandomPlan(1, 1e-4, 1<<20)
+	b := RandomPlan(2, 1e-4, 1<<20)
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("seeds 1 and 2 derived identical plans")
+	}
+}
+
+func TestRandomPlanDisabledFaults(t *testing.T) {
+	p := RandomPlan(7, 0, 0)
+	if len(p.CorruptAt) != 0 {
+		t.Fatalf("corruptRate 0 still scheduled corruption: %v", p.CorruptAt)
+	}
+	if p.ResetAfterBytes != 0 {
+		t.Fatalf("resetEveryBytes 0 still scheduled a reset at %d", p.ResetAfterBytes)
+	}
+}
+
+func TestNilPlanPassesThrough(t *testing.T) {
+	fake := &fakeConn{}
+	c := WrapConn(fake, nil)
+	msg := []byte("hello, wire")
+	n, err := c.Write(msg)
+	if err != nil || n != len(msg) {
+		t.Fatalf("Write = (%d, %v), want (%d, nil)", n, err, len(msg))
+	}
+	if !bytes.Equal(fake.bytes(), msg) {
+		t.Fatalf("delivered %q, want %q", fake.bytes(), msg)
+	}
+	if c.Written() != int64(len(msg)) {
+		t.Fatalf("Written() = %d, want %d", c.Written(), len(msg))
+	}
+}
+
+func TestCorruptAtAbsoluteOffsets(t *testing.T) {
+	// Offsets count from the start of the connection, across Write calls:
+	// offset 1 lands in the first write, offset 5 in the second. Mask 0
+	// must mean 0xFF so a scheduled offset is never a silent no-op.
+	fake := &fakeConn{}
+	c := WrapConn(fake, &Plan{CorruptAt: map[int64]byte{1: 0x0F, 5: 0}})
+	first := []byte{0x10, 0x20, 0x30}
+	second := []byte{0x40, 0x50, 0x60}
+	if _, err := c.Write(first); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(second); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0x10, 0x20 ^ 0x0F, 0x30, 0x40, 0x50, 0x60 ^ 0xFF}
+	if !bytes.Equal(fake.bytes(), want) {
+		t.Fatalf("delivered % x, want % x", fake.bytes(), want)
+	}
+	// The caller's buffers must not be mutated: corruption copies.
+	if !bytes.Equal(first, []byte{0x10, 0x20, 0x30}) || !bytes.Equal(second, []byte{0x40, 0x50, 0x60}) {
+		t.Fatalf("caller buffers mutated: % x, % x", first, second)
+	}
+}
+
+func TestChunkWritesSplits(t *testing.T) {
+	fake := &fakeConn{}
+	c := WrapConn(fake, &Plan{ChunkWrites: 4})
+	msg := []byte("0123456789")
+	n, err := c.Write(msg)
+	if err != nil || n != len(msg) {
+		t.Fatalf("Write = (%d, %v), want (%d, nil)", n, err, len(msg))
+	}
+	var sizes []int
+	for _, w := range fake.writes {
+		sizes = append(sizes, len(w))
+	}
+	if !reflect.DeepEqual(sizes, []int{4, 4, 2}) {
+		t.Fatalf("chunk sizes = %v, want [4 4 2]", sizes)
+	}
+	if !bytes.Equal(fake.bytes(), msg) {
+		t.Fatalf("reassembled %q, want %q", fake.bytes(), msg)
+	}
+}
+
+func TestDuplicateWritesResend(t *testing.T) {
+	fake := &fakeConn{}
+	c := WrapConn(fake, &Plan{DuplicateWrites: map[int]bool{1: true}})
+	for _, msg := range []string{"aa", "bb", "cc"} {
+		n, err := c.Write([]byte(msg))
+		if err != nil || n != len(msg) {
+			t.Fatalf("Write(%q) = (%d, %v)", msg, n, err)
+		}
+	}
+	if got := string(fake.bytes()); got != "aabbbbcc" {
+		t.Fatalf("delivered %q, want %q (write index 1 duplicated)", got, "aabbbbcc")
+	}
+	// Written counts accepted caller bytes, not the duplicated resend.
+	if c.Written() != 6 {
+		t.Fatalf("Written() = %d, want 6", c.Written())
+	}
+}
+
+func TestResetAfterBytesDeliversPrefixThenDies(t *testing.T) {
+	fake := &fakeConn{}
+	c := WrapConn(fake, &Plan{ResetAfterBytes: 10})
+	if n, err := c.Write([]byte("123456")); n != 6 || err != nil {
+		t.Fatalf("first Write = (%d, %v), want (6, nil)", n, err)
+	}
+	// This write crosses the 10-byte boundary: only 4 bytes pass.
+	n, err := c.Write([]byte("789abcde"))
+	if n != 4 {
+		t.Fatalf("crossing Write delivered %d bytes, want 4", n)
+	}
+	if err == nil || !strings.Contains(err.Error(), "reset") {
+		t.Fatalf("crossing Write error = %v, want a reset error", err)
+	}
+	if got := string(fake.bytes()); got != "123456789a" {
+		t.Fatalf("wire saw %q, want %q", got, "123456789a")
+	}
+	if !fake.closed {
+		t.Fatal("underlying conn not closed on reset")
+	}
+	if c.Written() != 10 {
+		t.Fatalf("Written() = %d, want 10", c.Written())
+	}
+	// Every later write fails without delivering anything.
+	if n, err := c.Write([]byte("x")); n != 0 || err == nil {
+		t.Fatalf("post-reset Write = (%d, %v), want (0, error)", n, err)
+	}
+	if c.Written() != 10 {
+		t.Fatalf("post-reset Written() = %d, want 10", c.Written())
+	}
+}
+
+func TestResetExactlyAtBoundaryKeepsFullWrite(t *testing.T) {
+	// A write that lands exactly on the boundary is delivered whole; the
+	// next write dies with an empty prefix.
+	fake := &fakeConn{}
+	c := WrapConn(fake, &Plan{ResetAfterBytes: 4})
+	if n, err := c.Write([]byte("wxyz")); n != 4 || err != nil {
+		t.Fatalf("boundary Write = (%d, %v), want (4, nil)", n, err)
+	}
+	n, err := c.Write([]byte("!"))
+	if n != 0 || err == nil {
+		t.Fatalf("post-boundary Write = (%d, %v), want (0, error)", n, err)
+	}
+	if got := string(fake.bytes()); got != "wxyz" {
+		t.Fatalf("wire saw %q, want %q", got, "wxyz")
+	}
+}
+
+func TestFaultsCompose(t *testing.T) {
+	// Corruption, chunking and duplication on one plan: the duplicated
+	// frame re-sends the already-corrupted bytes, chunked the same way.
+	fake := &fakeConn{}
+	c := WrapConn(fake, &Plan{
+		CorruptAt:       map[int64]byte{0: 0x01},
+		ChunkWrites:     2,
+		DuplicateWrites: map[int]bool{0: true},
+	})
+	if _, err := c.Write([]byte{0x10, 0x11, 0x12}); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0x11, 0x11, 0x12, 0x11, 0x11, 0x12}
+	if !bytes.Equal(fake.bytes(), want) {
+		t.Fatalf("delivered % x, want % x", fake.bytes(), want)
+	}
+	var sizes []int
+	for _, w := range fake.writes {
+		sizes = append(sizes, len(w))
+	}
+	if !reflect.DeepEqual(sizes, []int{2, 1, 2, 1}) {
+		t.Fatalf("chunk sizes = %v, want [2 1 2 1]", sizes)
+	}
+}
+
+// fakeListener feeds a fixed queue of connections to Accept.
+type fakeListener struct {
+	conns []net.Conn
+}
+
+func (l *fakeListener) Accept() (net.Conn, error) {
+	if len(l.conns) == 0 {
+		return nil, net.ErrClosed
+	}
+	c := l.conns[0]
+	l.conns = l.conns[1:]
+	return c, nil
+}
+
+func (l *fakeListener) Close() error   { return nil }
+func (l *fakeListener) Addr() net.Addr { return nil }
+
+func TestListenerFailConnectSkipsToNext(t *testing.T) {
+	first := &fakeConn{}
+	second := &fakeConn{}
+	ln := WrapListener(&fakeListener{conns: []net.Conn{first, second}}, func(i int) *Plan {
+		if i == 0 {
+			return &Plan{FailConnect: true}
+		}
+		return &Plan{ChunkWrites: 1}
+	})
+	conn, err := ln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.closed {
+		t.Fatal("FailConnect conn 0 was not closed")
+	}
+	// The returned conn is the second accept, wrapped with its own plan.
+	if _, err := conn.Write([]byte("ab")); err != nil {
+		t.Fatal(err)
+	}
+	if len(second.writes) != 2 {
+		t.Fatalf("plan for conn 1 not applied: %d underlying writes, want 2", len(second.writes))
+	}
+}
+
+func TestListenerNilPlannerWrapsClean(t *testing.T) {
+	inner := &fakeConn{}
+	ln := WrapListener(&fakeListener{conns: []net.Conn{inner}}, nil)
+	conn, err := ln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(inner.bytes()); got != "ok" {
+		t.Fatalf("delivered %q, want %q", got, "ok")
+	}
+}
+
+func TestDialerFailConnectAndAttempts(t *testing.T) {
+	dialed := 0
+	inner := &fakeConn{}
+	d := NewDialer(func(i int) *Plan {
+		if i == 0 {
+			return &Plan{FailConnect: true}
+		}
+		return &Plan{CorruptAt: map[int64]byte{0: 0xFF}}
+	})
+	d.Dial = func(addr string) (net.Conn, error) {
+		dialed++
+		return inner, nil
+	}
+	if _, err := d.DialContextFree("whatever:1"); err == nil {
+		t.Fatal("attempt 0 should be refused by plan")
+	}
+	if dialed != 0 {
+		t.Fatalf("FailConnect still dialed the network %d times", dialed)
+	}
+	conn, err := d.DialContextFree("whatever:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Attempts() != 2 {
+		t.Fatalf("Attempts() = %d, want 2", d.Attempts())
+	}
+	if _, err := conn.Write([]byte{0x00}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(inner.bytes(), []byte{0xFF}) {
+		t.Fatalf("attempt 1 plan not applied: wire saw % x", inner.bytes())
+	}
+}
+
+func TestRandomPlanDrivesConnReproducibly(t *testing.T) {
+	// End-to-end determinism: one seed, two fresh conns, identical faulty
+	// byte streams — the property the fault matrix relies on.
+	payload := bytes.Repeat([]byte("0123456789abcdef"), 256)
+	run := func() ([]byte, error) {
+		fake := &fakeConn{}
+		c := WrapConn(fake, RandomPlan(99, 1e-3, 0))
+		var err error
+		for i := 0; i < len(payload); i += 1024 {
+			if _, err = c.Write(payload[i : i+1024]); err != nil {
+				break
+			}
+		}
+		return fake.bytes(), err
+	}
+	a, errA := run()
+	b, errB := run()
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("runs disagree on error: %v vs %v", errA, errB)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different faulty streams")
+	}
+	if bytes.Equal(a, payload) {
+		t.Fatal("corruptRate 1e-3 over 4 KB left the stream untouched — plan not applied?")
+	}
+}

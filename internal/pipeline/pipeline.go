@@ -92,6 +92,10 @@ type Config struct {
 	// marks, epoch-barrier latency). Nil costs the hot path nothing: the
 	// metric handles stay nil and their methods are nil-safe no-ops.
 	Telemetry *telemetry.Registry
+	// Engine selects the shard recorders' update implementation (default
+	// core.EngineFused). Both engines build byte-identical state; the
+	// legacy engine exists for the differential test harness.
+	Engine core.Engine
 }
 
 // withDefaults fills zero fields.
@@ -235,10 +239,12 @@ func New(cfg Config) (*Engine, error) {
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: shard %d recorder: %w", i, err)
 		}
+		rec.SetEngine(cfg.Engine)
 		spare, err := core.NewRecorder(cfg.Recorder)
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: shard %d spare: %w", i, err)
 		}
+		spare.SetEngine(cfg.Engine)
 		e.spare[i] = spare
 		w := &worker{
 			eng: e,

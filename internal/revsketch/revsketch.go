@@ -179,6 +179,38 @@ func (s *Sketch) Update(key uint64, v int32) {
 	s.total += int64(v)
 }
 
+// Plan caches the per-stage bucket indices of one key: the mangling,
+// word split and per-word tabulation lookups of an Update, done once
+// and replayable by UpdateAt. Sized for the sketch that created it;
+// holds no counters, so reuse across calls is free and allocation-free.
+type Plan struct {
+	idx []uint32
+}
+
+// NewPlan returns a reusable bucket plan sized for this sketch.
+func (s *Sketch) NewPlan() *Plan {
+	return &Plan{idx: make([]uint32, s.params.Stages)}
+}
+
+// FillPlan mangles the key, splits it into words and caches the
+// modular-hash bucket of every stage — exactly the indices Update
+// writes through.
+func (s *Sketch) FillPlan(key uint64, p *Plan) {
+	words := s.splitWords(s.mangler.Mangle(key))
+	for j := 0; j < s.params.Stages; j++ {
+		p.idx[j] = uint32(s.bucketIndex(j, words))
+	}
+}
+
+// UpdateAt adds v to the planned bucket of every stage — UPDATE with
+// the hashing already paid for.
+func (s *Sketch) UpdateAt(p *Plan, v int32) {
+	for j, ix := range p.idx {
+		s.counts[j][ix] += v
+	}
+	s.total += int64(v)
+}
+
 // Estimate reconstructs the key's value with the k-ary mean-corrected
 // median estimator (ESTIMATE).
 func (s *Sketch) Estimate(key uint64) float64 {

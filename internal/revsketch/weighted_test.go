@@ -1,0 +1,84 @@
+package revsketch
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestWeightedUpdateEquivalence: Update(k, v·c) ≡ c repeated
+// Update(k, v) on a reversible sketch, byte-for-byte in serialized
+// state — the linearity the recorder's O(1) NetFlow replay uses.
+// Covers c=0 and negative v corners exhaustively.
+func TestWeightedUpdateEquivalence(t *testing.T) {
+	params := Params48()
+	rng := rand.New(rand.NewSource(44))
+	counts := []int32{0, 1, 2, 3, 17, 100}
+	values := []int32{-3, -1, 1, 2, 5}
+	keyMask := uint64(1)<<uint(params.KeyBits) - 1
+	for trial := 0; trial < 8; trial++ {
+		weighted, err := New(params, 0x5eed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		repeated, err := New(params, 0x5eed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			k := rng.Uint64() & keyMask
+			v := values[rng.Intn(len(values))]
+			c := counts[rng.Intn(len(counts))]
+			weighted.Update(k, v*c)
+			for j := int32(0); j < c; j++ {
+				repeated.Update(k, v)
+			}
+		}
+		wb, err := weighted.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := repeated.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wb, rb) {
+			t.Fatalf("trial %d: weighted and repeated update state diverged", trial)
+		}
+	}
+}
+
+// TestPlanUpdateEquivalence: FillPlan+UpdateAt writes exactly the
+// buckets Update writes.
+func TestPlanUpdateEquivalence(t *testing.T) {
+	params := Params48()
+	direct, err := New(params, 0x1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planned, err := New(params, 0x1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := planned.NewPlan()
+	keyMask := uint64(1)<<uint(params.KeyBits) - 1
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 5000; i++ {
+		k := rng.Uint64() & keyMask
+		v := int32(rng.Intn(9) - 4)
+		direct.Update(k, v)
+		planned.FillPlan(k, plan)
+		planned.UpdateAt(plan, v)
+	}
+	db, err := direct.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := planned.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(db, pb) {
+		t.Fatal("planned update state diverged from direct Update")
+	}
+}

@@ -83,6 +83,43 @@ func (p Poly4) HashRange(x uint64, n int) uint32 {
 	return uint32((p.Hash(x) >> (61 - uint(bits.Len(uint(n-1))))) & uint64(n-1))
 }
 
+// KeyPowers is the per-key hash material every polynomial hash of the
+// same key shares: the key's residue and its square and cube in the
+// field. HiFIND hashes each packed key through several independently
+// seeded Poly4 families (verifier, OS, 2D sketches); the powers depend
+// only on the key, so the fused update engine computes them once per
+// packet and fans them out, replacing one Horner chain per structure
+// per stage.
+type KeyPowers struct {
+	X, X2, X3 uint64
+}
+
+// PowersOf reduces the key into the field and returns its first three
+// powers.
+func PowersOf(key uint64) KeyPowers {
+	x := mod61(key)
+	x2 := mulMod61(x, x)
+	return KeyPowers{X: x, X2: x2, X3: mulMod61(x2, x)}
+}
+
+// HashPow evaluates the polynomial from precomputed key powers. The
+// result is bit-identical to Hash(key) for the key the powers came
+// from: both compute the same residue of c₃x³+c₂x²+c₁x+c₀ and both
+// return it fully reduced into [0, 2^61−1) — each product term is a
+// reduced residue < 2^61, so the four-term sum stays below 2^63 and one
+// mod61 finishes the reduction. Unlike Horner's rule the three products
+// are independent, so the multiplier pipeline overlaps them.
+func (p Poly4) HashPow(kp KeyPowers) uint64 {
+	return mod61(mulMod61(p.coeff[3], kp.X3) + mulMod61(p.coeff[2], kp.X2) +
+		mulMod61(p.coeff[1], kp.X) + p.coeff[0])
+}
+
+// HashRangePow is HashRange evaluated from precomputed key powers;
+// identical output for the same key.
+func (p Poly4) HashRangePow(kp KeyPowers, n int) uint32 {
+	return uint32((p.HashPow(kp) >> (61 - uint(bits.Len(uint(n-1))))) & uint64(n-1))
+}
+
 // IsPowerOfTwo reports whether n is a positive power of two.
 func IsPowerOfTwo(n int) bool {
 	return n > 0 && n&(n-1) == 0

@@ -92,6 +92,38 @@ func (s *Sketch) Update(xKey, yKey uint64, v int32) {
 	s.total += int64(v)
 }
 
+// Plan caches the flattened (x,y) offset one (xKey,yKey) pair selects
+// in every stage — an Update's hash work, done once and replayable by
+// UpdateAt. Sized for the sketch that created it; reuse across calls is
+// free and allocation-free.
+type Plan struct {
+	idx []int32
+}
+
+// NewPlan returns a reusable bucket plan sized for this sketch.
+func (s *Sketch) NewPlan() *Plan {
+	return &Plan{idx: make([]int32, s.params.Stages)}
+}
+
+// FillPlan computes each stage's matrix offset from the two keys'
+// precomputed hash powers — bit-identical to the offsets Update derives.
+func (s *Sketch) FillPlan(xkp, ykp sketch.KeyPowers, p *Plan) {
+	for j := 0; j < s.params.Stages; j++ {
+		x := int(s.xHash[j].HashRangePow(xkp, s.params.XBuckets))
+		y := int(s.yHash[j].HashRangePow(ykp, s.params.YBuckets))
+		p.idx[j] = int32(x*s.params.YBuckets + y)
+	}
+}
+
+// UpdateAt adds v to the planned bucket of every stage — UPDATE with
+// the hashing already paid for.
+func (s *Sketch) UpdateAt(p *Plan, v int32) {
+	for j, ix := range p.idx {
+		s.counts[j][ix] += v
+	}
+	s.total += int64(v)
+}
+
 // Column returns a copy of the y-distribution column selected by xKey in
 // one stage.
 func (s *Sketch) Column(stage int, xKey uint64) []int32 {

@@ -1,0 +1,81 @@
+package sketch2d
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/hifind/hifind/internal/sketch"
+)
+
+// TestWeightedUpdateEquivalence: Update(x, y, v·c) ≡ c repeated
+// Update(x, y, v) on a 2D sketch, byte-for-byte in serialized state.
+// Covers c=0 and negative v corners exhaustively.
+func TestWeightedUpdateEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	counts := []int32{0, 1, 2, 3, 17, 100}
+	values := []int32{-3, -1, 1, 2, 5}
+	for trial := 0; trial < 8; trial++ {
+		weighted, err := New(testParams(), 0x2d2d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		repeated, err := New(testParams(), 0x2d2d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			x, y := rng.Uint64(), rng.Uint64()
+			v := values[rng.Intn(len(values))]
+			c := counts[rng.Intn(len(counts))]
+			weighted.Update(x, y, v*c)
+			for j := int32(0); j < c; j++ {
+				repeated.Update(x, y, v)
+			}
+		}
+		wb, err := weighted.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := repeated.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wb, rb) {
+			t.Fatalf("trial %d: weighted and repeated update state diverged", trial)
+		}
+	}
+}
+
+// TestPlanUpdateEquivalence: FillPlan from the two keys' shared hash
+// powers plus UpdateAt writes exactly the matrix cells Update writes.
+func TestPlanUpdateEquivalence(t *testing.T) {
+	direct, err := New(testParams(), 0x9876)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planned, err := New(testParams(), 0x9876)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := planned.NewPlan()
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 5000; i++ {
+		x, y := rng.Uint64(), rng.Uint64()
+		v := int32(rng.Intn(9) - 4)
+		direct.Update(x, y, v)
+		planned.FillPlan(sketch.PowersOf(x), sketch.PowersOf(y), plan)
+		planned.UpdateAt(plan, v)
+	}
+	db, err := direct.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := planned.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(db, pb) {
+		t.Fatal("planned update state diverged from direct Update")
+	}
+}

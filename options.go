@@ -25,6 +25,7 @@ type config struct {
 	minPersist         int
 	minSynRatio        float64
 	egress             bool
+	legacyEngine       bool
 	// Parallel-only knobs (NewParallel); New ignores them.
 	workers    int
 	batchSize  int
@@ -181,6 +182,20 @@ func WithMinSynRatio(r float64) Option {
 			return fmt.Errorf("hifind: SYN ratio %v < 1", r)
 		}
 		c.minSynRatio = r
+		return nil
+	}
+}
+
+// WithLegacyEngine selects the original per-sketch update path instead
+// of the fused engine (shared hash powers, precomputed bucket plans,
+// weighted NetFlow updates). Both engines build byte-identical sketch
+// state and emit identical alerts — the differential suite proves it —
+// so this switch exists for that proof and for performance comparison,
+// not as a compatibility knob: recorders on different engines remain
+// combinable across routers.
+func WithLegacyEngine() Option {
+	return func(c *config) error {
+		c.legacyEngine = true
 		return nil
 	}
 }
