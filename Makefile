@@ -2,7 +2,7 @@ GO ?= go
 
 # Default target: everything CI runs.
 .PHONY: check
-check: build vet lint test race smoke
+check: build vet lint lint-fix-audit test race smoke
 
 .PHONY: build
 build:
@@ -20,14 +20,26 @@ race:
 vet:
 	$(GO) vet ./...
 
-# hifindlint is this repository's own analyzer (internal/analyze): it
-# enforces the sketch-path invariants — allocation-free UPDATE/ESTIMATE/
-# COMBINE, seeded randomness, no exact float comparison, mutex discipline,
-# checked Close/Flush/Write at I/O boundaries. Suppress a finding with
-# `//lint:ignore <rule> <reason>` on or above the line.
+# hifindlint is this repository's own analyzer (internal/analyze): a
+# cross-package dataflow engine enforcing the sketch-path invariants —
+# allocation-free UPDATE/ESTIMATE/COMBINE (propagated transitively over
+# the call graph), consistent sync/atomic field access, joined library
+# goroutines, determinism of estimation and marshal paths, and
+# config-derived channel capacities on ingestion paths. Suppress a
+# finding with `//lint:ignore <rule> <reason>` on or above the line.
+# The -selfcheck run first replays the analyzer's own golden testdata,
+# so a broken rule fails lint before it can silently pass the module.
 .PHONY: lint
 lint:
+	$(GO) run ./cmd/hifindlint -selfcheck
 	$(GO) run ./cmd/hifindlint ./...
+
+# Fails when any //lint:ignore directive no longer matches a finding:
+# the code was fixed or the rule changed, so the suppression is rot and
+# must be deleted rather than left to mask a future regression.
+.PHONY: lint-fix-audit
+lint-fix-audit:
+	$(GO) run ./cmd/hifindlint -audit ./...
 
 # Short fuzz pass over the malformed-input surfaces; CI-sized. Leave the
 # time off (go test -fuzz=FuzzReadPacket ./internal/pcap) to fuzz for real.

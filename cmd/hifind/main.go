@@ -72,6 +72,7 @@ func run() error {
 		httpAddr  = flag.String("http", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this address (e.g. :9090)")
 		jsonOut   = flag.Bool("json", false, "emit alerts and interval summaries as NDJSON on stdout")
 		linger    = flag.Bool("linger", false, "after an offline replay, keep the -http endpoints up until interrupted")
+		flowQueue = flag.Int("flow-queue", 1024, "live mode: capacity of the collector→detector flow queue (flows are dropped, not blocked on, when it is full)")
 	)
 	af := registerAggregateFlags()
 	flag.Parse()
@@ -162,7 +163,7 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "telemetry on http://%s/metrics\n", srv.Addr())
 	}
 	if *listen != "" {
-		return runLive(ctx, det, *listen, strings.Split(*edge, ","), *interval, *statePath, reg, health)
+		return runLive(ctx, det, *listen, strings.Split(*edge, ","), *interval, *statePath, *flowQueue, reg, health)
 	}
 	path := *pcapPath
 	if path == "" {
@@ -224,7 +225,7 @@ func run() error {
 // single-threaded. On SIGINT/SIGTERM the final partial interval is
 // flushed through detection before the source closes.
 func runLive(ctx context.Context, det detector, addr string, edgeCIDRs []string,
-	interval time.Duration, statePath string, reg *telemetry.Registry, health *telemetry.Health) error {
+	interval time.Duration, statePath string, flowQueue int, reg *telemetry.Registry, health *telemetry.Health) error {
 	edge, err := netmodel.NewEdgeNetwork(edgeCIDRs...)
 	if err != nil {
 		return err
@@ -239,7 +240,10 @@ func runLive(ctx context.Context, det detector, addr string, edgeCIDRs []string,
 			return err
 		}
 	}
-	flows := make(chan netmodel.FlowRecord, 1024)
+	if flowQueue < 1 {
+		return fmt.Errorf("-flow-queue must be at least 1, got %d", flowQueue)
+	}
+	flows := make(chan netmodel.FlowRecord, flowQueue)
 	collector, err := netflow.Listen(addr, func(r netflow.Record, hdr netflow.Header) {
 		if fr, ok := netflow.ToFlowRecord(r, hdr, edge); ok {
 			select {

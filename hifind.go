@@ -239,6 +239,8 @@ func (d *Detector) Interval() time.Duration { return d.interval }
 // Observe records one packet. Non-IPv4 packets are counted and dropped
 // (the paper's system is IPv4-only). Not safe for concurrent use — see
 // the Detector contract.
+//
+//hifind:hot
 func (d *Detector) Observe(p Packet) {
 	ip, ok := p.toInternal()
 	if !ok {
@@ -284,6 +286,8 @@ func (f Flow) toInternal() (netmodel.FlowRecord, bool) {
 // ObserveFlow records one flow summary. Non-IPv4 flows are counted and
 // dropped like non-IPv4 packets. Not safe for concurrent use — see the
 // Detector contract.
+//
+//hifind:hot
 func (d *Detector) ObserveFlow(f Flow) {
 	fr, ok := f.toInternal()
 	if !ok {
@@ -407,6 +411,8 @@ func NewRecorder(opts ...Option) (*Recorder, error) {
 }
 
 // Observe records one packet.
+//
+//hifind:hot
 func (r *Recorder) Observe(p Packet) {
 	ip, ok := p.toInternal()
 	if !ok {

@@ -9,11 +9,14 @@ import (
 )
 
 // Finding is one diagnostic: a position, the rule that fired, and a
-// human-readable message.
+// human-readable message. Pkg carries the import path of the package
+// the finding was reported in, so drivers can filter program-wide
+// results down to the packages a user selected.
 type Finding struct {
 	Pos     token.Position
 	Rule    string
 	Message string
+	Pkg     string
 }
 
 func (f Finding) String() string {
@@ -24,14 +27,20 @@ func (f Finding) String() string {
 type Analyzer struct {
 	// Name is the rule ID used in reports and //lint:ignore directives.
 	Name string
-	// Doc is a one-line description for `hifindlint -rules`.
+	// Doc is a one-line description for `hifindlint -list`.
 	Doc string
-	// Run inspects the package and reports findings through the pass.
+	// Run inspects the pass's package — consulting the program for
+	// cross-package facts — and reports findings through the pass.
 	Run func(*Pass)
 }
 
 // Pass is the per-(analyzer, package) context handed to Analyzer.Run.
 type Pass struct {
+	// Prog is the whole program under analysis: the call graph, the
+	// transitive hot set and the atomic access sites span every package
+	// in it.
+	Prog *Program
+	// Pkg is the package this pass visits; findings belong to it.
 	Pkg      *Package
 	rule     string
 	findings *[]Finding
@@ -43,6 +52,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Pos:     p.Pkg.Fset.Position(pos),
 		Rule:    p.rule,
 		Message: fmt.Sprintf(format, args...),
+		Pkg:     p.Pkg.Path,
 	})
 }
 
@@ -54,28 +64,113 @@ func Analyzers() []*Analyzer {
 		floatEqAnalyzer,
 		mutexGuardAnalyzer,
 		uncheckedCloseAnalyzer,
+		atomicConsistencyAnalyzer,
+		goroutineLifecycleAnalyzer,
+		determinismAnalyzer,
+		boundedQueueAnalyzer,
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
 	return all
 }
 
-// RunPackage runs the given analyzers over one package and returns the
-// surviving findings: suppression directives in the source are honored,
-// and malformed directives are themselves reported (rule
-// "lint-directive") so a typo cannot silently disable a rule.
-func RunPackage(pkg *Package, analyzers []*Analyzer) []Finding {
-	var raw []Finding
-	for _, a := range analyzers {
-		a.Run(&Pass{Pkg: pkg, rule: a.Name, findings: &raw})
+// SelectAnalyzers resolves a comma-separated rule list to analyzers,
+// erroring on unknown names. An empty list selects everything.
+func SelectAnalyzers(rules string) ([]*Analyzer, error) {
+	all := Analyzers()
+	if strings.TrimSpace(rules) == "" {
+		return all, nil
 	}
-	ignores, out := collectDirectives(pkg)
-	for _, f := range raw {
-		if !ignores.covers(f) {
-			out = append(out, f)
+	byName := make(map[string]*Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	seen := make(map[string]bool)
+	for _, name := range strings.Split(rules, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("analyze: unknown rule %q (run with -list for the rule set)", name)
+		}
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, a)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i].Pos, out[j].Pos
+	if len(out) == 0 {
+		return nil, fmt.Errorf("analyze: rule list %q selects nothing", rules)
+	}
+	return out, nil
+}
+
+// Result is one program analysis run: the surviving findings, and the
+// suppression directives that matched nothing (so suppressions cannot
+// rot silently — see the unused-suppression audit in cmd/hifindlint).
+type Result struct {
+	// Findings are the diagnostics that survived suppression, sorted by
+	// file, line, column, rule — stable across package-load order.
+	Findings []Finding
+	// Unused are //lint:ignore directives for rules in the executed
+	// analyzer set that suppressed no finding, reported as findings with
+	// rule "unused-suppression", in the same order.
+	Unused []Finding
+}
+
+// RunProgram runs the given analyzers over every package of the program
+// and returns the surviving findings: suppression directives in the
+// source are honored, malformed or unknown-rule directives are
+// themselves reported (rule "lint-directive") so a typo cannot silently
+// disable a rule, and directives that matched nothing are returned
+// separately for the audit.
+func RunProgram(prog *Program, analyzers []*Analyzer) Result {
+	executed := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		executed[a.Name] = true
+	}
+	var res Result
+	for _, pkg := range prog.Pkgs {
+		var raw []Finding
+		for _, a := range analyzers {
+			a.Run(&Pass{Prog: prog, Pkg: pkg, rule: a.Name, findings: &raw})
+		}
+		directives, malformed := collectDirectives(pkg)
+		res.Findings = append(res.Findings, malformed...)
+		for _, f := range raw {
+			suppressed := false
+			for _, d := range directives {
+				if d.covers(f) {
+					d.used = true
+					suppressed = true
+				}
+			}
+			if !suppressed {
+				res.Findings = append(res.Findings, f)
+			}
+		}
+		for _, d := range directives {
+			if !d.used && executed[d.rule] {
+				res.Unused = append(res.Unused, Finding{
+					Pos:     d.pos,
+					Rule:    "unused-suppression",
+					Message: fmt.Sprintf("//lint:ignore %s matches no finding; the code was fixed or the rule changed — delete the directive", d.rule),
+					Pkg:     pkg.Path,
+				})
+			}
+		}
+	}
+	sortFindings(res.Findings)
+	sortFindings(res.Unused)
+	return res
+}
+
+// sortFindings orders findings by file, line, column, then rule, so
+// output is deterministic regardless of package iteration order.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i].Pos, fs[j].Pos
 		if a.Filename != b.Filename {
 			return a.Filename < b.Filename
 		}
@@ -85,37 +180,44 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) []Finding {
 		if a.Column != b.Column {
 			return a.Column < b.Column
 		}
-		return out[i].Rule < out[j].Rule
+		return fs[i].Rule < fs[j].Rule
 	})
-	return out
 }
 
-// ignoreSet indexes //lint:ignore directives by file and line.
-type ignoreSet map[string]map[int][]string // file -> line -> rule IDs
+// directive is one parsed //lint:ignore, with usage tracking for the
+// unused-suppression audit.
+type directive struct {
+	pos  token.Position
+	rule string
+	used bool
+}
 
-// covers reports whether a directive suppresses the finding: the rule
+// covers reports whether the directive suppresses the finding: the rule
 // must match and the directive must sit on the finding's line or the
-// line directly above it.
-func (s ignoreSet) covers(f Finding) bool {
-	lines := s[f.Pos.Filename]
-	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
-		for _, rule := range lines[line] {
-			if rule == f.Rule {
-				return true
-			}
-		}
-	}
-	return false
+// line directly above it, in the same file.
+func (d *directive) covers(f Finding) bool {
+	return d.rule == f.Rule && d.pos.Filename == f.Pos.Filename &&
+		(d.pos.Line == f.Pos.Line || d.pos.Line == f.Pos.Line-1)
 }
+
+// knownRules memoizes the registered rule IDs for directive validation.
+var knownRules = func() map[string]bool {
+	m := make(map[string]bool)
+	for _, a := range Analyzers() {
+		m[a.Name] = true
+	}
+	return m
+}()
 
 // collectDirectives scans a package's comments for
 //
 //	//lint:ignore <RuleID> <reason>
 //
-// directives. The reason is mandatory; directives without one are
-// reported as findings instead of being honored.
-func collectDirectives(pkg *Package) (ignoreSet, []Finding) {
-	ignores := make(ignoreSet)
+// directives. The reason is mandatory and the rule must exist;
+// directives violating either are reported as findings instead of
+// being honored.
+func collectDirectives(pkg *Package) ([]*directive, []Finding) {
+	var directives []*directive
 	var malformed []Finding
 	for _, file := range pkg.Files {
 		for _, group := range file.Comments {
@@ -131,19 +233,24 @@ func collectDirectives(pkg *Package) (ignoreSet, []Finding) {
 						Pos:     pos,
 						Rule:    "lint-directive",
 						Message: "malformed //lint:ignore: want \"//lint:ignore <RuleID> reason\" (reason is mandatory)",
+						Pkg:     pkg.Path,
 					})
 					continue
 				}
-				byLine := ignores[pos.Filename]
-				if byLine == nil {
-					byLine = make(map[int][]string)
-					ignores[pos.Filename] = byLine
+				if !knownRules[fields[0]] {
+					malformed = append(malformed, Finding{
+						Pos:     pos,
+						Rule:    "lint-directive",
+						Message: fmt.Sprintf("//lint:ignore names unknown rule %q; it suppresses nothing", fields[0]),
+						Pkg:     pkg.Path,
+					})
+					continue
 				}
-				byLine[pos.Line] = append(byLine[pos.Line], fields[0])
+				directives = append(directives, &directive{pos: pos, rule: fields[0]})
 			}
 		}
 	}
-	return ignores, malformed
+	return directives, malformed
 }
 
 // pathMatchesAny reports whether the package import path equals one of

@@ -1,0 +1,119 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// determinismAnalyzer guards the invariant the differential test
+// harness and the COMBINE linearity proofs assume: the UPDATE/
+// ESTIMATE/COMBINE paths, the Inference key recovery and every
+// serialization surface are pure functions of their inputs. Three
+// nondeterminism sources are flagged in any function reachable from
+// those roots (the reachability is the call graph's, cross-package):
+//
+//   - wall-clock reads (time.Now, time.Since): two routers stamping
+//     state differently build COMBINE-incompatible views;
+//   - the process-seeded math/rand global source (the seeded-rand rule
+//     flags those everywhere under internal/; here the message carries
+//     the reachability chain so the hot-path connection is explicit);
+//   - ranging over a map: Go randomizes iteration order per run, so a
+//     map-range feeding serialization or estimation emits different
+//     bytes (or recovers different keys) on every execution.
+//
+// The sanctioned rewrite — collect the keys, sort them, iterate the
+// slice — is recognized structurally: a keys-only range whose body just
+// appends the key to a slice is order-independent by construction and
+// not flagged. Any other map-range whose body is genuinely
+// order-independent (pure deletion sweeps, commutative accumulation)
+// can be suppressed with
+// //lint:ignore determinism <why the order cannot matter>.
+var determinismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc:  "no time.Now, unseeded rand, or map-iteration-order dependence reachable from UPDATE/ESTIMATE/COMBINE/Inference/marshal paths",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(pass *Pass) {
+	info := pass.Pkg.Info
+	inspectFuncBodies(pass.Pkg, func(decl *ast.FuncDecl) {
+		node := pass.Prog.nodeOf(pass.Pkg, decl)
+		if node == nil || !node.detReach {
+			return
+		}
+		where := "in determinism-critical " + decl.Name.Name
+		if chain := pass.Prog.detChain(node); chain != "" {
+			where += " (reached from " + chain + ")"
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				switch pkgOf(info, sel) {
+				case "time":
+					if sel.Sel.Name == "Now" || sel.Sel.Name == "Since" {
+						pass.Reportf(x.Pos(), "time.%s reads the wall clock %s; results must be a function of the observed traffic only", sel.Sel.Name, where)
+					}
+				case "math/rand", "math/rand/v2":
+					if _, isFn := info.Uses[sel.Sel].(*types.Func); isFn && !seededRandAllowed[sel.Sel.Name] {
+						pass.Reportf(x.Pos(), "rand.%s draws from the process-global source %s; derive randomness from the configured seed", sel.Sel.Name, where)
+					}
+				}
+			case *ast.RangeStmt:
+				if tv, ok := info.Types[x.X]; ok && tv.Type != nil {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap && !isKeyCollectionRange(info, x) {
+						pass.Reportf(x.Pos(), "map iteration order is randomized %s; iterate a sorted key slice (or suppress with a written order-independence argument)", where)
+					}
+				}
+			}
+			return true
+		})
+	})
+}
+
+// isKeyCollectionRange recognizes the first half of the sanctioned
+// sorted-iteration idiom:
+//
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//
+// A keys-only range whose body is exactly one append of the key onto a
+// slice is order-independent by construction (the slice receives the
+// same multiset of keys in every run, and the caller sorts it), so
+// flagging it would make the recommended fix unwritable.
+func isKeyCollectionRange(info *types.Info, r *ast.RangeStmt) bool {
+	key, ok := r.Key.(*ast.Ident)
+	if !ok || r.Value != nil || len(r.Body.List) != 1 {
+		return false
+	}
+	assign, ok := r.Body.List[0].(*ast.AssignStmt)
+	if !ok || assign.Tok != token.ASSIGN || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 || call.Ellipsis.IsValid() {
+		return false
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := info.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	dst, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	lhs, ok := ast.Unparen(assign.Lhs[0]).(*ast.Ident)
+	if !ok || info.Uses[lhs] == nil || info.Uses[lhs] != info.Uses[dst] {
+		return false
+	}
+	arg, ok := ast.Unparen(call.Args[1]).(*ast.Ident)
+	return ok && info.Uses[arg] != nil && info.Uses[arg] == info.Defs[key]
+}

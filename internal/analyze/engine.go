@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -157,11 +158,15 @@ func (m *Module) isModulePath(path string) bool {
 	return path == m.Path || strings.HasPrefix(path, m.Path+"/")
 }
 
-// Packages returns the module's package import paths, sorted.
+// Packages returns the module's own package import paths, sorted.
+// Synthetic registrations (LoadDirAs/LoadTreeAs testdata) are loadable
+// but deliberately not listed: they are fixtures, not module surface.
 func (m *Module) Packages() []string {
 	paths := make([]string, 0, len(m.dirs))
 	for p := range m.dirs {
-		paths = append(paths, p)
+		if m.isModulePath(p) {
+			paths = append(paths, p)
+		}
 	}
 	sort.Strings(paths)
 	return paths
@@ -191,13 +196,14 @@ func (m *Module) Import(path string) (*types.Package, error) {
 	return m.ImportFrom(path, m.Dir, 0)
 }
 
-// ImportFrom implements types.ImporterFrom, routing module-internal
-// imports to the source loader and everything else to export data.
+// ImportFrom implements types.ImporterFrom, routing source-registered
+// imports (module packages and registered testdata trees) to the source
+// loader and everything else to export data.
 func (m *Module) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
 	if path == "unsafe" {
 		return types.Unsafe, nil
 	}
-	if m.isModulePath(path) {
+	if _, ok := m.files[path]; ok {
 		pkg, err := m.Load(path)
 		if err != nil {
 			return nil, err
@@ -207,9 +213,9 @@ func (m *Module) ImportFrom(path, dir string, mode types.ImportMode) (*types.Pac
 	return m.gc.ImportFrom(path, dir, mode)
 }
 
-// Load parses and type-checks the module package with the given import
-// path (non-test files only). Results are cached; import cycles are
-// reported rather than recursed into.
+// Load parses and type-checks the source-registered package with the
+// given import path (non-test files only). Results are cached; import
+// cycles are reported rather than recursed into.
 func (m *Module) Load(path string) (*Package, error) {
 	if pkg, ok := m.pkgs[path]; ok {
 		return pkg, nil
@@ -231,27 +237,122 @@ func (m *Module) Load(path string) (*Package, error) {
 	return pkg, nil
 }
 
-// LoadDirAs parses and type-checks the standalone package in dir under a
-// caller-chosen import path. The golden-file harness uses it to load
-// testdata packages whose synthetic paths exercise path-scoped rules.
-func (m *Module) LoadDirAs(dir, path string) (*Package, error) {
+// sourceFiles lists the analyzable Go files of dir: no _test.go files
+// (the analyzers check production invariants), no files whose build
+// constraints — //go:build lines or GOOS/GOARCH name suffixes — exclude
+// them from the current platform's build, exactly the file set `go
+// build` would compile.
+func sourceFiles(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("analyze: %w", err)
 	}
+	ctx := build.Default
 	var files []string
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
+		ok, err := ctx.MatchFile(dir, name)
+		if err != nil {
+			return nil, fmt.Errorf("analyze: %s: %w", filepath.Join(dir, name), err)
+		}
+		if !ok {
+			continue // excluded by build constraints
+		}
 		files = append(files, filepath.Join(dir, name))
 	}
-	if len(files) == 0 {
-		return nil, fmt.Errorf("analyze: no Go files in %s", dir)
-	}
 	sort.Strings(files)
-	return m.check(path, dir, files)
+	return files, nil
+}
+
+// register makes the standalone package in dir loadable (and importable
+// from other registered packages) under the synthetic import path. The
+// registration is idempotent; registering one path for two different
+// directories is an error.
+func (m *Module) register(dir, path string) error {
+	if prev, ok := m.dirs[path]; ok {
+		if prev != dir {
+			return fmt.Errorf("analyze: import path %q registered for both %s and %s", path, prev, dir)
+		}
+		return nil
+	}
+	files, err := sourceFiles(dir)
+	if err != nil {
+		return err
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("analyze: no Go files in %s", dir)
+	}
+	m.dirs[path] = dir
+	m.files[path] = files
+	return nil
+}
+
+// LoadDirAs parses and type-checks the standalone package in dir under a
+// caller-chosen import path. The golden-file harness uses it to load
+// testdata packages whose synthetic paths exercise path-scoped rules.
+func (m *Module) LoadDirAs(dir, path string) (*Package, error) {
+	if err := m.register(dir, path); err != nil {
+		return nil, err
+	}
+	return m.Load(path)
+}
+
+// LoadTreeAs loads every package directory under root as one program:
+// each directory holding Go files becomes a package at
+// basePath/<dir-relative-to-root> (basePath itself for root), and the
+// packages may import each other under those synthetic paths. The
+// golden-file harness uses it to load multi-package testdata scenarios,
+// so cross-package analyses (hot-path propagation, atomic-consistency)
+// see the same shape they see on the real module.
+func (m *Module) LoadTreeAs(root, basePath string) ([]*Package, error) {
+	var dirs []string
+	byDir := make(map[string]bool)
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".go") && !byDir[filepath.Dir(path)] {
+			byDir[filepath.Dir(path)] = true
+			dirs = append(dirs, filepath.Dir(path))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("analyze: %w", err)
+	}
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("analyze: no Go packages under %s", root)
+	}
+	sort.Strings(dirs)
+	// Register everything first so imports between the tree's packages
+	// resolve regardless of load order.
+	paths := make([]string, 0, len(dirs))
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, fmt.Errorf("analyze: %w", err)
+		}
+		path := basePath
+		if rel != "." {
+			path = basePath + "/" + filepath.ToSlash(rel)
+		}
+		if err := m.register(dir, path); err != nil {
+			return nil, err
+		}
+		paths = append(paths, path)
+	}
+	pkgs := make([]*Package, 0, len(paths))
+	for _, path := range paths {
+		pkg, err := m.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
 }
 
 // check parses the given files and runs the type checker over them.

@@ -1,0 +1,129 @@
+package analyze
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadSkipsBuildTaggedFiles checks that a file excluded by a
+// //go:build constraint is neither parsed nor type-checked: the fixture
+// file would not compile if it were.
+func TestLoadSkipsBuildTaggedFiles(t *testing.T) {
+	mod := mustModule(t)
+	pkg, err := mod.LoadDirAs(filepath.Join("testdata", "engine", "buildtag"), "test/engine/buildtag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.Files) != 1 {
+		t.Fatalf("loaded %d files, want 1 (skip.go is build-tagged out)", len(pkg.Files))
+	}
+	if pkg.Types.Scope().Lookup("Kept") == nil {
+		t.Error("Kept not in package scope")
+	}
+	if pkg.Types.Scope().Lookup("Skipped") != nil {
+		t.Error("Skipped leaked in from the build-tagged file")
+	}
+}
+
+// TestLoadSkipsTestFiles checks the _test.go exclusion the same way:
+// the sibling test file references an undefined name and would fail the
+// type check if loaded.
+func TestLoadSkipsTestFiles(t *testing.T) {
+	mod := mustModule(t)
+	pkg, err := mod.LoadDirAs(filepath.Join("testdata", "engine", "withtest"), "test/engine/withtest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.Files) != 1 {
+		t.Fatalf("loaded %d files, want 1 (_test.go excluded)", len(pkg.Files))
+	}
+}
+
+// TestLoadTypeErrorFails checks that a package that parses but does not
+// type-check produces a clear error, not a panic or a half-built
+// package.
+func TestLoadTypeErrorFails(t *testing.T) {
+	mod := mustModule(t)
+	_, err := mod.LoadDirAs(filepath.Join("testdata", "engine", "typeerror"), "test/engine/typeerror")
+	if err == nil {
+		t.Fatal("loading a type-broken package did not error")
+	}
+	if !strings.Contains(err.Error(), "type-checking") {
+		t.Errorf("error %q does not name the type-checking phase", err)
+	}
+}
+
+// TestLoadParseErrorFails covers the phase before type-checking with a
+// generated fixture (kept out of testdata so the tree stays parseable).
+func TestLoadParseErrorFails(t *testing.T) {
+	mod := mustModule(t)
+	dir := t.TempDir()
+	src := "package mangled\n\nfunc Broken( {\n"
+	if err := os.WriteFile(filepath.Join(dir, "mangled.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mod.LoadDirAs(dir, "test/engine/parseerror"); err == nil {
+		t.Fatal("loading a syntactically broken package did not error")
+	}
+}
+
+// TestLoadAllFilesExcludedFails checks the degenerate directory whose
+// every file is constrained away: registration must fail with "no Go
+// files" rather than producing an empty package.
+func TestLoadAllFilesExcludedFails(t *testing.T) {
+	mod := mustModule(t)
+	_, err := mod.LoadDirAs(filepath.Join("testdata", "engine", "allskipped"), "test/engine/allskipped")
+	if err == nil {
+		t.Fatal("loading a fully build-tagged-out directory did not error")
+	}
+	if !strings.Contains(err.Error(), "no Go files") {
+		t.Errorf("error %q does not say 'no Go files'", err)
+	}
+}
+
+// TestRegisterConflict checks that one synthetic import path cannot be
+// bound to two directories, while re-registering the same binding is
+// idempotent.
+func TestRegisterConflict(t *testing.T) {
+	mod := mustModule(t)
+	dir := filepath.Join("testdata", "engine", "buildtag")
+	if _, err := mod.LoadDirAs(dir, "test/engine/conflict"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mod.LoadDirAs(dir, "test/engine/conflict"); err != nil {
+		t.Errorf("idempotent re-registration errored: %v", err)
+	}
+	other := filepath.Join("testdata", "engine", "withtest")
+	if _, err := mod.LoadDirAs(other, "test/engine/conflict"); err == nil {
+		t.Error("registering a second directory under the same path did not error")
+	}
+}
+
+// TestLoadUnknownPathFails checks Load's error for paths never
+// registered and not in the module.
+func TestLoadUnknownPathFails(t *testing.T) {
+	mod := mustModule(t)
+	if _, err := mod.Load("test/engine/never-registered"); err == nil {
+		t.Fatal("loading an unregistered path did not error")
+	}
+}
+
+// TestLoadTreeAsEmptyFails checks LoadTreeAs on a tree with no Go
+// packages.
+func TestLoadTreeAsEmptyFails(t *testing.T) {
+	mod := mustModule(t)
+	if _, err := mod.LoadTreeAs(t.TempDir(), "test/engine/emptytree"); err == nil {
+		t.Fatal("LoadTreeAs over an empty tree did not error")
+	}
+}
+
+// TestGoPackageDirs sanity-checks the helper the harness docs lean on:
+// scenario trees enumerate in sorted, deterministic order.
+func TestGoPackageDirs(t *testing.T) {
+	dirs := goPackageDirs(t, filepath.Join("testdata", "hotprop"))
+	if len(dirs) != 3 {
+		t.Fatalf("got %d package dirs under hotprop, want 3: %v", len(dirs), dirs)
+	}
+}

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"regexp"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -46,33 +46,139 @@ func mustModule(t *testing.T) *Module {
 	return mod
 }
 
-// TestGolden runs every analyzer over the testdata packages and checks
-// the findings against the `// want "regexp"` comments, analysistest
-// style: every want must match a finding on its line, every finding must
-// be claimed by a want.
+// TestGolden runs the self-check harness — the same one `hifindlint
+// -selfcheck` and `make lint` use — over every scenario under testdata:
+// each scenario tree is loaded as one program (so cross-package
+// propagation applies) and its findings are diffed against the
+// `// want "regexp"` comments.
 func TestGolden(t *testing.T) {
-	mod := mustModule(t)
-	scenarios := []string{"hotpath", "seededrand", "floateq", "mutexguard", "uncheckedclose"}
-	for _, scenario := range scenarios {
-		t.Run(scenario, func(t *testing.T) {
-			base := filepath.Join("testdata", scenario)
-			for _, dir := range goPackageDirs(t, base) {
-				rel, err := filepath.Rel(base, dir)
-				if err != nil {
-					t.Fatal(err)
-				}
-				importPath := "test/" + filepath.ToSlash(rel)
-				pkg, err := mod.LoadDirAs(dir, importPath)
-				if err != nil {
-					t.Fatalf("loading %s as %s: %v", dir, importPath, err)
-				}
-				checkWants(t, pkg, RunPackage(pkg, Analyzers()))
-			}
-		})
+	problems, err := SelfCheck(mustModule(t), "testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
 	}
 }
 
-// goPackageDirs returns every directory under root containing .go files.
+// TestSuppressionCoversAndAudits pins down directive bookkeeping beyond
+// the golden wants: a directive that suppressed a finding must not
+// appear in the unused audit, and Result ordering is by position.
+func TestSuppressionCoversAndAudits(t *testing.T) {
+	mod := mustModule(t)
+	pkgs, err := mod.LoadTreeAs(filepath.Join("testdata", "suppress"), "test/suppress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunProgram(NewProgram(pkgs), Analyzers())
+	if len(res.Unused) != 0 {
+		t.Errorf("used directive reported as unused: %v", res.Unused)
+	}
+	for i := 1; i < len(res.Findings); i++ {
+		a, b := res.Findings[i-1].Pos, res.Findings[i].Pos
+		if a.Filename > b.Filename || (a.Filename == b.Filename && a.Line > b.Line) {
+			t.Errorf("findings out of order: %v before %v", res.Findings[i-1], res.Findings[i])
+		}
+	}
+}
+
+// TestSelectAnalyzers covers the -rules flag's backend: subsets resolve,
+// unknown names and empty selections error.
+func TestSelectAnalyzers(t *testing.T) {
+	all, err := SelectAnalyzers("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(Analyzers()) {
+		t.Errorf("empty rule list selected %d analyzers, want all %d", len(all), len(Analyzers()))
+	}
+	sub, err := SelectAnalyzers("determinism, hotpath-alloc,determinism")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) != 2 {
+		t.Errorf("got %d analyzers, want 2 (dupes collapse): %v", len(sub), sub)
+	}
+	if _, err := SelectAnalyzers("no-such-rule"); err == nil {
+		t.Error("unknown rule name did not error")
+	}
+	if _, err := SelectAnalyzers(" , ,"); err == nil {
+		t.Error("blank rule list did not error")
+	}
+}
+
+// TestHotPropagationChain asserts the acceptance property directly on
+// the hotprop scenario's graph: the //hifind:hot annotation on the
+// facade makes its callee's callee hot, with the chain recorded, while
+// the //hifind:cold branch stays out of the hot set.
+func TestHotPropagationChain(t *testing.T) {
+	mod := mustModule(t)
+	pkgs, err := mod.LoadTreeAs(filepath.Join("testdata", "hotprop"), "test/hotprop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := NewProgram(pkgs)
+	byName := make(map[string]*funcNode)
+	for _, n := range prog.Graph.nodes {
+		byName[n.pkg.Types.Name()+"."+n.fn.Name()] = n
+	}
+	for name, wantChain := range map[string]string{
+		"facade.Record": "",                                 // annotated root
+		"enc.Pack":      "Record → Pack",                    // callee
+		"lut.Fold":      "Record → Pack → Fold",             // callee's callee
+		"lut.FoldTwice": "Record → Pack → Fold → FoldTwice", // one deeper
+	} {
+		n := byName[name]
+		if n == nil {
+			t.Fatalf("no graph node for %s", name)
+		}
+		if !n.hot {
+			t.Errorf("%s not classified hot", name)
+			continue
+		}
+		if got := prog.hotChain(n); got != wantChain {
+			t.Errorf("%s chain = %q, want %q", name, got, wantChain)
+		}
+	}
+	for _, name := range []string{"facade.report", "enc.Spill"} {
+		n := byName[name]
+		if n == nil {
+			t.Fatalf("no graph node for %s", name)
+		}
+		if n.hot {
+			t.Errorf("%s classified hot despite the //hifind:cold barrier", name)
+		}
+	}
+}
+
+// TestModuleIsLintClean runs the full rule set over the real module as
+// one program: `go test` itself then enforces the zero-findings and
+// zero-unused-suppressions invariants, independent of make check
+// wiring.
+func TestModuleIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	mod := mustModule(t)
+	var pkgs []*Package
+	for _, path := range mod.Packages() {
+		pkg, err := mod.Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	res := RunProgram(NewProgram(pkgs), Analyzers())
+	for _, f := range res.Findings {
+		t.Errorf("%s", f)
+	}
+	for _, f := range res.Unused {
+		t.Errorf("%s", f)
+	}
+}
+
+// goPackageDirs is kept for the engine tests: every directory under
+// root containing .go files, sorted.
 func goPackageDirs(t *testing.T, root string) []string {
 	t.Helper()
 	byDir := make(map[string]bool)
@@ -92,124 +198,9 @@ func goPackageDirs(t *testing.T, root string) []string {
 	for d := range byDir {
 		dirs = append(dirs, d)
 	}
+	sort.Strings(dirs)
 	if len(dirs) == 0 {
 		t.Fatalf("no Go packages under %s", root)
 	}
 	return dirs
-}
-
-var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
-
-// parseWants extracts the regexps of a `// want` comment on one line.
-func parseWants(line string) []string {
-	_, rest, ok := strings.Cut(line, "// want ")
-	if !ok {
-		return nil
-	}
-	var wants []string
-	for _, m := range wantRE.FindAllStringSubmatch(rest, -1) {
-		if m[1] != "" {
-			wants = append(wants, m[1])
-		} else {
-			wants = append(wants, m[2])
-		}
-	}
-	return wants
-}
-
-// checkWants verifies findings against want comments, per file and line.
-func checkWants(t *testing.T, pkg *Package, findings []Finding) {
-	t.Helper()
-	type key struct {
-		file string
-		line int
-	}
-	gotByLine := make(map[key][]Finding)
-	for _, f := range findings {
-		k := key{f.Pos.Filename, f.Pos.Line}
-		gotByLine[k] = append(gotByLine[k], f)
-	}
-	for _, astFile := range pkg.Files {
-		name := pkg.Fset.Position(astFile.Pos()).Filename
-		data, err := os.ReadFile(name)
-		if err != nil {
-			t.Fatal(err)
-		}
-		for i, line := range strings.Split(string(data), "\n") {
-			k := key{name, i + 1}
-			got := gotByLine[k]
-			delete(gotByLine, k)
-			for _, want := range parseWants(line) {
-				re, err := regexp.Compile(want)
-				if err != nil {
-					t.Fatalf("%s:%d: bad want regexp %q: %v", name, i+1, want, err)
-				}
-				matched := false
-				for gi, g := range got {
-					if re.MatchString(g.Message) {
-						got = append(got[:gi], got[gi+1:]...)
-						matched = true
-						break
-					}
-				}
-				if !matched {
-					t.Errorf("%s:%d: no finding matching %q", name, i+1, want)
-				}
-			}
-			for _, g := range got {
-				t.Errorf("%s:%d: unexpected finding: %s: %s", name, i+1, g.Rule, g.Message)
-			}
-		}
-	}
-	for k, fs := range gotByLine {
-		for _, f := range fs {
-			t.Errorf("%s:%d: finding outside any source line: %s: %s", k.file, k.line, f.Rule, f.Message)
-		}
-	}
-}
-
-// TestSuppression checks the //lint:ignore machinery end to end: a
-// reasoned directive suppresses the finding on the next line, while a
-// malformed directive (missing rule/reason) suppresses nothing and is
-// itself reported.
-func TestSuppression(t *testing.T) {
-	mod := mustModule(t)
-	dir := filepath.Join("testdata", "suppress", "internal", "sketch")
-	pkg, err := mod.LoadDirAs(dir, "test/internal/sketch")
-	if err != nil {
-		t.Fatal(err)
-	}
-	findings := RunPackage(pkg, Analyzers())
-	if len(findings) != 2 {
-		t.Fatalf("got %d findings, want 2 (malformed directive + unsuppressed alloc):\n%v", len(findings), findings)
-	}
-	if findings[0].Rule != "lint-directive" {
-		t.Errorf("finding 0 rule = %q, want lint-directive", findings[0].Rule)
-	}
-	if findings[1].Rule != "hotpath-alloc" {
-		t.Errorf("finding 1 rule = %q, want hotpath-alloc", findings[1].Rule)
-	}
-	if findings[1].Pos.Line != findings[0].Pos.Line+1 {
-		t.Errorf("unsuppressed alloc at line %d, want directly under the malformed directive at line %d",
-			findings[1].Pos.Line, findings[0].Pos.Line)
-	}
-}
-
-// TestModuleIsLintClean runs the full rule set over the real module:
-// `go test` itself then enforces the invariants, independent of make
-// check wiring.
-func TestModuleIsLintClean(t *testing.T) {
-	if testing.Short() {
-		t.Skip("type-checks the whole module; skipped in -short mode")
-	}
-	mod := mustModule(t)
-	for _, path := range mod.Packages() {
-		pkg, err := mod.Load(path)
-		if err != nil {
-			t.Fatal(err)
-		}
-		for _, f := range RunPackage(pkg, Analyzers()) {
-			t.Errorf("%s", f)
-		}
-	}
 }

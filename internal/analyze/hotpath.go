@@ -63,19 +63,20 @@ func hotpathFunc(pkgPath, name string) bool {
 
 var hotpathAllocAnalyzer = &Analyzer{
 	Name: "hotpath-alloc",
-	Doc:  "forbids heap allocation (make/append/map or slice literals/fmt.Sprint*/string concat) and non-hot telemetry calls in Update/Estimate/Combine/Ingest of the sketch family",
+	Doc:  "forbids heap allocation (make/append/map or slice literals/fmt.Sprint*/string concat) and non-hot telemetry calls in the transitive hot set rooted at Update/Estimate/Combine/Ingest and //hifind:hot functions",
 	Run:  runHotpathAlloc,
 }
 
 func runHotpathAlloc(pass *Pass) {
-	if !pathMatchesAny(pass.Pkg.Path, hotpathPackages) {
-		return
-	}
 	info := pass.Pkg.Info
 	inspectFuncBodies(pass.Pkg, func(decl *ast.FuncDecl) {
-		name := decl.Name.Name
-		if !hotpathFunc(pass.Pkg.Path, name) {
+		node := pass.Prog.nodeOf(pass.Pkg, decl)
+		if node == nil || !node.hot {
 			return
+		}
+		name := decl.Name.Name
+		if chain := pass.Prog.hotChain(node); chain != "" {
+			name += " (hot via " + chain + ")"
 		}
 		ast.Inspect(decl.Body, func(n ast.Node) bool {
 			switch e := n.(type) {

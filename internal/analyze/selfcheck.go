@@ -1,0 +1,192 @@
+package analyze
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// This file is the golden-file harness, shared between the package's
+// tests and the driver's -selfcheck mode: the lint suite can verify
+// itself against its own testdata wherever it runs, so a stale binary
+// or a broken rule fails `make lint` before it misjudges real code.
+//
+// Expectations live in the testdata sources as analysistest-style
+//
+//	// want "regexp"
+//
+// comments: every want must match a finding reported on its line, and
+// every finding (including unused-suppression audit findings) must be
+// claimed by a want.
+
+// SelfCheck runs the full rule set over every golden scenario under
+// testdataDir and returns the mismatches, one human-readable line each.
+// An empty slice means the suite agrees with its own testdata.
+func SelfCheck(mod *Module, testdataDir string) ([]string, error) {
+	entries, err := os.ReadDir(testdataDir)
+	if err != nil {
+		return nil, fmt.Errorf("analyze: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		// testdata/engine holds deliberately unloadable fixtures
+		// (type errors, build-tag exclusions) for the loader's own
+		// tests; it is not a golden scenario.
+		if e.IsDir() && e.Name() != "engine" {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analyze: no golden scenarios under %s", testdataDir)
+	}
+	var problems []string
+	for _, name := range names {
+		check := CheckScenario
+		if name == "suppress" {
+			// The suppress scenario exists to exercise a malformed
+			// //lint:ignore (no rule, no reason) — and a malformed
+			// directive cannot carry a same-line want comment, since
+			// any trailing text would become its reason and make it
+			// well-formed. Its expectations are coded here instead.
+			check = checkSuppressScenario
+		}
+		p, err := check(mod, filepath.Join(testdataDir, name), "test/"+name)
+		if err != nil {
+			return nil, fmt.Errorf("analyze: scenario %s: %w", name, err)
+		}
+		for _, line := range p {
+			problems = append(problems, name+": "+line)
+		}
+	}
+	return problems, nil
+}
+
+// checkSuppressScenario verifies the //lint:ignore machinery end to
+// end: a reasoned directive suppresses the finding on the next line
+// (and counts as used), while a malformed directive suppresses nothing
+// and is itself reported alongside the allocation it failed to cover.
+func checkSuppressScenario(mod *Module, dir, basePath string) ([]string, error) {
+	pkgs, err := mod.LoadTreeAs(dir, basePath)
+	if err != nil {
+		return nil, err
+	}
+	res := RunProgram(NewProgram(pkgs), Analyzers())
+	var problems []string
+	if len(res.Findings) != 2 {
+		problems = append(problems, fmt.Sprintf("got %d findings, want 2 (malformed directive + unsuppressed alloc): %v", len(res.Findings), res.Findings))
+		return problems, nil
+	}
+	if res.Findings[0].Rule != "lint-directive" {
+		problems = append(problems, fmt.Sprintf("finding 0 rule = %q, want lint-directive", res.Findings[0].Rule))
+	}
+	if res.Findings[1].Rule != "hotpath-alloc" {
+		problems = append(problems, fmt.Sprintf("finding 1 rule = %q, want hotpath-alloc", res.Findings[1].Rule))
+	}
+	if res.Findings[1].Pos.Line != res.Findings[0].Pos.Line+1 {
+		problems = append(problems, fmt.Sprintf("unsuppressed alloc at line %d, want directly under the malformed directive at line %d",
+			res.Findings[1].Pos.Line, res.Findings[0].Pos.Line))
+	}
+	for _, u := range res.Unused {
+		problems = append(problems, fmt.Sprintf("unexpected unused-suppression: %s", u))
+	}
+	return problems, nil
+}
+
+// CheckScenario loads one scenario tree under a synthetic base import
+// path, analyzes it as a single program and diffs the findings against
+// the want comments.
+func CheckScenario(mod *Module, dir, basePath string) ([]string, error) {
+	pkgs, err := mod.LoadTreeAs(dir, basePath)
+	if err != nil {
+		return nil, err
+	}
+	res := RunProgram(NewProgram(pkgs), Analyzers())
+	findings := make([]Finding, 0, len(res.Findings)+len(res.Unused))
+	findings = append(findings, res.Findings...)
+	findings = append(findings, res.Unused...)
+	return diffWants(pkgs, findings)
+}
+
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// parseWants extracts the regexps of a `// want` comment on one line.
+func parseWants(line string) []string {
+	_, rest, ok := strings.Cut(line, "// want ")
+	if !ok {
+		return nil
+	}
+	var wants []string
+	for _, m := range wantRE.FindAllStringSubmatch(rest, -1) {
+		if m[1] != "" {
+			wants = append(wants, m[1])
+		} else {
+			wants = append(wants, m[2])
+		}
+	}
+	return wants
+}
+
+// diffWants verifies findings against want comments, per file and line:
+// unmatched wants and unclaimed findings are both mismatches.
+func diffWants(pkgs []*Package, findings []Finding) ([]string, error) {
+	type key struct {
+		file string
+		line int
+	}
+	gotByLine := make(map[key][]Finding)
+	for _, f := range findings {
+		k := key{f.Pos.Filename, f.Pos.Line}
+		gotByLine[k] = append(gotByLine[k], f)
+	}
+	var problems []string
+	for _, pkg := range pkgs {
+		for _, astFile := range pkg.Files {
+			name := pkg.Fset.Position(astFile.Pos()).Filename
+			data, err := os.ReadFile(name)
+			if err != nil {
+				return nil, err
+			}
+			for i, line := range strings.Split(string(data), "\n") {
+				k := key{name, i + 1}
+				got := gotByLine[k]
+				delete(gotByLine, k)
+				for _, want := range parseWants(line) {
+					re, err := regexp.Compile(want)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %w", name, i+1, want, err)
+					}
+					matched := false
+					for gi, g := range got {
+						if re.MatchString(g.Message) {
+							got = append(got[:gi], got[gi+1:]...)
+							matched = true
+							break
+						}
+					}
+					if !matched {
+						problems = append(problems, fmt.Sprintf("%s:%d: no finding matching %q", name, i+1, want))
+					}
+				}
+				for _, g := range got {
+					problems = append(problems, fmt.Sprintf("%s:%d: unexpected finding: %s: %s", name, i+1, g.Rule, g.Message))
+				}
+			}
+		}
+	}
+	// Findings can only land outside any scanned line if positions are
+	// corrupt; surface that instead of silently passing.
+	var stray []string
+	for k, fs := range gotByLine {
+		for _, f := range fs {
+			stray = append(stray, fmt.Sprintf("%s:%d: finding outside any source line: %s: %s", k.file, k.line, f.Rule, f.Message))
+		}
+	}
+	sort.Strings(stray)
+	problems = append(problems, stray...)
+	sort.Strings(problems)
+	return problems, nil
+}

@@ -1,0 +1,56 @@
+// Package agg exercises atomic-consistency on the writer side: shard
+// counters bumped with sync/atomic that every other access — same
+// package or not — must also reach atomically.
+package agg
+
+import "sync/atomic"
+
+// ShardStats mixes regimes on packets (flagged below) and keeps drops
+// entirely plain (consistent, so legal) and accepted entirely behind
+// the atomic.Int64 type (immune by construction).
+type ShardStats struct {
+	packets  int64
+	drops    int64
+	accepted atomic.Int64
+}
+
+func (s *ShardStats) Record(n int64) {
+	atomic.AddInt64(&s.packets, n)
+	s.accepted.Add(1)
+}
+
+func (s *ShardStats) Packets() int64 {
+	return atomic.LoadInt64(&s.packets)
+}
+
+// Snapshot reads the counter plainly while Record writes it atomically:
+// a data race the race detector only sees under concurrent load.
+func (s *ShardStats) Snapshot() int64 {
+	return s.packets // want `packets is accessed with sync/atomic`
+}
+
+// AddDrop and Drops touch drops plainly everywhere: consistent.
+func (s *ShardStats) AddDrop()     { s.drops++ }
+func (s *ShardStats) Drops() int64 { return s.drops }
+
+// Totals is shared with the reporting package; its field is atomic on
+// this side of the package boundary.
+type Totals struct {
+	Bytes int64
+}
+
+func (t *Totals) Account(n int64) {
+	atomic.AddInt64(&t.Bytes, n)
+}
+
+// epoch is a package-level variable under the same contract.
+var epoch int64
+
+func BumpEpoch() int64 {
+	return atomic.AddInt64(&epoch, 1)
+}
+
+// ResetEpoch stores plainly what BumpEpoch adds atomically.
+func ResetEpoch() {
+	epoch = 0 // want `epoch is accessed with sync/atomic`
+}

@@ -1,0 +1,21 @@
+// Package report is the reader side of the atomic scenario: the mixed
+// access happens across a package boundary, which is exactly where the
+// race detector's luck runs out and a structural rule is needed.
+package report
+
+import (
+	"sync/atomic"
+
+	"test/atomic/internal/agg"
+)
+
+// Summarize reads Totals.Bytes plainly; agg.Account writes it with
+// sync/atomic, so this is the cross-package half of the race.
+func Summarize(t *agg.Totals) int64 {
+	return t.Bytes // want `Bytes is accessed with sync/atomic`
+}
+
+// SummarizeAtomic does it right.
+func SummarizeAtomic(t *agg.Totals) int64 {
+	return atomic.LoadInt64(&t.Bytes)
+}

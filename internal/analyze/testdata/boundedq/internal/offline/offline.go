@@ -1,0 +1,11 @@
+// Package offline is not an ingestion package: the same shapes are not
+// bounded-queue's business here.
+package offline
+
+type Row struct {
+	N int
+}
+
+func Chans() (chan Row, chan Row) {
+	return make(chan Row), make(chan Row, 512)
+}

@@ -1,0 +1,37 @@
+// Package checkpoint exercises determinism on the serialization
+// surface: marshal-named functions are roots wherever they live, and a
+// map range there emits different bytes on every run.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"sort"
+)
+
+// MarshalCounts walks the map directly: byte order depends on Go's
+// randomized iteration.
+func MarshalCounts(m map[uint64]int64) []byte {
+	out := make([]byte, 0, 16*len(m))
+	for k, v := range m { // want `map iteration order is randomized in determinism-critical MarshalCounts`
+		out = binary.BigEndian.AppendUint64(out, k)
+		out = binary.BigEndian.AppendUint64(out, uint64(v))
+	}
+	return out
+}
+
+// MarshalSorted is the sanctioned shape: collect the keys (the
+// keys-only append loop is recognized as order-independent), sort,
+// iterate the slice. No findings.
+func MarshalSorted(m map[uint64]int64) []byte {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]byte, 0, 16*len(m))
+	for _, k := range keys {
+		out = binary.BigEndian.AppendUint64(out, k)
+		out = binary.BigEndian.AppendUint64(out, uint64(m[k]))
+	}
+	return out
+}

@@ -1,0 +1,38 @@
+// Package revsketch exercises the Inference* determinism roots: key
+// recovery must traverse the sketch the same way on every run, or two
+// identical sketches recover different key sets.
+package revsketch
+
+import "math/rand"
+
+type Rev struct {
+	buckets map[uint64]int64
+	order   []uint64
+}
+
+// InferenceKeys is a root by name (in a sketch-family package). The
+// probe below draws global randomness and gets both the determinism
+// finding (with the root attribution) and the blanket seeded-rand one.
+func (r *Rev) InferenceKeys(threshold int64) []uint64 {
+	var out []uint64
+	if rand.Intn(2) == 0 { // want `rand.Intn draws from the process-global source in determinism-critical InferenceKeys` `rand.Intn uses the process-global rand source`
+		return out
+	}
+	for _, k := range r.order {
+		if r.buckets[k] >= threshold {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// InferenceScan walks the bucket map directly: flagged.
+func (r *Rev) InferenceScan(threshold int64) []uint64 {
+	var out []uint64
+	for k, v := range r.buckets { // want `map iteration order is randomized in determinism-critical InferenceScan`
+		if v >= threshold {
+			out = append(out, k)
+		}
+	}
+	return out
+}

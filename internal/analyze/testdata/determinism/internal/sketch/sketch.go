@@ -1,0 +1,43 @@
+// Package sketch exercises determinism on the hot-path side: Update is
+// a root by name, and the rule follows its callees — including through
+// a //hifind:cold barrier, because rotation-time code still feeds
+// persistent state.
+package sketch
+
+import "time"
+
+type Sketch struct {
+	counts [8]int64
+	stamp  int64
+	epochs [4]int64
+}
+
+func (s *Sketch) Update(key uint64, v int64) {
+	s.counts[key&7] += v
+	s.mark(key)
+	if key == 0 {
+		s.rotate()
+	}
+}
+
+// mark is only reachable from Update: the wall-clock read two frames
+// below the root is still nondeterministic state.
+func (s *Sketch) mark(key uint64) {
+	s.stamp = time.Now().UnixNano() // want `time.Now reads the wall clock in determinism-critical mark \(reached from Update → mark\)`
+}
+
+// rotate is cold for the allocation rule (the make below is fine) but
+// the determinism contract does not stop at the barrier.
+//
+//hifind:cold
+func (s *Sketch) rotate() {
+	spill := make([]int64, len(s.epochs))
+	copy(spill, s.epochs[:])
+	s.epochs[0] = time.Since(time.Unix(0, s.stamp)).Nanoseconds() // want `time.Since reads the wall clock in determinism-critical rotate`
+	_ = spill
+}
+
+// Estimate stays clean: pure function of the counters.
+func (s *Sketch) Estimate(key uint64) int64 {
+	return s.counts[key&7]
+}

@@ -1,0 +1,5 @@
+//go:build neverbuild
+
+// Package allskipped is a loader fixture: every file is excluded by
+// build constraints, so loading the directory must fail cleanly.
+package allskipped

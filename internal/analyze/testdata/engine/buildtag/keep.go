@@ -1,0 +1,5 @@
+// Package buildtag is a loader fixture: one file is always built, the
+// other is excluded by a build constraint and must not be parsed.
+package buildtag
+
+func Kept() int { return 1 }

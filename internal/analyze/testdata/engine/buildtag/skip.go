@@ -1,0 +1,7 @@
+//go:build neverbuild
+
+package buildtag
+
+// Skipped would collide with Kept's world if the loader ignored build
+// constraints; it also would not type-check against keep.go on its own.
+func Skipped() int { return Kept() + undefinedOnPurpose }

@@ -1,0 +1,8 @@
+// Package typeerror is a loader fixture: it parses but does not
+// type-check, and the engine must report that as an error, not panic.
+package typeerror
+
+func Broken() int {
+	var s string
+	return s + 1
+}

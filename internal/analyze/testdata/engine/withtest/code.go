@@ -1,0 +1,5 @@
+// Package withtest is a loader fixture: the _test.go sibling must be
+// excluded from analysis loads.
+package withtest
+
+func Production() int { return 42 }

@@ -1,0 +1,6 @@
+package withtest
+
+// This file exists to prove the loader skips _test.go files; it is
+// never compiled (testdata is invisible to the go tool) and would not
+// type-check as part of an analysis load.
+func helperForTestsOnly() int { return Production() + undefinedInProduction }

@@ -68,20 +68,23 @@ func (h *Histogram) Observe(v float64) {
 	h.buckets = append(h.buckets, 1) // want `append allocates in hot path Observe`
 }
 
-// snapshot is exposition-side: it allocates freely and is outside the
-// contract...
+// snapshot is exposition-side and would allocate freely — but Count
+// below drags it into the transitive hot set, so its allocation is
+// flagged with the propagation chain...
 func (h *Histogram) snapshot() map[int]int64 {
-	out := make(map[int]int64, len(h.buckets))
+	out := make(map[int]int64, len(h.buckets)) // want `make allocates in hot path snapshot \(hot via Count → snapshot\)`
 	for i, b := range h.buckets {
 		out[i] = b
 	}
 	return out
 }
 
-// ...which is exactly why a sanctioned method must not call it.
+// ...which is exactly why a sanctioned method must not call it. Count
+// is also a determinism root (it is hot), so ranging over the returned
+// map is flagged too.
 func (h *Histogram) Count() int64 {
 	var n int64
-	for _, c := range h.snapshot() { // want `telemetry.snapshot is not allocation-free`
+	for _, c := range h.snapshot() { // want `telemetry.snapshot is not allocation-free` `map iteration order is randomized in determinism-critical Count`
 		n += c
 	}
 	return n

@@ -1,0 +1,24 @@
+// Package enc is the middle hop of the hotprop scenario: hot only
+// because the annotated facade calls it.
+package enc
+
+import (
+	"fmt"
+
+	"test/hotprop/internal/lut"
+)
+
+// Pack is Record's direct callee: transitively hot.
+func Pack(key uint64) uint64 {
+	return lut.Fold(key)
+}
+
+// Spill is only reachable through the facade's //hifind:cold report:
+// allocation here must not be flagged.
+func Spill(keys []uint64) []string {
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, fmt.Sprintf("%016x", k))
+	}
+	return out
+}

@@ -1,0 +1,28 @@
+// Package facade is the hotprop scenario's entry point. It is NOT one
+// of the name-convention hot-path packages: its per-packet function is
+// classified hot purely by annotation, and the classification must
+// propagate through its callees' callees across two more packages.
+package facade
+
+import "test/hotprop/internal/enc"
+
+// Record is this scenario's per-packet entry point.
+//
+//hifind:hot
+func Record(key uint64) uint64 {
+	return enc.Pack(key)
+}
+
+// report runs at rotation time: the cold barrier keeps it — and
+// everything only it calls — out of the hot set, so its allocations
+// are sanctioned.
+//
+//hifind:cold
+func report(keys []uint64) []string {
+	return enc.Spill(keys)
+}
+
+// Flush is ordinary cold code calling the cold branch.
+func Flush(keys []uint64) []string {
+	return report(keys)
+}

@@ -1,0 +1,24 @@
+// Package lut is the bottom of the hotprop chain — two static calls
+// below the annotated root, in a package the naming convention knows
+// nothing about. The acceptance property: an allocation here is flagged
+// with the full propagation chain in the message.
+package lut
+
+type table struct {
+	rows [16]uint64
+}
+
+var t table
+
+// Fold is Record's callee's callee: transitively hot, and allocating.
+func Fold(key uint64) uint64 {
+	scratch := make([]uint64, 4) // want `make allocates in hot path Fold \(hot via Record → Pack → Fold\)`
+	scratch[0] = key
+	return FoldTwice(scratch[0]) + t.rows[key&15]
+}
+
+// FoldTwice is one hop deeper still.
+func FoldTwice(key uint64) uint64 {
+	pair := []uint64{key, key >> 32} // want `slice literal allocates in hot path FoldTwice \(hot via Record → Pack → Fold → FoldTwice\)`
+	return pair[0] ^ pair[1]
+}

@@ -1,0 +1,21 @@
+// Command app shows the main-package exemption: process exit bounds
+// these goroutines, so the identical leak shapes are not findings here.
+package main
+
+var counter int
+
+func main() {
+	go spinForever()
+	go func() {
+		for {
+			counter++
+		}
+	}()
+	select {}
+}
+
+func spinForever() {
+	for {
+		counter++
+	}
+}

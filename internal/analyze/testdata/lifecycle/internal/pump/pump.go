@@ -1,0 +1,80 @@
+// Package pump exercises goroutine-lifecycle in a library package:
+// every spawned goroutine must be provably joinable or cancellable.
+package pump
+
+import "sync"
+
+type Pump struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+	in   chan int
+	out  chan int
+	n    int
+}
+
+// Start spawns the sanctioned shapes.
+func (p *Pump) Start() {
+	p.wg.Add(3)
+	go p.run()   // joined: run defers wg.Done
+	go p.watch() // cancellable: watch selects on done
+	go p.pipe()  // cancellable: pipe ranges over a channel
+	go func() {  // cancellable: the literal receives from done
+		<-p.done
+	}()
+	go p.deep() // evidence two static calls down: clean
+}
+
+func (p *Pump) run() {
+	defer p.wg.Done()
+	for v := range p.in {
+		p.n += v
+	}
+}
+
+func (p *Pump) watch() {
+	for {
+		select {
+		case <-p.done:
+			return
+		case v := <-p.in:
+			p.n += v
+		}
+	}
+}
+
+func (p *Pump) pipe() {
+	for v := range p.in {
+		p.out <- v
+	}
+}
+
+// deep delegates; the join evidence lives in its callee's callee.
+func (p *Pump) deep() { p.deeper() }
+
+func (p *Pump) deeper() {
+	defer p.wg.Done()
+	p.drainAll()
+}
+
+func (p *Pump) drainAll() {
+	for range p.in {
+	}
+}
+
+// Leak spawns the three unprovable shapes.
+func (p *Pump) Leak(fns []func()) {
+	go p.spin() // want `goroutine spin is neither joined \(WaitGroup.Done\) nor cancellable`
+	go func() { // want `goroutine is neither joined \(WaitGroup.Done\) nor cancellable`
+		for {
+			p.n++
+		}
+	}()
+	go fns[0]() // want `goroutine target cannot be resolved statically`
+}
+
+// spin has no exit path at all.
+func (p *Pump) spin() {
+	for {
+		p.n++
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"github.com/hifind/hifind/internal/netmodel"
 )
@@ -129,12 +130,19 @@ type forecaster interface {
 	UnmarshalBinary([]byte) error
 }
 
+// marshalIPMap serializes in sorted key order: checkpoints taken from
+// identical state must be byte-identical across runs and routers.
 func marshalIPMap(m map[uint64]int) []byte {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	out := make([]byte, 0, 4+12*len(m))
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(m)))
-	for k, v := range m {
+	for _, k := range keys {
 		out = binary.LittleEndian.AppendUint64(out, k)
-		out = binary.LittleEndian.AppendUint32(out, uint32(v))
+		out = binary.LittleEndian.AppendUint32(out, uint32(m[k]))
 	}
 	return out
 }
@@ -157,12 +165,19 @@ func unmarshalIPMap(data []byte) (map[uint64]int, error) {
 	return m, nil
 }
 
+// marshalAddrMap serializes in sorted key order, for the same
+// byte-stability contract as marshalIPMap.
 func marshalAddrMap(m map[netmodel.IPv4]int) []byte {
+	keys := make([]netmodel.IPv4, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	out := make([]byte, 0, 4+8*len(m))
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(m)))
-	for k, v := range m {
+	for _, k := range keys {
 		out = binary.LittleEndian.AppendUint32(out, uint32(k))
-		out = binary.LittleEndian.AppendUint32(out, uint32(v))
+		out = binary.LittleEndian.AppendUint32(out, uint32(m[k]))
 	}
 	return out
 }

@@ -149,7 +149,8 @@ func (c *Conn) Write(b []byte) (int, error) {
 			}
 		}
 		c.dead = true
-		//lint:ignore unchecked-close injected fault: the peer sees a reset either way
+		// Injected fault: the peer sees a reset either way, so the
+		// Close error is deliberately dropped.
 		c.Conn.Close()
 		return int(keep), fmt.Errorf("faultnet: connection reset by plan after %d bytes", c.written)
 	}
@@ -227,7 +228,7 @@ func (l *Listener) Accept() (net.Conn, error) {
 			plan = l.planner(i)
 		}
 		if plan != nil && plan.FailConnect {
-			//lint:ignore unchecked-close injected fault: rejecting the connection is the point
+			// Injected fault: rejecting the connection is the point.
 			conn.Close()
 			continue
 		}

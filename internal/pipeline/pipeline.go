@@ -436,6 +436,10 @@ func (e *Engine) getBatch() *batch {
 	case b := <-e.free:
 		return b
 	default:
+		// Oversubscription fallback, once per excess producer per
+		// rotation at worst — not a per-packet allocation; putBatch
+		// sheds the extras back to the designed pool size.
+		//lint:ignore hotpath-alloc designed fallback when producers outnumber the pooled batches; amortized to zero by putBatch recycling
 		return &batch{ev: make([]Event, e.cfg.BatchSize)}
 	}
 }

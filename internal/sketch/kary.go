@@ -44,7 +44,11 @@ type Sketch struct {
 }
 
 // New builds an empty sketch. Sketches built with equal params and seed
-// share hash functions and may be combined.
+// share hash functions and may be combined. Construction allocates by
+// design and runs at setup or interval boundaries — even when reached
+// from COMBINE, it is off the per-packet path.
+//
+//hifind:cold
 func New(params Params, seed uint64) (*Sketch, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err

@@ -53,6 +53,11 @@ type Sketch struct {
 }
 
 // New builds an empty 2D sketch; equal params and seed ⇒ combinable.
+// Construction allocates by design and runs at setup or interval
+// boundaries — even when reached from COMBINE, it is off the per-packet
+// path.
+//
+//hifind:cold
 func New(params Params, seed uint64) (*Sketch, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err

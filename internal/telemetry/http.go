@@ -67,12 +67,15 @@ func Handler(reg *Registry, health *Health) http.Handler {
 	return mux
 }
 
-// Server is a running telemetry HTTP server. Close stops it.
+// Server is a running telemetry HTTP server. Close stops it and joins
+// the serving goroutine.
 type Server struct {
 	ln        net.Listener
 	srv       *http.Server
+	wg        sync.WaitGroup
 	closeOnce sync.Once
-	err       error
+	closeErr  error
+	serveErr  error // written before wg.Done, read after wg.Wait
 }
 
 // Serve binds addr (e.g. ":9090" or "127.0.0.1:0") and serves the
@@ -90,9 +93,11 @@ func Serve(addr string, reg *Registry, health *Health) (*Server, error) {
 			ReadHeaderTimeout: 5 * time.Second,
 		},
 	}
+	s.wg.Add(1)
 	go func() {
+		defer s.wg.Done()
 		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
-			s.err = err
+			s.serveErr = err
 		}
 	}()
 	return s, nil
@@ -103,11 +108,16 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close shuts the server down and releases the listener.
+// Close shuts the server down, releases the listener and waits for the
+// serving goroutine to exit. It returns the shutdown error if any,
+// otherwise whatever abnormal error ended serving.
 func (s *Server) Close() error {
-	var err error
 	s.closeOnce.Do(func() {
-		err = s.srv.Close()
+		s.closeErr = s.srv.Close()
+		s.wg.Wait()
 	})
-	return err
+	if s.closeErr != nil {
+		return s.closeErr
+	}
+	return s.serveErr
 }

@@ -97,6 +97,8 @@ func (p *Parallel) Workers() int { return p.eng.Workers() }
 
 // Observe records one packet through the default producer. Single
 // goroutine only — use NewProducer for concurrent ingestion.
+//
+//hifind:hot
 func (p *Parallel) Observe(pkt Packet) {
 	ip, ok := pkt.toInternal()
 	if !ok {
@@ -110,6 +112,8 @@ func (p *Parallel) Observe(pkt Packet) {
 
 // ObserveFlow records one flow summary through the default producer.
 // Single goroutine only — use NewProducer for concurrent ingestion.
+//
+//hifind:hot
 func (p *Parallel) ObserveFlow(f Flow) {
 	fr, ok := f.toInternal()
 	if !ok {
@@ -241,6 +245,8 @@ func (p *Parallel) NewProducer() *Producer {
 }
 
 // Observe records one packet.
+//
+//hifind:hot
 func (pr *Producer) Observe(pkt Packet) {
 	ip, ok := pkt.toInternal()
 	if !ok {
@@ -253,6 +259,8 @@ func (pr *Producer) Observe(pkt Packet) {
 }
 
 // ObserveFlow records one flow summary.
+//
+//hifind:hot
 func (pr *Producer) ObserveFlow(f Flow) {
 	fr, ok := f.toInternal()
 	if !ok {
