@@ -48,6 +48,7 @@ FUZZTIME ?= 10s
 fuzz-short:
 	$(GO) test -fuzz FuzzReadPacket -fuzztime $(FUZZTIME) ./internal/pcap
 	$(GO) test -fuzz FuzzInference -fuzztime $(FUZZTIME) ./internal/revsketch
+	$(GO) test -fuzz FuzzInvertibleDecode -fuzztime $(FUZZTIME) ./internal/invsketch
 	$(GO) test -fuzz FuzzFrameDecode -fuzztime $(FUZZTIME) ./internal/aggregate
 	$(GO) test -fuzz FuzzObserve -fuzztime $(FUZZTIME) ./internal/core
 
@@ -74,13 +75,20 @@ smoke:
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
-# Hot-path regression gate: re-measure the fused-vs-legacy engine
-# comparison and compare the *speedups* (machine-independent ratios)
-# against the committed BENCH_hotpath.json. Fails on >10% speedup
-# regression or if the NetFlow replay collapse drops below 2x.
-# Refresh the committed baseline with: go run ./cmd/benchtables -table hotpath
+# Performance regression gates: re-measure the engine comparisons and
+# compare the *speedups* (machine-independent ratios) against the
+# committed baselines. The hotpath gate fails on >10% speedup regression
+# or if the NetFlow replay collapse drops below 2x; the inference gate
+# fails on >10% decode-speedup regression, a decode speedup under 5x, or
+# invertible recall below the reverse witness.
+# Refresh the committed baselines with:
+#   go run ./cmd/benchtables -table hotpath
+#   go run ./cmd/benchtables -table inference
 FRESH_HOTPATH ?= BENCH_hotpath.fresh.json
+FRESH_INFERENCE ?= BENCH_inference.fresh.json
 .PHONY: bench-gate
 bench-gate:
 	$(GO) run ./cmd/benchtables -table hotpath -benchout $(FRESH_HOTPATH)
 	$(GO) run ./cmd/benchgate -baseline BENCH_hotpath.json -fresh $(FRESH_HOTPATH)
+	$(GO) run ./cmd/benchtables -table inference -benchout $(FRESH_INFERENCE)
+	$(GO) run ./cmd/benchgate -table inference -baseline BENCH_inference.json -fresh $(FRESH_INFERENCE)

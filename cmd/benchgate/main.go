@@ -1,12 +1,13 @@
-// Command benchgate enforces the hot-path performance contract: it
-// compares a freshly measured engine comparison (the BENCH_hotpath.json
-// shape written by `benchtables -table hotpath`) against the committed
-// baseline and exits non-zero on regression.
+// Command benchgate enforces the performance contracts of the update
+// and inference engines: it compares a freshly measured comparison
+// against the committed baseline JSON and exits non-zero on regression.
 //
-// The gate judges speedups — fused/legacy ratios measured back to back
-// in one process — never absolute packets/sec, so a slower CI machine
-// cannot fail the gate and a faster one cannot mask a regression. Three
-// rules:
+// The gate judges speedups — engine-vs-engine ratios measured back to
+// back in one process — never absolute rates, so a slower CI machine
+// cannot fail the gate and a faster one cannot mask a regression.
+//
+// Hot-path mode (`-table hotpath`, the BENCH_hotpath.json shape written
+// by `benchtables -table hotpath`):
 //
 //  1. FlowSpeedup ≥ -min-flow-speedup (default 2.0): the weighted-update
 //     collapse of NetFlow replay must survive; this is the floor the
@@ -17,7 +18,21 @@
 //     tolerance 10%): the margin recorded in the committed JSON must not
 //     silently erode.
 //
+// Inference mode (`-table inference`, the BENCH_inference.json shape
+// written by `benchtables -table inference`):
+//
+//  1. SpeedupRatio ≥ -min-inference-speedup (default 5.0): the O(buckets)
+//     decode must beat the reverse-hashing search by this floor.
+//  2. SpeedupRatio ≥ (1 - tolerance) × baseline: decode latency must not
+//     silently regress.
+//  3. InvertibleRecall ≥ ReverseRecall (fresh run): the decode may never
+//     recover fewer true offender keys than the witness engine it
+//     replaces.
+//
+// Usage:
+//
 //	benchgate -baseline BENCH_hotpath.json -fresh /tmp/fresh.json
+//	benchgate -table inference -baseline BENCH_inference.json -fresh /tmp/fresh.json
 package main
 
 import (
@@ -38,14 +53,25 @@ func main() {
 
 func run() error {
 	var (
-		baselinePath = flag.String("baseline", "BENCH_hotpath.json", "committed baseline JSON")
+		table        = flag.String("table", "hotpath", "which contract to enforce: hotpath or inference")
+		baselinePath = flag.String("baseline", "", "committed baseline JSON (default BENCH_<table>.json)")
 		freshPath    = flag.String("fresh", "", "freshly measured JSON (required)")
 		tolerance    = flag.Float64("tolerance", 0.10, "allowed fractional speedup regression vs baseline")
 		minFlow      = flag.Float64("min-flow-speedup", 2.0, "absolute floor for the NetFlow replay speedup")
+		minInfer     = flag.Float64("min-inference-speedup", 5.0, "absolute floor for the invertible decode speedup")
 	)
 	flag.Parse()
 	if *freshPath == "" {
-		return fmt.Errorf("-fresh is required (run `benchtables -table hotpath -benchout <file>` first)")
+		return fmt.Errorf("-fresh is required (run `benchtables -table %s -benchout <file>` first)", *table)
+	}
+	if *baselinePath == "" {
+		*baselinePath = "BENCH_" + *table + ".json"
+	}
+	if *table == "inference" {
+		return gateInference(*baselinePath, *freshPath, *tolerance, *minInfer)
+	}
+	if *table != "hotpath" {
+		return fmt.Errorf("-table must be hotpath or inference, got %q", *table)
 	}
 	baseline, err := load(*baselinePath)
 	if err != nil {
@@ -88,6 +114,63 @@ func run() error {
 	}
 	fmt.Println("  PASS")
 	return nil
+}
+
+// gateInference enforces the inference-engine contract over the
+// BENCH_inference.json shape.
+func gateInference(baselinePath, freshPath string, tolerance, minSpeedup float64) error {
+	baseline, err := loadInference(baselinePath)
+	if err != nil {
+		return err
+	}
+	fresh, err := loadInference(freshPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("inference gate: baseline %s, fresh %s (tolerance %.0f%%)\n",
+		baselinePath, freshPath, 100*tolerance)
+	fmt.Printf("  decode speedup: baseline %.1fx, fresh %.1fx\n", baseline.SpeedupRatio, fresh.SpeedupRatio)
+	fmt.Printf("  recall: reverse %.3f, invertible %.3f\n", fresh.ReverseRecall, fresh.InvertibleRecall)
+
+	var failures []string
+	if fresh.SpeedupRatio < minSpeedup {
+		failures = append(failures, fmt.Sprintf(
+			"invertible decode speedup %.1fx below the %.1fx floor — the O(buckets) advantage is gone",
+			fresh.SpeedupRatio, minSpeedup))
+	}
+	if floor := baseline.SpeedupRatio * (1 - tolerance); fresh.SpeedupRatio < floor {
+		failures = append(failures, fmt.Sprintf(
+			"decode speedup regressed: %.1fx vs baseline %.1fx (floor %.1fx)",
+			fresh.SpeedupRatio, baseline.SpeedupRatio, floor))
+	}
+	if fresh.InvertibleRecall < fresh.ReverseRecall {
+		failures = append(failures, fmt.Sprintf(
+			"invertible recall %.3f below the reverse witness %.3f — the decode is losing true offender keys",
+			fresh.InvertibleRecall, fresh.ReverseRecall))
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "benchgate: FAIL:", f)
+		}
+		return fmt.Errorf("%d check(s) failed", len(failures))
+	}
+	fmt.Println("  PASS")
+	return nil
+}
+
+func loadInference(path string) (experiments.InferenceBench, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return experiments.InferenceBench{}, err
+	}
+	var b experiments.InferenceBench
+	if err := json.Unmarshal(data, &b); err != nil {
+		return experiments.InferenceBench{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.ReverseDecodeSec <= 0 || b.InvertibleDecodeSec <= 0 {
+		return experiments.InferenceBench{}, fmt.Errorf("%s: not an inference benchmark (zero latencies)", path)
+	}
+	return b, nil
 }
 
 func load(path string) (experiments.HotpathBench, error) {

@@ -27,7 +27,7 @@ func main() {
 func run() error {
 	var (
 		table = flag.String("table", "all",
-			"which artifact to regenerate: 1, 4, 5, 6, 7, 9, f4, mr, val, ma, perf, pipeline, telemetry, hotpath, mit, ttd, ablation or all")
+			"which artifact to regenerate: 1, 4, 5, 6, 7, 9, f4, mr, val, ma, perf, pipeline, telemetry, hotpath, inference, mit, ttd, ablation or all")
 		full     = flag.Bool("full", false, "run at the larger scale")
 		benchout = flag.String("benchout", "",
 			"write the pipeline/telemetry benchmark results as JSON to this file (default BENCH_telemetry.json for -table telemetry)")
@@ -220,6 +220,36 @@ func run() error {
 		}
 		if out != "" {
 			data, err := json.MarshalIndent(hb, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", out)
+		}
+	}
+	if want("inference") {
+		section("Inference — invertible decode vs reverse-hashing search")
+		heavy, noise, rounds := 20, 2000, 5
+		if *full {
+			heavy, noise, rounds = 20, 8000, 9
+		}
+		ib, err := experiments.InferenceLatency(heavy, noise, rounds)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatInference(ib))
+		// As with the hotpath table, -table all leaves the committed JSON
+		// alone; asking for the inference table explicitly records it.
+		out := ""
+		if *table == "inference" {
+			if out = *benchout; out == "" {
+				out = "BENCH_inference.json"
+			}
+		}
+		if out != "" {
+			data, err := json.MarshalIndent(ib, "", "  ")
 			if err != nil {
 				return err
 			}

@@ -47,6 +47,7 @@ type detector interface {
 	SaveState() ([]byte, error)
 	LoadState([]byte) error
 	MemoryBytes() int
+	InferenceEngine() string
 }
 
 func main() {
@@ -66,6 +67,7 @@ func run() error {
 		threshold = flag.Float64("threshold", 1, "detection threshold in unresponded SYNs per second")
 		alpha     = flag.Float64("alpha", 0.5, "EWMA smoothing constant")
 		compact   = flag.Bool("compact", false, "use compact (≈1.5MB) sketches instead of the paper's 13.2MB set")
+		inference = flag.String("inference", "reverse", "offender-key recovery engine: reverse (reverse-hashing search) or invertible (O(buckets) sketch decode)")
 		phases    = flag.Bool("phases", false, "print raw and after-classification alerts too")
 		statePath = flag.String("state", "", "checkpoint file: loaded at start if present, saved after every interval (live mode)")
 		workers   = flag.Int("workers", 0, "shard sketch recording across N parallel workers (0 = sequential)")
@@ -121,6 +123,13 @@ func run() error {
 	}
 	if *compact {
 		opts = append(opts, hifind.WithCompactSketches())
+	}
+	switch *inference {
+	case "reverse":
+	case "invertible":
+		opts = append(opts, hifind.WithInvertibleInference())
+	default:
+		return fmt.Errorf("-inference must be reverse or invertible, got %q", *inference)
 	}
 	reg := telemetry.NewRegistry()
 	health := telemetry.NewHealth()
@@ -178,8 +187,15 @@ func run() error {
 	// process exits; the component exists so /healthz names the source.
 	health.Register("source", func() error { return nil })
 
-	fmt.Printf("HiFIND: %0.1f MB of sketches, %v intervals, threshold %.1f SYN/s\n",
-		float64(det.MemoryBytes())/(1<<20), *interval, *threshold)
+	fmt.Printf("HiFIND: %0.1f MB of sketches, %v intervals, threshold %.1f SYN/s, %s inference\n",
+		float64(det.MemoryBytes())/(1<<20), *interval, *threshold, det.InferenceEngine())
+	if sink != nil {
+		sink.Emit(telemetry.Event{Time: time.Now(), Kind: "startup", Fields: map[string]any{
+			"inference_engine": det.InferenceEngine(),
+			"memory_bytes":     det.MemoryBytes(),
+			"interval_seconds": interval.Seconds(),
+		}})
+	}
 	in := bufio.NewReaderSize(f, 1<<20)
 	var results []hifind.Result
 	if *pcapPath != "" {
@@ -263,8 +279,8 @@ func runLive(ctx context.Context, det detector, addr string, edgeCIDRs []string,
 		}
 		return nil
 	})
-	fmt.Printf("listening for NetFlow v5 on %s, %v intervals; Ctrl-C to stop\n",
-		collector.Addr(), interval)
+	fmt.Printf("listening for NetFlow v5 on %s, %v intervals, %s inference; Ctrl-C to stop\n",
+		collector.Addr(), interval, det.InferenceEngine())
 
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()

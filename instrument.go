@@ -33,6 +33,9 @@ type instruments struct {
 	candFlood  *telemetry.Gauge
 	candPair   *telemetry.Gauge
 	candSource *telemetry.Gauge
+
+	inferSeconds *telemetry.Histogram
+	inferKeys    *telemetry.Counter
 }
 
 // newInstruments registers the hifind_* series on reg. A nil reg yields
@@ -82,6 +85,12 @@ func newInstruments(reg *telemetry.Registry) instruments {
 		candFlood:  cand("flood"),
 		candPair:   cand("pair"),
 		candSource: cand("source"),
+
+		inferSeconds: reg.Histogram("hifind_inference_decode_seconds",
+			"per-interval offender-key recovery wall time (all three steps)",
+			telemetry.DefBuckets),
+		inferKeys: reg.Counter("hifind_inference_keys_recovered_total",
+			"verified offender keys recovered across all inference steps"),
 	}
 }
 
@@ -101,6 +110,12 @@ func (ins *instruments) recordInterval(res core.IntervalResult) {
 	ins.candFlood.Set(float64(d.FloodCandidates))
 	ins.candPair.Set(float64(d.PairCandidates))
 	ins.candSource.Set(float64(d.SourceCandidates))
+	// Warm-up intervals never ran inference; observing their zero would
+	// drag the latency histogram below what recovery actually costs.
+	if d.InferenceSeconds > 0 || d.KeysRecovered > 0 {
+		ins.inferSeconds.Observe(d.InferenceSeconds)
+		ins.inferKeys.Add(int64(d.KeysRecovered))
+	}
 
 	for _, a := range res.Final {
 		switch a.Type {

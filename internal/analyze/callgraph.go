@@ -231,15 +231,19 @@ func determinismRootName(name string) bool {
 // propagateDeterminism floods determinism-relevance from its roots: the
 // hot-path roots (UPDATE/ESTIMATE/COMBINE entry points — their callees
 // are then reached by the flood itself, with the chain recorded), the
-// Inference key-recovery entry points of the sketch family, and every
-// marshal function in the module. Cold is not a barrier here —
+// key-recovery entry points of the sketch family (reverse-hashing
+// Inference and invertible-sketch Decode — both must recover the same
+// keys on every run and router), and every marshal function in the
+// module. Cold is not a barrier here —
 // rotation-time code still feeds persistent state, so it must stay
 // deterministic.
 func (p *Program) propagateDeterminism() {
 	var queue []*funcNode
 	for _, n := range p.sortedNodes() {
 		isRoot := (n.hot && n.hotFrom == nil) || determinismRootName(n.fn.Name()) ||
-			(pathMatchesAny(n.pkg.Path, hotpathPackages) && strings.HasPrefix(n.fn.Name(), "Inference"))
+			(pathMatchesAny(n.pkg.Path, hotpathPackages) &&
+				(strings.HasPrefix(n.fn.Name(), "Inference") ||
+					strings.HasPrefix(n.fn.Name(), "Decode")))
 		if isRoot {
 			n.detReach = true
 			n.detRoot = true

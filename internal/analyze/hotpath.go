@@ -16,6 +16,7 @@ import (
 var hotpathPackages = []string{
 	"internal/sketch",
 	"internal/revsketch",
+	"internal/invsketch",
 	"internal/sketch2d",
 	"internal/bloom",
 	"internal/core",

@@ -1,0 +1,53 @@
+// Package invsketch exercises the Decode* determinism roots: the
+// invertible-sketch bucket decode must emit the same candidate keys in
+// the same order on every run and router, or the differential witness
+// (the reverse-hashing search) diverges for no real reason.
+package invsketch
+
+import "math/rand"
+
+type Inv struct {
+	rows map[uint32]int64
+	keys []uint64
+}
+
+// DecodeHeavy is a root by name (in a sketch-family package): global
+// randomness inside it draws the determinism finding with the root
+// attribution plus the blanket seeded-rand one.
+func (s *Inv) DecodeHeavy(threshold int64) []uint64 {
+	var out []uint64
+	if rand.Intn(2) == 0 { // want `rand.Intn draws from the process-global source in determinism-critical DecodeHeavy` `rand.Intn uses the process-global rand source`
+		return out
+	}
+	return append(out, s.keys...)
+}
+
+// DecodeBuckets walks the bucket map directly: flagged.
+func (s *Inv) DecodeBuckets(threshold int64) []uint32 {
+	var out []uint32
+	for b, v := range s.rows { // want `map iteration order is randomized in determinism-critical DecodeBuckets`
+		if v >= threshold {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// decodeHelper is only determinism-reached *through* a root; the map
+// walk is still flagged, attributed via the reaching chain. (A keys-only
+// collect-and-append range would be the sanctioned sort idiom and pass;
+// the value-dependent filter is what makes order matter.)
+func (s *Inv) decodeHelper(threshold int64) []uint32 {
+	var out []uint32
+	for b, v := range s.rows { // want `map iteration order is randomized in determinism-critical decodeHelper \(reached from DecodeAll → decodeHelper\)`
+		if v >= threshold {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// DecodeAll is the root that reaches decodeHelper.
+func (s *Inv) DecodeAll() []uint32 {
+	return s.decodeHelper(1)
+}

@@ -141,6 +141,14 @@ type DiagStats struct {
 	PairCandidates   int // RS({SIP,DIP}) step-2 keys
 	SourceCandidates int // RS({SIP,Dport}) step-3 keys
 
+	// InferenceSeconds is the wall time the interval's three
+	// offender-key recovery steps took (reverse-hashing search or
+	// invertible decode, whichever engine is active); KeysRecovered is
+	// their combined post-verification yield. Zero on intervals where
+	// detection did not run (forecast warm-up).
+	InferenceSeconds float64
+	KeysRecovered    int
+
 	OccRSSipDport  float64
 	OccRSDipDport  float64
 	OccRSSipDip    float64

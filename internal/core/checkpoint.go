@@ -116,12 +116,19 @@ func (d *Detector) RestoreState(data []byte) error {
 	return nil
 }
 
-// forecasters lists the detector's EWMA instances in a fixed order.
+// forecasters lists the detector's EWMA instances in a fixed order. The
+// invertible-inference forecasters extend the list only when active, so
+// reverse-mode checkpoints keep their historical layout and a mode
+// mismatch surfaces as a block-count error instead of a misparse.
 func (d *Detector) forecasters() []forecaster {
-	return []forecaster{
+	fcs := []forecaster{
 		d.fcSipDport, d.fcDipDport, d.fcSipDip,
 		d.fcVSipDport, d.fcVDipDport, d.fcVSipDip,
 	}
+	if d.fcInvSipDport != nil {
+		fcs = append(fcs, d.fcInvSipDport, d.fcInvDipDport, d.fcInvSipDip)
+	}
+	return fcs
 }
 
 // forecaster is the serializable surface of timeseries.EWMA used here.

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/hifind/hifind/internal/invsketch"
 	"github.com/hifind/hifind/internal/netmodel"
 	"github.com/hifind/hifind/internal/revsketch"
 	"github.com/hifind/hifind/internal/sketch"
@@ -123,6 +124,11 @@ type Detector struct {
 	fcVSipDport *timeseries.EWMA
 	fcVDipDport *timeseries.EWMA
 	fcVSipDip   *timeseries.EWMA
+	// Invertible-sketch forecasters over the flattened buckets×fields
+	// snapshot geometry — nil unless the recorder runs InferenceInvertible.
+	fcInvSipDport *timeseries.EWMA
+	fcInvDipDport *timeseries.EWMA
+	fcInvSipDip   *timeseries.EWMA
 
 	interval int
 	// streaks tracks consecutive anomalous intervals per flooding victim
@@ -177,8 +183,25 @@ func NewDetector(rcfg RecorderConfig, dcfg DetectorConfig) (*Detector, error) {
 	if d.fcVSipDip, err = mkK(rcfg.Verifier); err != nil {
 		return nil, err
 	}
+	if rcfg.Inference == InferenceInvertible {
+		mkI := func(p invsketch.Params) (*timeseries.EWMA, error) {
+			return timeseries.NewEWMA(dcfg.Alpha, p.Stages, p.Buckets*p.Fields())
+		}
+		if d.fcInvSipDport, err = mkI(rcfg.Inv48); err != nil {
+			return nil, err
+		}
+		if d.fcInvDipDport, err = mkI(rcfg.Inv48); err != nil {
+			return nil, err
+		}
+		if d.fcInvSipDip, err = mkI(rcfg.Inv64); err != nil {
+			return nil, err
+		}
+	}
 	return d, nil
 }
+
+// InferenceEngine returns the active offender-key recovery engine.
+func (d *Detector) InferenceEngine() InferenceEngine { return d.rec.Config().Inference }
 
 // Config returns the detection configuration (defaults applied).
 func (d *Detector) Config() DetectorConfig { return d.cfg }
@@ -248,10 +271,28 @@ func (d *Detector) EndIntervalWithPartial(rec *Recorder, partial bool) (Interval
 	if err != nil {
 		return IntervalResult{}, err
 	}
-	if ok1 && ok2 && ok3 {
+	var errInvSipDport, errInvDipDport, errInvSipDip sketch.Grid
+	invOK := true
+	if d.fcInvSipDport != nil {
+		var ok bool
+		if errInvSipDport, ok, err = d.fcInvSipDport.Observe(rec.InvSipDport.Snapshot()); err != nil {
+			return IntervalResult{}, err
+		}
+		invOK = invOK && ok
+		if errInvDipDport, ok, err = d.fcInvDipDport.Observe(rec.InvDipDport.Snapshot()); err != nil {
+			return IntervalResult{}, err
+		}
+		invOK = invOK && ok
+		if errInvSipDip, ok, err = d.fcInvSipDip.Observe(rec.InvSipDip.Snapshot()); err != nil {
+			return IntervalResult{}, err
+		}
+		invOK = invOK && ok
+	}
+	if ok1 && ok2 && ok3 && invOK {
 		res, err = d.detect(rec, errGrids{
 			sipDport: errSipDport, dipDport: errDipDport, sipDip: errSipDip,
 			vSipDport: errVSipDport, vDipDport: errVDipDport, vSipDip: errVSipDip,
+			invSipDport: errInvSipDport, invDipDport: errInvDipDport, invSipDip: errInvSipDip,
 		})
 		if err != nil {
 			return IntervalResult{}, err
@@ -284,8 +325,9 @@ func (d *Detector) EndIntervalWithPartial(rec *Recorder, partial bool) (Interval
 
 // errGrids bundles the forecast-error grids of one interval.
 type errGrids struct {
-	sipDport, dipDport, sipDip    sketch.Grid
-	vSipDport, vDipDport, vSipDip sketch.Grid
+	sipDport, dipDport, sipDip          sketch.Grid
+	vSipDport, vDipDport, vSipDip       sketch.Grid
+	invSipDport, invDipDport, invSipDip sketch.Grid // nil in reverse mode
 }
 
 // verifierCheck builds the inference Verify callback for one reversible
@@ -305,20 +347,79 @@ func (d *Detector) verifierCheck(ver *sketch.Sketch, verErr sketch.Grid) func(ui
 	}
 }
 
+// recoverKeys dispatches one detection step's offender-key recovery to
+// the active inference engine. The reverse engine runs the paper's
+// reverse-hashing INFERENCE over the reversible sketch's error grid;
+// the invertible engine decodes candidate keys from the invertible
+// sketch's buckets in O(buckets), then re-estimates each key from the
+// *reversible* sketch's error grid and applies exactly the filters
+// Inference applies (threshold, Verify, estimate-descending sort,
+// MaxKeys cap). Sharing the estimator means that whenever the two
+// engines recover the same key set, their outputs — and therefore the
+// rendered alerts — are bit-identical, which is what the cross-engine
+// differential suite asserts.
+func (d *Detector) recoverKeys(rs *revsketch.Sketch, rsErr sketch.Grid,
+	inv *invsketch.Sketch, invErr sketch.Grid,
+	opts revsketch.InferenceOptions) ([]revsketch.KeyEstimate, error) {
+	t := d.cfg.Threshold
+	if inv == nil {
+		return rs.Inference(rsErr, t, opts)
+	}
+	// Decode at half the threshold: the invertible sketch's own estimator
+	// and the reversible one disagree by small amounts, so a key sitting
+	// exactly at the threshold could pass the authoritative reversible
+	// estimate below while Decode's internal filter rejects it. The margin
+	// keeps Decode a candidate generator; the filters below decide. The
+	// loose MaxKeys cap likewise leaves room for candidates the estimate
+	// and Verify filters will reject, mirroring Inference's internal 4×
+	// emission headroom.
+	decoded, err := inv.Decode(invErr, t/2, invsketch.DecodeOptions{MaxKeys: opts.MaxKeys * 4})
+	if err != nil {
+		return nil, err
+	}
+	totals := revsketch.GridTotals(rsErr)
+	out := make([]revsketch.KeyEstimate, 0, len(decoded))
+	for _, ke := range decoded {
+		est := rs.EstimateGrid(rsErr, totals, ke.Key)
+		if est < t {
+			continue
+		}
+		if opts.Verify != nil && !opts.Verify(ke.Key, est) {
+			continue
+		}
+		out = append(out, revsketch.KeyEstimate{Key: ke.Key, Estimate: est})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Estimate > out[b].Estimate {
+			return true
+		}
+		if out[a].Estimate < out[b].Estimate {
+			return false
+		}
+		return out[a].Key < out[b].Key
+	})
+	if len(out) > opts.MaxKeys {
+		out = out[:opts.MaxKeys]
+	}
+	return out, nil
+}
+
 // detect runs the three-step algorithm of paper §3.3 plus the Phase 2/3
 // false-positive reduction.
 func (d *Detector) detect(rec *Recorder, g errGrids) (IntervalResult, error) {
 	res := IntervalResult{}
 	opts := revsketch.InferenceOptions{Quorum: d.cfg.Quorum, MaxKeys: d.cfg.MaxKeysPerStep}
-	t := d.cfg.Threshold
 
 	// Step 1 — RS({DIP,Dport}): SYN flooding victims.
 	stepOpts := opts
 	stepOpts.Verify = d.verifierCheck(rec.VerDipDport, g.vDipDport)
-	floodKeys, err := rec.RSDipDport.Inference(g.dipDport, t, stepOpts)
+	stepStart := time.Now()
+	floodKeys, err := d.recoverKeys(rec.RSDipDport, g.dipDport, rec.InvDipDport, g.invDipDport, stepOpts)
 	if err != nil {
 		return res, err
 	}
+	res.Diag.InferenceSeconds += time.Since(stepStart).Seconds()
+	res.Diag.KeysRecovered += len(floodKeys)
 	res.Diag.FloodCandidates = len(floodKeys)
 	floodingDIPs := make(map[netmodel.IPv4]bool, len(floodKeys))
 	type floodCand struct {
@@ -337,10 +438,13 @@ func (d *Detector) detect(rec *Recorder, g errGrids) (IntervalResult, error) {
 	// already a flooding victim identify (non-spoofed) flooding sources;
 	// the rest are vertical-scan candidates.
 	stepOpts.Verify = d.verifierCheck(rec.VerSipDip, g.vSipDip)
-	pairKeys, err := rec.RSSipDip.Inference(g.sipDip, t, stepOpts)
+	stepStart = time.Now()
+	pairKeys, err := d.recoverKeys(rec.RSSipDip, g.sipDip, rec.InvSipDip, g.invSipDip, stepOpts)
 	if err != nil {
 		return res, err
 	}
+	res.Diag.InferenceSeconds += time.Since(stepStart).Seconds()
+	res.Diag.KeysRecovered += len(pairKeys)
 	res.Diag.PairCandidates = len(pairKeys)
 	floodingSIPs := make(map[netmodel.IPv4]bool)
 	attackerOf := make(map[netmodel.IPv4]netmodel.IPv4) // flooding DIP → identified SIP
@@ -364,10 +468,13 @@ func (d *Detector) detect(rec *Recorder, g errGrids) (IntervalResult, error) {
 	// port. Known flooding sources are floods; the rest are horizontal-
 	// scan candidates.
 	stepOpts.Verify = d.verifierCheck(rec.VerSipDport, g.vSipDport)
-	srcKeys, err := rec.RSSipDport.Inference(g.sipDport, t, stepOpts)
+	stepStart = time.Now()
+	srcKeys, err := d.recoverKeys(rec.RSSipDport, g.sipDport, rec.InvSipDport, g.invSipDport, stepOpts)
 	if err != nil {
 		return res, err
 	}
+	res.Diag.InferenceSeconds += time.Since(stepStart).Seconds()
+	res.Diag.KeysRecovered += len(srcKeys)
 	res.Diag.SourceCandidates = len(srcKeys)
 	type hscanCand struct {
 		sip  netmodel.IPv4

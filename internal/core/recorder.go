@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"github.com/hifind/hifind/internal/bloom"
+	"github.com/hifind/hifind/internal/invsketch"
 	"github.com/hifind/hifind/internal/netmodel"
 	"github.com/hifind/hifind/internal/revsketch"
 	"github.com/hifind/hifind/internal/sketch"
@@ -36,6 +37,37 @@ func (o Orientation) String() string {
 	}
 }
 
+// InferenceEngine selects how offender keys are recovered from the
+// heavy-change signal at detection time. Unlike the update Engine, the
+// choice is part of RecorderConfig: the invertible engine records into
+// three additional sketches, so recorders on different inference
+// engines hold structurally different state and must not merge.
+type InferenceEngine int
+
+const (
+	// InferenceReverse is the paper's reverse-hashing INFERENCE over
+	// the modular-hash candidate space (package revsketch) — the
+	// witness engine the differential suite compares against.
+	InferenceReverse InferenceEngine = iota
+	// InferenceInvertible records each key's folded material into
+	// bucketized invertible sketches (package invsketch) alongside the
+	// reversible set, and recovers offender keys with an O(buckets)
+	// decode instead of the reverse-hashing search.
+	InferenceInvertible
+)
+
+// String names the inference engine.
+func (e InferenceEngine) String() string {
+	switch e {
+	case InferenceReverse:
+		return "reverse"
+	case InferenceInvertible:
+		return "invertible"
+	default:
+		return fmt.Sprintf("inference(%d)", int(e))
+	}
+}
+
 // RecorderConfig sizes the sketch set. The zero value is replaced by the
 // paper's §5.1 configuration (PaperRecorderConfig).
 type RecorderConfig struct {
@@ -56,6 +88,15 @@ type RecorderConfig struct {
 	TwoD sketch2d.Params
 	// ServiceCapacity sizes the active-service Bloom filter.
 	ServiceCapacity int
+	// Inference selects the offender-key recovery engine (default
+	// InferenceReverse). InferenceInvertible additionally records into
+	// the three invertible sketches sized by Inv48/Inv64.
+	Inference InferenceEngine
+	// Inv48 is the geometry of the two 48-bit invertible sketches
+	// ({SIP,Dport} and {DIP,Dport}); Inv64 of the {SIP,DIP} sketch.
+	// Only consulted when Inference is InferenceInvertible, but always
+	// populated so configurations compare field-wise.
+	Inv48, Inv64 invsketch.Params
 }
 
 // PaperRecorderConfig returns the configuration of paper §5.1 (13.2 MB).
@@ -68,6 +109,8 @@ func PaperRecorderConfig(seed uint64) RecorderConfig {
 		Original:        sketch.Params{Stages: 6, Buckets: 1 << 14},
 		TwoD:            sketch2d.PaperParams(),
 		ServiceCapacity: 1 << 20,
+		Inv48:           invsketch.Params48(),
+		Inv64:           invsketch.Params64(),
 	}
 }
 
@@ -84,6 +127,8 @@ func TestRecorderConfig(seed uint64) RecorderConfig {
 	cfg.Original.Buckets = 1 << 12
 	cfg.TwoD.XBuckets = 1 << 10
 	cfg.ServiceCapacity = 1 << 16
+	cfg.Inv48.Buckets = 1 << 9
+	cfg.Inv64.Buckets = 1 << 9
 	return cfg
 }
 
@@ -144,6 +189,12 @@ type Recorder struct {
 	// 2D sketches: x={SIP,Dport}×y={DIP} and x={SIP,DIP}×y={Dport}.
 	TwoDSipDportXDip *sketch2d.Sketch
 	TwoDSipDipXDport *sketch2d.Sketch
+	// Invertible sketches, same keys and value as the reversible set —
+	// nil unless cfg.Inference is InferenceInvertible. They carry the
+	// folded key material the O(buckets) decode recovers offenders from.
+	InvSipDport *invsketch.Sketch
+	InvDipDport *invsketch.Sketch
+	InvSipDip   *invsketch.Sketch
 	// Services remembers {DIP,Dport} pairs that have produced SYN/ACKs —
 	// cross-interval state for the misconfiguration filter (§3.4).
 	Services *bloom.Filter
@@ -169,6 +220,8 @@ type updatePlans struct {
 	osDipDport                       *sketch.Plan
 	twoDSipDportXDip                 *sketch2d.Plan
 	twoDSipDipXDport                 *sketch2d.Plan
+	// Invertible-sketch plans, nil in reverse-inference mode.
+	invSipDport, invDipDport, invSipDip *invsketch.Plan
 }
 
 // NewRecorder builds an empty recorder.
@@ -219,13 +272,28 @@ func NewRecorder(cfg RecorderConfig) (*Recorder, error) {
 	if r.Services, err = bloom.New(cfg.ServiceCapacity, 0.01, cfg.Seed^0x0a); err != nil {
 		return nil, fmt.Errorf("core: service filter: %w", err)
 	}
+	switch cfg.Inference {
+	case InferenceReverse:
+	case InferenceInvertible:
+		if r.InvSipDport, err = invsketch.New(cfg.Inv48, cfg.Seed^0x0b); err != nil {
+			return nil, fmt.Errorf("core: Inv{SIP,Dport}: %w", err)
+		}
+		if r.InvDipDport, err = invsketch.New(cfg.Inv48, cfg.Seed^0x0c); err != nil {
+			return nil, fmt.Errorf("core: Inv{DIP,Dport}: %w", err)
+		}
+		if r.InvSipDip, err = invsketch.New(cfg.Inv64, cfg.Seed^0x0d); err != nil {
+			return nil, fmt.Errorf("core: Inv{SIP,DIP}: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown inference engine %d", cfg.Inference)
+	}
 	r.plans = r.newPlans()
 	return r, nil
 }
 
 // newPlans sizes one bucket plan per structure for the fused engine.
 func (r *Recorder) newPlans() updatePlans {
-	return updatePlans{
+	p := updatePlans{
 		rsSipDport:       r.RSSipDport.NewPlan(),
 		rsDipDport:       r.RSDipDport.NewPlan(),
 		rsSipDip:         r.RSSipDip.NewPlan(),
@@ -236,6 +304,12 @@ func (r *Recorder) newPlans() updatePlans {
 		twoDSipDportXDip: r.TwoDSipDportXDip.NewPlan(),
 		twoDSipDipXDport: r.TwoDSipDipXDport.NewPlan(),
 	}
+	if r.InvSipDport != nil {
+		p.invSipDport = r.InvSipDport.NewPlan()
+		p.invDipDport = r.InvDipDport.NewPlan()
+		p.invSipDip = r.InvSipDip.NewPlan()
+	}
+	return p
 }
 
 // Config returns the recorder configuration.
@@ -365,15 +439,33 @@ func (r *Recorder) updateLegacy(sip, dip netmodel.IPv4, dport uint16, v int32, c
 	}
 	r.TwoDSipDportXDip.Update(kSipDport, uint64(dip), v)
 	r.TwoDSipDipXDport.Update(kSipDip, uint64(dport), v)
+	if r.InvSipDport != nil {
+		r.InvSipDport.Update(kSipDport, v)
+		r.InvDipDport.Update(kDipDport, v)
+		r.InvSipDip.Update(kSipDip, v)
+	}
 
 	// Counter writes per packet: 6 per RS ×3, 6 per verifier ×3, 5 per 2D
 	// ×2, plus 6 for the OS on SYNs — the fixed per-packet access budget
-	// of paper §5.5.2 (no per-flow state anywhere).
-	acc := int64(3*r.cfg.RS48.Stages + 3*r.cfg.Verifier.Stages + 2*r.cfg.TwoD.Stages)
+	// of paper §5.5.2 (no per-flow state anywhere). The invertible
+	// engine adds Stages×Fields writes per invertible sketch; each
+	// stage's burst is one contiguous bucket, so the cache-line cost is
+	// closer to Stages than to Stages×Fields, but the budget counts
+	// writes honestly.
+	acc := int64(3*r.cfg.RS48.Stages+3*r.cfg.Verifier.Stages+2*r.cfg.TwoD.Stages) + r.invAccesses()
 	if countSYN {
 		acc += int64(r.cfg.Original.Stages)
 	}
 	r.memoryAccesses += acc
+}
+
+// invAccesses is the extra per-packet counter-write budget of the
+// invertible sketches, zero in reverse-inference mode.
+func (r *Recorder) invAccesses() int64 {
+	if r.InvSipDport == nil {
+		return 0
+	}
+	return int64(2*r.cfg.Inv48.Stages*r.cfg.Inv48.Fields() + r.cfg.Inv64.Stages*r.cfg.Inv64.Fields())
 }
 
 // updateFused applies value v to every #SYN−#SYN/ACK structure under
@@ -419,10 +511,18 @@ func (r *Recorder) updateFused(sip, dip netmodel.IPv4, dport uint16, v, syn int3
 	}
 	r.TwoDSipDportXDip.UpdateAt(p.twoDSipDportXDip, v)
 	r.TwoDSipDipXDport.UpdateAt(p.twoDSipDipXDport, v)
+	if r.InvSipDport != nil {
+		r.InvSipDport.FillPlan(kSipDport, ppSipDport, p.invSipDport)
+		r.InvDipDport.FillPlan(kDipDport, ppDipDport, p.invDipDport)
+		r.InvSipDip.FillPlan(kSipDip, ppSipDip, p.invSipDip)
+		r.InvSipDport.UpdateAt(p.invSipDport, v)
+		r.InvDipDport.UpdateAt(p.invDipDport, v)
+		r.InvSipDip.UpdateAt(p.invSipDip, v)
+	}
 
 	// Same per-packet access budget as the legacy path, scaled by the
 	// number of packets this weighted update collapses.
-	acc := int64(3*r.cfg.RS48.Stages + 3*r.cfg.Verifier.Stages + 2*r.cfg.TwoD.Stages)
+	acc := int64(3*r.cfg.RS48.Stages+3*r.cfg.Verifier.Stages+2*r.cfg.TwoD.Stages) + r.invAccesses()
 	if syn != 0 {
 		acc += int64(r.cfg.Original.Stages)
 	}
@@ -439,10 +539,14 @@ func (r *Recorder) MemoryAccesses() int64 { return r.memoryAccesses }
 // MemoryBytes totals the counter memory of every structure, the number
 // compared in paper Table 9.
 func (r *Recorder) MemoryBytes() int {
-	return r.RSSipDport.MemoryBytes() + r.RSDipDport.MemoryBytes() + r.RSSipDip.MemoryBytes() +
+	total := r.RSSipDport.MemoryBytes() + r.RSDipDport.MemoryBytes() + r.RSSipDip.MemoryBytes() +
 		r.VerSipDport.MemoryBytes() + r.VerDipDport.MemoryBytes() + r.VerSipDip.MemoryBytes() +
 		r.OSDipDport.MemoryBytes() +
 		r.TwoDSipDportXDip.MemoryBytes() + r.TwoDSipDipXDport.MemoryBytes()
+	if r.InvSipDport != nil {
+		total += r.InvSipDport.MemoryBytes() + r.InvDipDport.MemoryBytes() + r.InvSipDip.MemoryBytes()
+	}
+	return total
 }
 
 // Reset clears per-interval counters. The active-service memory is
@@ -458,6 +562,11 @@ func (r *Recorder) Reset() {
 	r.OSDipDport.Reset()
 	r.TwoDSipDportXDip.Reset()
 	r.TwoDSipDipXDport.Reset()
+	if r.InvSipDport != nil {
+		r.InvSipDport.Reset()
+		r.InvDipDport.Reset()
+		r.InvSipDip.Reset()
+	}
 	r.packets = 0
 }
 
@@ -508,6 +617,19 @@ func (r *Recorder) Merge(others ...*Recorder) error {
 		r.OSDipDport = mergeK(r.OSDipDport, o.OSDipDport)
 		r.TwoDSipDportXDip = merge2D(r.TwoDSipDportXDip, o.TwoDSipDportXDip)
 		r.TwoDSipDipXDport = merge2D(r.TwoDSipDipXDport, o.TwoDSipDipXDport)
+		if r.InvSipDport != nil {
+			mergeInv := func(dst, src *invsketch.Sketch) *invsketch.Sketch {
+				if err != nil {
+					return dst
+				}
+				var out *invsketch.Sketch
+				out, err = invsketch.Combine([]int32{1, 1}, []*invsketch.Sketch{dst, src})
+				return out
+			}
+			r.InvSipDport = mergeInv(r.InvSipDport, o.InvSipDport)
+			r.InvDipDport = mergeInv(r.InvDipDport, o.InvDipDport)
+			r.InvSipDip = mergeInv(r.InvSipDip, o.InvSipDip)
+		}
 		if err != nil {
 			return fmt.Errorf("core: merge: %w", err)
 		}
@@ -536,6 +658,13 @@ func (r *Recorder) MarshalBinary() ([]byte, error) {
 		r.OSDipDport.MarshalBinary,
 		r.TwoDSipDportXDip.MarshalBinary, r.TwoDSipDipXDport.MarshalBinary,
 		r.Services.MarshalBinary,
+	}
+	if r.InvSipDport != nil {
+		// Invertible-mode blocks append after the common set, so the
+		// reverse-mode layout is unchanged and a mode mismatch fails the
+		// block count check rather than silently misparsing.
+		marshals = append(marshals,
+			r.InvSipDport.MarshalBinary, r.InvDipDport.MarshalBinary, r.InvSipDip.MarshalBinary)
 	}
 	for _, m := range marshals {
 		if err := appendBlock(m()); err != nil {
@@ -569,6 +698,10 @@ func (r *Recorder) UnmarshalBinary(data []byte) error {
 		r.OSDipDport.UnmarshalBinary,
 		r.TwoDSipDportXDip.UnmarshalBinary, r.TwoDSipDipXDport.UnmarshalBinary,
 		r.Services.UnmarshalBinary,
+	}
+	if r.InvSipDport != nil {
+		unmarshals = append(unmarshals,
+			r.InvSipDport.UnmarshalBinary, r.InvDipDport.UnmarshalBinary, r.InvSipDip.UnmarshalBinary)
 	}
 	for i, u := range unmarshals {
 		if len(data) < 4 {

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"time"
+
+	"github.com/hifind/hifind/internal/invsketch"
+	"github.com/hifind/hifind/internal/revsketch"
+	"github.com/hifind/hifind/internal/sketch"
+)
+
+// InferenceBench compares the two offender-key recovery engines on
+// identical traffic: the reverse-hashing search over the reversible
+// sketch against the invertible-sketch bucket decode. Like the hot-path
+// comparison, every round times both engines back to back on the same
+// sketch contents and the gated number is the median per-round latency
+// ratio — machine-independent where absolute seconds are not. Accuracy
+// is scored against the generator's ground-truth heavy set.
+type InferenceBench struct {
+	HeavyKeys  int `json:"heavy_keys"`
+	NoiseKeys  int `json:"noise_keys"`
+	Rounds     int `json:"rounds"`
+	Cores      int `json:"cores"`
+	GoMaxProcs int `json:"gomaxprocs"`
+
+	// Median per-round wall time of one full key recovery.
+	ReverseDecodeSec    float64 `json:"reverse_decode_sec"`
+	InvertibleDecodeSec float64 `json:"invertible_decode_sec"`
+	// SpeedupRatio is the median per-round reverse/invertible latency
+	// ratio — the gated number.
+	SpeedupRatio float64 `json:"speedup_ratio"`
+
+	// Fixed structure sizes (per flow-key type, 48-bit geometry).
+	ReverseMemoryBytes    int `json:"reverse_memory_bytes"`
+	InvertibleMemoryBytes int `json:"invertible_memory_bytes"`
+
+	// Accuracy against the ground-truth heavy set, pooled over rounds.
+	ReversePrecision    float64 `json:"reverse_precision"`
+	ReverseRecall       float64 `json:"reverse_recall"`
+	InvertiblePrecision float64 `json:"invertible_precision"`
+	InvertibleRecall    float64 `json:"invertible_recall"`
+}
+
+// InferenceLatency runs the paired engine comparison: each round fills a
+// reversible and an invertible sketch (paper 48-bit geometry) with the
+// same heavy-plus-noise stream, then times reverse-hashing INFERENCE and
+// invertible Decode back to back at the same threshold.
+func InferenceLatency(heavyKeys, noiseKeys, rounds int) (InferenceBench, error) {
+	const (
+		keyMask    = uint64(1)<<48 - 1
+		heavyValue = int32(2000)
+		threshold  = 1000.0
+	)
+	bench := InferenceBench{
+		HeavyKeys:  heavyKeys,
+		NoiseKeys:  noiseKeys,
+		Rounds:     rounds,
+		Cores:      runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	rs, err := revsketch.New(revsketch.Params48(), detectorSeed)
+	if err != nil {
+		return InferenceBench{}, err
+	}
+	inv, err := invsketch.New(invsketch.Params48(), detectorSeed)
+	if err != nil {
+		return InferenceBench{}, err
+	}
+	// The detector never runs either engine bare: a k-ary verifier sketch
+	// (paper geometry) rejects modular-hash aliases through the Verify
+	// callback before they reach the alert pipeline. The benchmark mirrors
+	// that, so the timed work and the scored accuracy are the system's.
+	ver, err := sketch.New(sketch.Params{Stages: 6, Buckets: 1 << 14}, detectorSeed^0x04)
+	if err != nil {
+		return InferenceBench{}, err
+	}
+	verify := func(key uint64, est float64) bool {
+		return ver.Estimate(key) >= threshold/2
+	}
+	bench.ReverseMemoryBytes = rs.MemoryBytes()
+	bench.InvertibleMemoryBytes = inv.MemoryBytes()
+
+	var revSecs, invSecs, ratios []float64
+	var revTP, revFP, invTP, invFP, truth int
+	for round := 0; round < rounds; round++ {
+		rng := rand.New(rand.NewSource(int64(7100 + round)))
+		rs.Reset()
+		inv.Reset()
+		ver.Reset()
+		heavy := make(map[uint64]bool, heavyKeys)
+		for len(heavy) < heavyKeys {
+			heavy[rng.Uint64()&keyMask] = true
+		}
+		for k := range heavy {
+			rs.Update(k, heavyValue)
+			inv.Update(k, heavyValue)
+			ver.Update(k, heavyValue)
+		}
+		for i := 0; i < noiseKeys; i++ {
+			k := rng.Uint64() & keyMask
+			if heavy[k] {
+				continue
+			}
+			v := int32(1 + rng.Intn(20))
+			rs.Update(k, v)
+			inv.Update(k, v)
+			ver.Update(k, v)
+		}
+		truth += len(heavy)
+
+		start := time.Now()
+		revKeys, err := rs.InferenceCounts(threshold, revsketch.InferenceOptions{Verify: verify})
+		if err != nil {
+			return InferenceBench{}, err
+		}
+		revSec := time.Since(start).Seconds()
+
+		// One decode is too short to time alone; average a small batch.
+		const invPasses = 8
+		start = time.Now()
+		var invKeys []invsketch.KeyEstimate
+		for p := 0; p < invPasses; p++ {
+			if invKeys, err = inv.DecodeCounts(threshold, invsketch.DecodeOptions{Verify: verify}); err != nil {
+				return InferenceBench{}, err
+			}
+		}
+		invSec := time.Since(start).Seconds() / invPasses
+
+		revSecs = append(revSecs, revSec)
+		invSecs = append(invSecs, invSec)
+		ratios = append(ratios, revSec/invSec)
+		for _, ke := range revKeys {
+			if heavy[ke.Key] {
+				revTP++
+			} else {
+				revFP++
+			}
+		}
+		for _, ke := range invKeys {
+			if heavy[ke.Key] {
+				invTP++
+			} else {
+				invFP++
+			}
+		}
+	}
+
+	med := func(xs []float64) float64 {
+		sort.Float64s(xs)
+		n := len(xs)
+		if n%2 == 1 {
+			return xs[n/2]
+		}
+		return (xs[n/2-1] + xs[n/2]) / 2
+	}
+	prec := func(tp, fp int) float64 {
+		if tp+fp == 0 {
+			return 0
+		}
+		return float64(tp) / float64(tp+fp)
+	}
+	bench.ReverseDecodeSec = med(revSecs)
+	bench.InvertibleDecodeSec = med(invSecs)
+	bench.SpeedupRatio = med(ratios)
+	bench.ReversePrecision = prec(revTP, revFP)
+	bench.ReverseRecall = float64(revTP) / float64(truth)
+	bench.InvertiblePrecision = prec(invTP, invFP)
+	bench.InvertibleRecall = float64(invTP) / float64(truth)
+	return bench, nil
+}
+
+// FormatInference renders the engine comparison.
+func FormatInference(b InferenceBench) string {
+	s := fmt.Sprintf("invertible decode vs reverse-hashing search (%d heavy + %d noise keys, %d rounds,\n%d cores, GOMAXPROCS %d; 48-bit paper geometry):\n",
+		b.HeavyKeys, b.NoiseKeys, b.Rounds, b.Cores, b.GoMaxProcs)
+	s += fmt.Sprintf("  recovery latency: reverse %8.3fms   invertible %8.3fms   (%.1fx faster)\n",
+		b.ReverseDecodeSec*1e3, b.InvertibleDecodeSec*1e3, b.SpeedupRatio)
+	s += fmt.Sprintf("  sketch memory:    reverse %8.1fKB   invertible %8.1fKB\n",
+		float64(b.ReverseMemoryBytes)/1024, float64(b.InvertibleMemoryBytes)/1024)
+	s += fmt.Sprintf("  precision/recall: reverse %.3f/%.3f   invertible %.3f/%.3f\n",
+		b.ReversePrecision, b.ReverseRecall, b.InvertiblePrecision, b.InvertibleRecall)
+	return s
+}

@@ -1,0 +1,30 @@
+package experiments
+
+import "testing"
+
+// TestInferenceLatencyComparison runs the engine comparison at a small
+// scale and checks its structural invariants: positive paired latencies,
+// a decode that actually beats the search, and invertible accuracy at
+// least matching the reverse witness — the same conditions the CI bench
+// gate enforces on the committed baseline.
+func TestInferenceLatencyComparison(t *testing.T) {
+	b, err := InferenceLatency(10, 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ReverseDecodeSec <= 0 || b.InvertibleDecodeSec <= 0 {
+		t.Fatalf("non-positive latencies: rev %v inv %v", b.ReverseDecodeSec, b.InvertibleDecodeSec)
+	}
+	if b.SpeedupRatio <= 1 {
+		t.Fatalf("invertible decode not faster than reverse search: %.2fx", b.SpeedupRatio)
+	}
+	if b.InvertibleRecall < b.ReverseRecall {
+		t.Fatalf("invertible recall %.3f below reverse %.3f", b.InvertibleRecall, b.ReverseRecall)
+	}
+	if b.InvertiblePrecision < 0.99 {
+		t.Fatalf("invertible precision %.3f; verifier-checked decode should not emit aliases", b.InvertiblePrecision)
+	}
+	if s := FormatInference(b); s == "" {
+		t.Fatal("empty rendering")
+	}
+}

@@ -26,6 +26,7 @@ type config struct {
 	minSynRatio        float64
 	egress             bool
 	legacyEngine       bool
+	invertible         bool
 	// Parallel-only knobs (NewParallel); New ignores them.
 	workers    int
 	batchSize  int
@@ -200,6 +201,28 @@ func WithLegacyEngine() Option {
 	}
 }
 
+// WithInvertibleInference selects the invertible-sketch inference engine
+// for offender-key recovery: the recorder additionally maintains
+// bucketized invertible sketches whose buckets fold the flow keys into
+// linear counter groups, and interval-end key recovery decodes heavy
+// forecast errors directly from the O(buckets) structure instead of
+// running the reversible sketches' reverse-hashing candidate search.
+// Alert output is unchanged — decoded keys are re-estimated and filtered
+// against the same reversible-sketch error grids, and the differential
+// suite proves both engines emit identical alerts on the golden traces —
+// but the per-interval inference cost drops from the search's
+// combinatorial candidate enumeration to a single linear scan.
+//
+// The option changes the recorder's structure set, so every participant
+// of an aggregated deployment (remote Recorders, checkpoint files) must
+// agree on it; mixing modes fails loudly at Merge/Unmarshal time.
+func WithInvertibleInference() Option {
+	return func(c *config) error {
+		c.invertible = true
+		return nil
+	}
+}
+
 // WithWorkers sets the shard count of a NewParallel detector (default
 // runtime.GOMAXPROCS(0)). A sequential Detector ignores it.
 func WithWorkers(n int) Option {
@@ -288,6 +311,9 @@ func (c config) build() (core.RecorderConfig, core.DetectorConfig) {
 	}
 	if c.egress {
 		rcfg.Orientation = core.Egress
+	}
+	if c.invertible {
+		rcfg.Inference = core.InferenceInvertible
 	}
 	dcfg := core.DetectorConfig{
 		Threshold:           c.thresholdPerSecond * c.interval.Seconds(),

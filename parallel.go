@@ -95,6 +95,10 @@ func (p *Parallel) Interval() time.Duration { return p.interval }
 // Workers returns the shard count.
 func (p *Parallel) Workers() int { return p.eng.Workers() }
 
+// InferenceEngine names the active offender-key recovery engine — see
+// Detector.InferenceEngine.
+func (p *Parallel) InferenceEngine() string { return p.det.InferenceEngine().String() }
+
 // Observe records one packet through the default producer. Single
 // goroutine only — use NewProducer for concurrent ingestion.
 //
