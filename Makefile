@@ -80,15 +80,21 @@ bench:
 # committed baselines. The hotpath gate fails on >10% speedup regression
 # or if the NetFlow replay collapse drops below 2x; the inference gate
 # fails on >10% decode-speedup regression, a decode speedup under 5x, or
-# invertible recall below the reverse witness.
+# invertible recall below the reverse witness; the cache gate fails on
+# >10% speedup regression, a Zipf-traffic packet speedup below 1.5x, or
+# a broken byte-identity anchor.
 # Refresh the committed baselines with:
 #   go run ./cmd/benchtables -table hotpath
 #   go run ./cmd/benchtables -table inference
+#   go run ./cmd/benchtables -table cache
 FRESH_HOTPATH ?= BENCH_hotpath.fresh.json
 FRESH_INFERENCE ?= BENCH_inference.fresh.json
+FRESH_CACHE ?= BENCH_cache.fresh.json
 .PHONY: bench-gate
 bench-gate:
 	$(GO) run ./cmd/benchtables -table hotpath -benchout $(FRESH_HOTPATH)
 	$(GO) run ./cmd/benchgate -baseline BENCH_hotpath.json -fresh $(FRESH_HOTPATH)
 	$(GO) run ./cmd/benchtables -table inference -benchout $(FRESH_INFERENCE)
 	$(GO) run ./cmd/benchgate -table inference -baseline BENCH_inference.json -fresh $(FRESH_INFERENCE)
+	$(GO) run ./cmd/benchtables -table cache -benchout $(FRESH_CACHE)
+	$(GO) run ./cmd/benchgate -table cache -baseline BENCH_cache.json -fresh $(FRESH_CACHE)

@@ -27,7 +27,7 @@ func main() {
 func run() error {
 	var (
 		table = flag.String("table", "all",
-			"which artifact to regenerate: 1, 4, 5, 6, 7, 9, f4, mr, val, ma, perf, pipeline, telemetry, hotpath, inference, mit, ttd, ablation or all")
+			"which artifact to regenerate: 1, 4, 5, 6, 7, 9, f4, mr, val, ma, perf, pipeline, telemetry, hotpath, cache, inference, mit, ttd, ablation or all")
 		full     = flag.Bool("full", false, "run at the larger scale")
 		benchout = flag.String("benchout", "",
 			"write the pipeline/telemetry benchmark results as JSON to this file (default BENCH_telemetry.json for -table telemetry)")
@@ -220,6 +220,37 @@ func run() error {
 		}
 		if out != "" {
 			data, err := json.MarshalIndent(hb, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", out)
+		}
+	}
+	if want("cache") {
+		section("Flow cache — exact aggregation vs bare fused engine (Zipf traffic)")
+		packets := 1_000_000
+		flows := 500_000
+		if *full {
+			packets, flows = 4_000_000, 2_000_000
+		}
+		cb, err := experiments.CacheThroughput(packets, flows, 1<<14, 1.5)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatCache(cb))
+		// As with the hotpath table, -table all leaves the committed JSON
+		// alone; asking for the cache table explicitly records it.
+		out := ""
+		if *table == "cache" {
+			if out = *benchout; out == "" {
+				out = "BENCH_cache.json"
+			}
+		}
+		if out != "" {
+			data, err := json.MarshalIndent(cb, "", "  ")
 			if err != nil {
 				return err
 			}

@@ -75,6 +75,7 @@ func run() error {
 		jsonOut   = flag.Bool("json", false, "emit alerts and interval summaries as NDJSON on stdout")
 		linger    = flag.Bool("linger", false, "after an offline replay, keep the -http endpoints up until interrupted")
 		flowQueue = flag.Int("flow-queue", 1024, "live mode: capacity of the collector→detector flow queue (flows are dropped, not blocked on, when it is full)")
+		flowCache = flag.Int("flowcache", 0, "entries of the exact flow-aggregation cache in front of the sketches (0 = disabled); state and alerts stay byte-identical, skewed traffic records faster")
 	)
 	af := registerAggregateFlags()
 	flag.Parse()
@@ -130,6 +131,9 @@ func run() error {
 		opts = append(opts, hifind.WithInvertibleInference())
 	default:
 		return fmt.Errorf("-inference must be reverse or invertible, got %q", *inference)
+	}
+	if *flowCache > 0 {
+		opts = append(opts, hifind.WithFlowCache(*flowCache))
 	}
 	reg := telemetry.NewRegistry()
 	health := telemetry.NewHealth()
@@ -187,13 +191,18 @@ func run() error {
 	// process exits; the component exists so /healthz names the source.
 	health.Register("source", func() error { return nil })
 
-	fmt.Printf("HiFIND: %0.1f MB of sketches, %v intervals, threshold %.1f SYN/s, %s inference\n",
-		float64(det.MemoryBytes())/(1<<20), *interval, *threshold, det.InferenceEngine())
+	cacheNote := ""
+	if *flowCache > 0 {
+		cacheNote = fmt.Sprintf(", %d-entry flow cache", *flowCache)
+	}
+	fmt.Printf("HiFIND: %0.1f MB of sketches, %v intervals, threshold %.1f SYN/s, %s inference%s\n",
+		float64(det.MemoryBytes())/(1<<20), *interval, *threshold, det.InferenceEngine(), cacheNote)
 	if sink != nil {
 		sink.Emit(telemetry.Event{Time: time.Now(), Kind: "startup", Fields: map[string]any{
-			"inference_engine": det.InferenceEngine(),
-			"memory_bytes":     det.MemoryBytes(),
-			"interval_seconds": interval.Seconds(),
+			"inference_engine":   det.InferenceEngine(),
+			"memory_bytes":       det.MemoryBytes(),
+			"interval_seconds":   interval.Seconds(),
+			"flow_cache_entries": *flowCache,
 		}})
 	}
 	in := bufio.NewReaderSize(f, 1<<20)

@@ -39,6 +39,7 @@ func run() error {
 		scale     = flag.Float64("scale", 1, "attack-count multiplier")
 		format    = flag.String("format", "pcap", "output format: pcap, pcapng or netflow")
 		truth     = flag.Bool("truth", false, "print the ground-truth event list")
+		zipf      = flag.Float64("zipf", 0, "Zipf exponent (> 1) skewing background flows onto a stable elephant-client pool; 0 keeps uniform clients")
 	)
 	flag.Parse()
 
@@ -51,6 +52,7 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown preset %q (want nu or lbl)", *preset)
 	}
+	cfg.ZipfSkew = *zipf
 	gen, err := trace.New(cfg)
 	if err != nil {
 		return err

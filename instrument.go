@@ -36,6 +36,12 @@ type instruments struct {
 
 	inferSeconds *telemetry.Histogram
 	inferKeys    *telemetry.Counter
+
+	cacheHits      *telemetry.Counter
+	cacheMisses    *telemetry.Counter
+	cacheEvictions *telemetry.Counter
+	cacheOccupancy *telemetry.Gauge
+	cacheFlush     *telemetry.Histogram
 }
 
 // newInstruments registers the hifind_* series on reg. A nil reg yields
@@ -91,6 +97,17 @@ func newInstruments(reg *telemetry.Registry) instruments {
 			telemetry.DefBuckets),
 		inferKeys: reg.Counter("hifind_inference_keys_recovered_total",
 			"verified offender keys recovered across all inference steps"),
+
+		cacheHits: reg.Counter("hifind_flowcache_hits_total",
+			"flow-cache probes that found their connection resident"),
+		cacheMisses: reg.Counter("hifind_flowcache_misses_total",
+			"flow-cache probes that had to install their connection"),
+		cacheEvictions: reg.Counter("hifind_flowcache_evictions_total",
+			"flow-cache entries flushed early to make room"),
+		cacheOccupancy: reg.Gauge("hifind_flowcache_occupancy_ratio",
+			"resident fraction of the flow cache sampled before the rotation flush"),
+		cacheFlush: reg.Histogram("hifind_flowcache_flush_seconds",
+			"rotation-time flow-cache drain wall time", telemetry.DefBuckets),
 	}
 }
 
@@ -115,6 +132,15 @@ func (ins *instruments) recordInterval(res core.IntervalResult) {
 	if d.InferenceSeconds > 0 || d.KeysRecovered > 0 {
 		ins.inferSeconds.Observe(d.InferenceSeconds)
 		ins.inferKeys.Add(int64(d.KeysRecovered))
+	}
+	// Cache-less detectors report identically-zero cache diagnostics;
+	// skip them so the series only move when a cache is actually wired.
+	if d.CacheHits > 0 || d.CacheMisses > 0 || d.CacheFlushSeconds > 0 {
+		ins.cacheHits.Add(d.CacheHits)
+		ins.cacheMisses.Add(d.CacheMisses)
+		ins.cacheEvictions.Add(d.CacheEvictions)
+		ins.cacheOccupancy.Set(d.CacheOccupancy)
+		ins.cacheFlush.Observe(d.CacheFlushSeconds)
 	}
 
 	for _, a := range res.Final {

@@ -21,6 +21,7 @@ var hotpathPackages = []string{
 	"internal/bloom",
 	"internal/core",
 	"internal/pipeline",
+	"internal/flowcache",
 	"internal/telemetry",
 }
 

@@ -1,0 +1,67 @@
+// Package flowcache is a golden-test stand-in for the exact
+// flow-aggregation cache: Add runs once per packet in front of the
+// sketches, so it is hot via the //hifind:hot annotation (its name
+// matches no naming-convention root), and hotness must propagate into
+// the statically-called eviction helper. The structure-of-arrays shape
+// exists precisely so the per-probe path never allocates; any
+// allocation here is a regression of the cache's reason to exist.
+package flowcache
+
+import "fmt"
+
+type Cache struct {
+	keys  []uint64
+	syns  []int64
+	state []uint8
+	log   []string
+}
+
+// Add probes the window and accumulates in place.
+//
+//hifind:hot
+func (c *Cache) Add(key uint64, syns int64) {
+	for i := range c.keys {
+		if c.state[i] != 0 && c.keys[i] == key {
+			c.syns[i] += syns
+			return
+		}
+	}
+	c.log = append(c.log, "miss") // want `append allocates in hot path Add`
+	c.evict(key, syns)
+}
+
+// evict is only reachable from Add, so the hot classification must
+// arrive transitively — the annotation is on the root alone.
+func (c *Cache) evict(key uint64, syns int64) {
+	victim := fmt.Sprintf("evict %d", key) // want `fmt.Sprintf allocates in hot path evict`
+	_ = victim
+	c.keys[0], c.syns[0], c.state[0] = key, syns, 1
+}
+
+// Clean shows the sanctioned shape: every slot lives in slices sized at
+// construction, and the probe loop only indexes them.
+type Clean struct {
+	keys  []uint64
+	syns  []int64
+	state []uint8
+}
+
+// NewClean is a constructor, not a hot-path operation: allocation is fine.
+func NewClean(entries int) *Clean {
+	return &Clean{
+		keys:  make([]uint64, entries),
+		syns:  make([]int64, entries),
+		state: make([]uint8, entries),
+	}
+}
+
+//hifind:hot
+func (c *Clean) Add(key uint64, syns int64) {
+	for i := range c.keys {
+		if c.state[i] != 0 && c.keys[i] == key {
+			c.syns[i] += syns
+			return
+		}
+	}
+	c.keys[0], c.syns[0], c.state[0] = key, syns, 1
+}

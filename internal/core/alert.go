@@ -155,4 +155,14 @@ type DiagStats struct {
 	OccVerSipDport float64
 	OccVerDipDport float64
 	OccVerSipDip   float64
+
+	// Flow-cache traffic for the interval (all zero when the recorder
+	// runs without a cache): hit/miss/eviction counts since the last
+	// rotation, the resident fraction sampled just before the
+	// rotation flush, and that flush's wall time.
+	CacheHits         int64
+	CacheMisses       int64
+	CacheEvictions    int64
+	CacheOccupancy    float64
+	CacheFlushSeconds float64
 }

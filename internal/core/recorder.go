@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"github.com/hifind/hifind/internal/bloom"
+	"github.com/hifind/hifind/internal/flowcache"
 	"github.com/hifind/hifind/internal/invsketch"
 	"github.com/hifind/hifind/internal/netmodel"
 	"github.com/hifind/hifind/internal/revsketch"
@@ -97,6 +98,16 @@ type RecorderConfig struct {
 	// Only consulted when Inference is InferenceInvertible, but always
 	// populated so configurations compare field-wise.
 	Inv48, Inv64 invsketch.Params
+	// FlowCache, when positive, bounds an exact flow-aggregation cache
+	// installed in front of the fused engine: per-connection updates
+	// accumulate in the table and flush as weighted updates on eviction
+	// and at rotation, leaving sketch state byte-identical to the
+	// cache-less recorder (internal/flowcache). Zero disables the
+	// cache. The field participates in Compatible's configuration
+	// equality, so cached and cache-less participants of an aggregated
+	// deployment fail loudly at Merge time instead of silently skewing
+	// per-router telemetry.
+	FlowCache int
 }
 
 // PaperRecorderConfig returns the configuration of paper §5.1 (13.2 MB).
@@ -209,6 +220,11 @@ type Recorder struct {
 	// plans is the fused engine's preallocated hash-plan scratch — one
 	// bucket plan per structure, filled and applied once per update.
 	plans updatePlans
+	// cache is the optional exact flow-aggregation table in front of
+	// the fused engine (nil when cfg.FlowCache is zero). The legacy
+	// engine bypasses it — legacy is the differential witness and must
+	// stay the plain per-packet path.
+	cache *flowcache.Cache
 }
 
 // updatePlans holds one reusable bucket plan per recorder structure.
@@ -288,6 +304,15 @@ func NewRecorder(cfg RecorderConfig) (*Recorder, error) {
 		return nil, fmt.Errorf("core: unknown inference engine %d", cfg.Inference)
 	}
 	r.plans = r.newPlans()
+	if cfg.FlowCache > 0 {
+		// The flush sink is a bound method value: one allocation here,
+		// none per flush.
+		if r.cache, err = flowcache.New(cfg.FlowCache, r.flushFlow); err != nil {
+			return nil, fmt.Errorf("core: flow cache: %w", err)
+		}
+	} else if cfg.FlowCache < 0 {
+		return nil, fmt.Errorf("core: flow cache entries %d < 0", cfg.FlowCache)
+	}
 	return r, nil
 }
 
@@ -317,8 +342,13 @@ func (r *Recorder) Config() RecorderConfig { return r.cfg }
 
 // SetEngine switches the update implementation. Safe any time between
 // updates; recorders on different engines remain Compatible and
-// mergeable because both build identical state.
-func (r *Recorder) SetEngine(e Engine) { r.engine = e }
+// mergeable because both build identical state. Pending cache
+// aggregates flush first, so state recorded under the previous engine
+// is fully materialized before the next one takes over.
+func (r *Recorder) SetEngine(e Engine) {
+	r.FlushCache()
+	r.engine = e
+}
 
 // Engine returns the active update implementation.
 func (r *Recorder) Engine() Engine { return r.engine }
@@ -368,6 +398,8 @@ func (r *Recorder) ObserveFlow(rec netmodel.FlowRecord) {
 			for i := 0; i < rec.SYNs; i++ {
 				r.updateLegacy(rec.SrcIP, rec.DstIP, rec.DstPort, +1, true)
 			}
+		} else if r.cache != nil {
+			r.cache.Add(rec.SrcIP, rec.DstIP, rec.DstPort, int64(rec.SYNs), 0)
 		} else {
 			// Chunk pathologically large counts so the int32 weight stays
 			// faithful (a count ≡ 0 mod 2^32 must not skip the OS sketch);
@@ -388,6 +420,10 @@ func (r *Recorder) ObserveFlow(rec netmodel.FlowRecord) {
 			for i := 0; i < rec.SYNACKs; i++ {
 				r.updateLegacy(rec.DstIP, rec.SrcIP, rec.SrcPort, -1, false)
 			}
+		} else if r.cache != nil {
+			// The active-service insertion below stays at observe time:
+			// only counter updates defer through the cache.
+			r.cache.Add(rec.DstIP, rec.SrcIP, rec.SrcPort, 0, int64(rec.SYNACKs))
 		} else {
 			for left := rec.SYNACKs; left > 0; {
 				c := left
@@ -408,9 +444,21 @@ func (r *Recorder) ObserveFlow(rec netmodel.FlowRecord) {
 const flowChunk = 1 << 30
 
 // update applies one ±1 to every structure under connection (sip,dip,dport).
+// With a flow cache installed the packet only touches its cache entry;
+// the sketch fan-out happens when the aggregate flushes. Observe always
+// calls with (v=+1, countSYN=true) for SYNs and (v=-1, countSYN=false)
+// for SYN/ACKs, which is exactly the split the cache entry stores.
 func (r *Recorder) update(sip, dip netmodel.IPv4, dport uint16, v int32, countSYN bool) {
 	if r.engine == EngineLegacy {
 		r.updateLegacy(sip, dip, dport, v, countSYN)
+		return
+	}
+	if r.cache != nil {
+		if countSYN {
+			r.cache.Add(sip, dip, dport, 1, 0)
+		} else {
+			r.cache.Add(sip, dip, dport, 0, 1)
+		}
 		return
 	}
 	var syn int32
@@ -529,6 +577,62 @@ func (r *Recorder) updateFused(sip, dip netmodel.IPv4, dport uint16, v, syn int3
 	r.memoryAccesses += acc * n
 }
 
+// flushFlow is the flow cache's flush sink: one aggregated connection
+// becomes two exact weighted updates, (+syns with the OS sketch fed)
+// then (−acks without it) — the same two shapes the uncached paths
+// apply per packet, so both the sketch bytes and the memory-access
+// budget come out identical (acc·n accounting is linear in n and the
+// OS stages are charged exactly on the SYN side). Chunking keeps the
+// int32 weight faithful for pathological counts, and chunked flushes
+// are exact for the same linearity reason the aggregation is.
+func (r *Recorder) flushFlow(sip, dip netmodel.IPv4, dport uint16, syns, acks int64) {
+	for left := syns; left > 0; {
+		c := left
+		if c > flowChunk {
+			c = flowChunk
+		}
+		r.updateFused(sip, dip, dport, int32(c), int32(c), c)
+		left -= c
+	}
+	for left := acks; left > 0; {
+		c := left
+		if c > flowChunk {
+			c = flowChunk
+		}
+		r.updateFused(sip, dip, dport, -int32(c), 0, c)
+		left -= c
+	}
+}
+
+// FlushCache materializes every pending flow-cache aggregate into the
+// sketches. A no-op without a cache. Runs automatically before
+// marshaling, merging and engine switches; the detector flushes before
+// reading interval snapshots.
+func (r *Recorder) FlushCache() {
+	if r.cache == nil {
+		return
+	}
+	r.cache.FlushAll()
+}
+
+// CacheStats returns the flow cache's traffic counters (zero without a
+// cache).
+func (r *Recorder) CacheStats() flowcache.Stats {
+	if r.cache == nil {
+		return flowcache.Stats{}
+	}
+	return r.cache.Stats()
+}
+
+// CacheOccupancy returns the resident fraction of the flow cache (zero
+// without a cache).
+func (r *Recorder) CacheOccupancy() float64 {
+	if r.cache == nil {
+		return 0
+	}
+	return r.cache.Occupancy()
+}
+
 // Packets returns how many packets were observed.
 func (r *Recorder) Packets() int64 { return r.packets }
 
@@ -567,6 +671,12 @@ func (r *Recorder) Reset() {
 		r.InvDipDport.Reset()
 		r.InvSipDip.Reset()
 	}
+	// Pending cache aggregates belong to the interval being discarded;
+	// drop them (and the interval's cache stats) rather than flush them
+	// into the cleared sketches.
+	if r.cache != nil {
+		r.cache.Clear()
+	}
 	r.packets = 0
 }
 
@@ -577,11 +687,20 @@ func (r *Recorder) Compatible(o *Recorder) bool {
 }
 
 // Merge sums other recorders into r (coefficient 1 each): the multi-router
-// aggregation of paper §3.1. All operands must be compatible.
+// aggregation of paper §3.1. All operands must be compatible. Every
+// operand's flow cache (and the receiver's) flushes first, so the sums
+// cover all recorded traffic; operand cache stats fold into the
+// receiver so aggregated telemetry still counts every router's cache
+// traffic.
 func (r *Recorder) Merge(others ...*Recorder) error {
+	r.FlushCache()
 	for n, o := range others {
 		if !r.Compatible(o) {
 			return fmt.Errorf("core: merge operand %d incompatible", n)
+		}
+		o.FlushCache()
+		if r.cache != nil && o.cache != nil {
+			r.cache.AddStats(o.cache.Stats())
 		}
 		var err error
 		merge := func(dst, src *revsketch.Sketch) *revsketch.Sketch {
@@ -643,7 +762,11 @@ func (r *Recorder) Merge(others ...*Recorder) error {
 
 // MarshalBinary serializes every structure for transport to an
 // aggregation site. The encoding is a sequence of length-prefixed blocks.
+// Pending flow-cache aggregates flush first: the wire format carries
+// fully materialized sketch state, byte-identical to a cache-less
+// recorder's, so cache configuration never leaks into the encoding.
 func (r *Recorder) MarshalBinary() ([]byte, error) {
+	r.FlushCache()
 	blocks := make([][]byte, 0, 10)
 	appendBlock := func(data []byte, err error) error {
 		if err != nil {
@@ -722,7 +845,11 @@ func (r *Recorder) UnmarshalBinary(data []byte) error {
 	}
 	// The blocks rebuild each structure in place; re-size the fused
 	// engine's plans in case the loaded geometry differs from the one the
-	// recorder was constructed with.
+	// recorder was constructed with. Any aggregates still cached belong
+	// to the state just replaced, so they are dropped, not flushed.
 	r.plans = r.newPlans()
+	if r.cache != nil {
+		r.cache.Clear()
+	}
 	return nil
 }

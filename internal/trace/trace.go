@@ -145,6 +145,14 @@ type Config struct {
 	// hosts per interval with successful handshakes (superspreader
 	// false-positive bait).
 	P2PHosts, P2PFanout int
+	// ZipfSkew, when > 1, draws background clients and their chosen
+	// services from a Zipf distribution with this exponent over a stable
+	// client pool instead of fresh uniform addresses: a handful of
+	// elephant connections then dominate each interval, the flow-level
+	// locality real edge links exhibit (and the regime the flow cache is
+	// built for). 0, the default, keeps the uniform behaviour; values in
+	// (0,1] are invalid — the Zipf exponent must exceed 1.
+	ZipfSkew float64
 	// Attacks is the injected event list.
 	Attacks []Attack
 }
@@ -165,6 +173,9 @@ func (c Config) Validate() error {
 	}
 	if c.DiurnalAmplitude < 0 || c.DiurnalAmplitude >= 1 {
 		return fmt.Errorf("trace: diurnal amplitude %v out of [0,1)", c.DiurnalAmplitude)
+	}
+	if c.ZipfSkew != 0 && c.ZipfSkew <= 1 {
+		return fmt.Errorf("trace: zipf skew %v must be 0 (off) or > 1", c.ZipfSkew)
 	}
 	for n, a := range c.Attacks {
 		if a.StartInterval < 0 || a.EndInterval >= c.Intervals || a.StartInterval > a.EndInterval {
@@ -268,6 +279,9 @@ func (g *Generator) GenerateInterval(i int) ([]netmodel.Packet, error) {
 		start: start,
 		span:  g.cfg.Interval,
 	}
+	if g.cfg.ZipfSkew > 1 {
+		b.zipf = rand.NewZipf(rng, g.cfg.ZipfSkew, 1, zipfClientPool-1)
+	}
 	b.background(g.backgroundAt(i))
 	b.outbound()
 	b.p2p()
@@ -301,9 +315,24 @@ func (g *Generator) Stream(fn func(netmodel.Packet) error) error {
 type intervalBuilder struct {
 	g     *Generator
 	rng   *rand.Rand
+	zipf  *rand.Zipf // non-nil when Config.ZipfSkew > 1
 	start time.Time
 	span  time.Duration
 	pkts  []netmodel.Packet
+}
+
+// zipfClientPool bounds the skewed client population. Ranks map to a
+// stable address per rank, so rank 0 — the Zipf mode — is the same
+// elephant client in every interval of every run.
+const zipfClientPool = 1 << 13
+
+// zipfClient draws a client address by Zipf rank from the stable pool.
+func (b *intervalBuilder) zipfClient() netmodel.IPv4 {
+	ip := netmodel.IPv4(0x14000000 + uint32(b.zipf.Uint64())*613)
+	if b.g.edge.Contains(ip) {
+		ip ^= 0x40000000
+	}
+	return ip
 }
 
 func (b *intervalBuilder) at() time.Time {
@@ -383,8 +412,23 @@ func (g *Generator) backgroundAt(interval int) int {
 	return int(v)
 }
 
-// background emits benign inbound client→server flows.
+// background emits benign inbound client→server flows. Under ZipfSkew
+// both the client and its chosen service are Zipf-ranked, so the same
+// (client, server, port) connections recur across the interval instead
+// of every flow being a fresh uniform draw.
 func (b *intervalBuilder) background(flows int) {
+	if b.zipf != nil {
+		for n := 0; n < flows; n++ {
+			client := b.zipfClient()
+			srv := b.g.servers[int(b.zipf.Uint64())%len(b.g.servers)]
+			ok := b.rng.Float64() >= b.g.cfg.FailRate
+			b.emitFlow(client, srv.addr, b.ephemeral(), srv.port, ok, ok, true)
+		}
+		return
+	}
+	// The uniform path must keep its exact rng draw order (server,
+	// failure roll, client, ephemeral port) — every golden trace and
+	// seeded detection test is a function of this sequence.
 	for n := 0; n < flows; n++ {
 		srv := b.g.servers[b.rng.Intn(len(b.g.servers))]
 		ok := b.rng.Float64() >= b.g.cfg.FailRate

@@ -52,6 +52,8 @@ func TestConfigValidate(t *testing.T) {
 		{"attack no ports", func(c *Config) {
 			c.Attacks = []Attack{{Type: SYNFlood, Rate: 5, StartInterval: 0, EndInterval: 1}}
 		}},
+		{"zipf skew at most one", func(c *Config) { c.ZipfSkew = 1 }},
+		{"negative zipf skew", func(c *Config) { c.ZipfSkew = -1.2 }},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -491,5 +493,87 @@ func TestDiurnalModulation(t *testing.T) {
 	bad.DiurnalAmplitude = 1.5
 	if bad.Validate() == nil {
 		t.Error("amplitude 1.5 accepted")
+	}
+}
+
+// TestZipfSkewConcentratesFlows: under ZipfSkew the background flows
+// must collapse onto few recurring (client, server, port) connections —
+// the elephant/mice regime — while staying fully deterministic and
+// keeping every client outside the edge network.
+func TestZipfSkewConcentratesFlows(t *testing.T) {
+	uniform := minimalConfig()
+	uniform.BackgroundFlows = 2000
+	uniform.OutboundFlows = 0
+	skewed := uniform
+	skewed.ZipfSkew = 1.2
+
+	type conn struct {
+		sip, dip netmodel.IPv4
+		dport    uint16
+	}
+	distinct := func(cfg Config) (int, map[conn]int) {
+		g := mustGen(t, cfg)
+		pkts, err := g.GenerateInterval(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make(map[conn]int)
+		syns := 0
+		for _, p := range pkts {
+			if p.Flags.IsSYN() && p.Dir == netmodel.Inbound {
+				syns++
+				counts[conn{p.SrcIP, p.DstIP, p.DstPort}]++
+				if g.Edge().Contains(p.SrcIP) {
+					t.Fatalf("background client %s inside the edge", p.SrcIP)
+				}
+			}
+		}
+		if syns != cfg.BackgroundFlows {
+			t.Fatalf("got %d background SYNs, want %d", syns, cfg.BackgroundFlows)
+		}
+		return len(counts), counts
+	}
+
+	nUniform, _ := distinct(uniform)
+	nSkewed, counts := distinct(skewed)
+	// Uniform drawing makes virtually every flow a fresh connection;
+	// Zipf ranks must fold the same volume onto far fewer tuples.
+	if nSkewed*2 > nUniform {
+		t.Errorf("skewed trace has %d distinct connections vs %d uniform; want at most half", nSkewed, nUniform)
+	}
+	top := 0
+	for _, c := range counts {
+		if c > top {
+			top = c
+		}
+	}
+	if top < 50 {
+		t.Errorf("hottest skewed connection carries %d flows, want a clear elephant (>= 50)", top)
+	}
+}
+
+// TestZipfSkewDeterministic: the skewed generator must stay bit-for-bit
+// reproducible, interval by interval, like the uniform one.
+func TestZipfSkewDeterministic(t *testing.T) {
+	cfg := minimalConfig()
+	cfg.ZipfSkew = 1.5
+	a, b := mustGen(t, cfg), mustGen(t, cfg)
+	for i := 0; i < cfg.Intervals; i++ {
+		pa, err := a.GenerateInterval(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := b.GenerateInterval(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pa) != len(pb) {
+			t.Fatalf("interval %d: %d vs %d packets", i, len(pa), len(pb))
+		}
+		for j := range pa {
+			if pa[j] != pb[j] {
+				t.Fatalf("interval %d packet %d differs", i, j)
+			}
+		}
 	}
 }

@@ -27,6 +27,7 @@ type config struct {
 	egress             bool
 	legacyEngine       bool
 	invertible         bool
+	flowCache          int
 	// Parallel-only knobs (NewParallel); New ignores them.
 	workers    int
 	batchSize  int
@@ -223,6 +224,33 @@ func WithInvertibleInference() Option {
 	}
 }
 
+// WithFlowCache installs a bounded exact flow-aggregation cache of the
+// given entry count in front of the fused update engine: per-connection
+// updates accumulate in one table entry and flush into the sketches as
+// exact weighted updates on eviction and at every rotation. Sketch
+// state, alerts, packet counts and the memory-access budget stay
+// byte-identical to the cache-less detector — the differential suite
+// proves it on every golden trace — while skewed (elephant/mice)
+// traffic replaces most per-packet sketch fan-outs with a single cache
+// probe. Entries round up to a power of two; a NewParallel detector
+// gives each worker shard its own cache of this size.
+//
+// Serialized snapshots are always flushed first, so the wire format is
+// unchanged and snapshots interchange freely with cache-less
+// participants; merging live Recorder objects with differing cache
+// configurations, by contrast, fails loudly. The cache is ignored under
+// WithLegacyEngine, which stays the plain per-packet differential
+// witness.
+func WithFlowCache(entries int) Option {
+	return func(c *config) error {
+		if entries < 1 {
+			return fmt.Errorf("hifind: flow cache entries %d < 1", entries)
+		}
+		c.flowCache = entries
+		return nil
+	}
+}
+
 // WithWorkers sets the shard count of a NewParallel detector (default
 // runtime.GOMAXPROCS(0)). A sequential Detector ignores it.
 func WithWorkers(n int) Option {
@@ -315,6 +343,7 @@ func (c config) build() (core.RecorderConfig, core.DetectorConfig) {
 	if c.invertible {
 		rcfg.Inference = core.InferenceInvertible
 	}
+	rcfg.FlowCache = c.flowCache
 	dcfg := core.DetectorConfig{
 		Threshold:           c.thresholdPerSecond * c.interval.Seconds(),
 		Alpha:               c.alpha,
