@@ -51,6 +51,7 @@ fuzz-short:
 	$(GO) test -fuzz FuzzInvertibleDecode -fuzztime $(FUZZTIME) ./internal/invsketch
 	$(GO) test -fuzz FuzzFrameDecode -fuzztime $(FUZZTIME) ./internal/aggregate
 	$(GO) test -fuzz FuzzObserve -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -fuzz FuzzShardRoute -fuzztime $(FUZZTIME) ./internal/pipeline
 
 # Deterministic fault-injection matrix over the multi-router aggregation
 # path: each seed derives a full schedule of connection resets, corrupted
@@ -90,6 +91,7 @@ bench:
 FRESH_HOTPATH ?= BENCH_hotpath.fresh.json
 FRESH_INFERENCE ?= BENCH_inference.fresh.json
 FRESH_CACHE ?= BENCH_cache.fresh.json
+FRESH_PIPELINE ?= BENCH_pipeline.fresh.json
 .PHONY: bench-gate
 bench-gate:
 	$(GO) run ./cmd/benchtables -table hotpath -benchout $(FRESH_HOTPATH)
@@ -98,3 +100,5 @@ bench-gate:
 	$(GO) run ./cmd/benchgate -table inference -baseline BENCH_inference.json -fresh $(FRESH_INFERENCE)
 	$(GO) run ./cmd/benchtables -table cache -benchout $(FRESH_CACHE)
 	$(GO) run ./cmd/benchgate -table cache -baseline BENCH_cache.json -fresh $(FRESH_CACHE)
+	$(GO) run ./cmd/benchtables -table pipeline -benchout $(FRESH_PIPELINE)
+	$(GO) run ./cmd/benchgate -table pipeline -baseline BENCH_pipeline.json -fresh $(FRESH_PIPELINE)

@@ -157,15 +157,22 @@ func run() error {
 			return err
 		}
 		fmt.Print(experiments.FormatPipeline(pb))
-		if *benchout != "" {
+		// Asking for the pipeline table explicitly always records the
+		// numbers for the scaling gate; -table all writes only when
+		// -benchout names a file.
+		out := *benchout
+		if out == "" && *table == "pipeline" {
+			out = "BENCH_pipeline.json"
+		}
+		if out != "" {
 			data, err := json.MarshalIndent(pb, "", "  ")
 			if err != nil {
 				return err
 			}
-			if err := os.WriteFile(*benchout, append(data, '\n'), 0o644); err != nil {
+			if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
 				return err
 			}
-			fmt.Printf("wrote %s\n", *benchout)
+			fmt.Printf("wrote %s\n", out)
 		}
 	}
 	if want("telemetry") {

@@ -47,17 +47,23 @@ var telemetryHotFuncs = map[string]bool{
 // hotpathFunc reports whether a function name is part of the UPDATE /
 // ESTIMATE / COMBINE hot-path contract (paper Table 2), the pipeline's
 // per-packet Ingest, the recorder's per-packet Observe/ObserveFlow and
-// fused update internals, or the plan API the fused engine fills and
-// applies per packet. EstimateGrid and friends share the Estimate
-// budget, and updateFused/updateLegacy share Observe's, hence the
-// prefix matches. In internal/telemetry the contract covers the
-// sanctioned instrumentation methods instead.
+// fused update internals, the plan API the fused engine fills and
+// applies per packet, or the sharded routing surface (the producer's
+// EmitOps op router and the worker-side Apply/ApplyInv/ApplyAt op
+// appliers — each runs per packet times per stage). EstimateGrid and
+// friends share the Estimate budget, and updateFused/updateLegacy share
+// Observe's, hence the prefix matches; the Apply names are exact so the
+// cold rotation-time ApplyTally stitch stays out of the contract. In
+// internal/telemetry the contract covers the sanctioned instrumentation
+// methods instead.
 func hotpathFunc(pkgPath, name string) bool {
 	if pathMatchesAny(pkgPath, telemetryPackage) {
 		return telemetryHotFuncs[name]
 	}
 	return name == "Update" || name == "UpdateAt" || name == "FillPlan" ||
 		name == "Combine" || name == "Ingest" ||
+		name == "Apply" || name == "ApplyInv" || name == "ApplyAt" ||
+		name == "EmitOps" ||
 		strings.HasPrefix(name, "Estimate") ||
 		strings.HasPrefix(name, "Observe") ||
 		strings.HasPrefix(name, "update")

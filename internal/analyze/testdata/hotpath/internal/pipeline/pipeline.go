@@ -95,3 +95,83 @@ func drain(p *producer) []event {
 	}
 	return out
 }
+
+// The sharded-ingestion surface is under the same contract: EmitOps
+// routes per-stage ops per packet, and the worker-side Apply family
+// folds them into the shared recorder. All of them must run without
+// allocating; routing state (owner table, pending batches) is built at
+// construction.
+
+type op struct {
+	loc   uint32
+	delta int32
+}
+
+type router struct {
+	pend  []*opBatch
+	cells [64]int32
+}
+
+type opBatch struct {
+	ops []op
+	n   int
+}
+
+func (r *router) EmitOps(ops []op) {
+	route := make([]int, len(ops)) // want `make allocates in hot path EmitOps`
+	_ = route
+	for _, o := range ops {
+		b := r.pend[o.loc&1]
+		b.ops[b.n] = o
+		b.n++
+	}
+}
+
+func (r *router) Apply(ops []op) {
+	seen := map[uint32]bool{} // want `map literal allocates in hot path Apply`
+	_ = seen
+	for _, o := range ops {
+		r.cells[o.loc&63] += o.delta
+	}
+}
+
+func (r *router) ApplyInv(ops []op) {
+	spill := append([]op(nil), ops...) // want `append allocates in hot path ApplyInv`
+	_ = spill
+}
+
+func (r *router) ApplyAt(stage int, bucket uint32, v int32) {
+	lbl := new(op) // want `new allocates in hot path ApplyAt`
+	_ = lbl
+	r.cells[bucket&63] += v
+}
+
+// ApplyTally is the rotation-time scalar stitch — deliberately OUTSIDE
+// the hot contract (the Apply matches are exact, not prefixes), so its
+// allocations are sanctioned.
+func (r *router) ApplyTally(totals []int64) []int64 {
+	out := make([]int64, len(totals))
+	copy(out, totals)
+	return out
+}
+
+// cleanRouter shows the sanctioned shape: fixed-capacity pending
+// batches filled by index, owner computed by mask, nothing allocated.
+type cleanRouter struct {
+	pend  [2]opBatch
+	cells [64]int32
+}
+
+func (r *cleanRouter) EmitOps(ops []op) {
+	for _, o := range ops {
+		b := &r.pend[o.loc&1]
+		b.ops[b.n] = o
+		b.n++
+	}
+}
+
+func (r *cleanRouter) Apply(ops []op) {
+	for _, o := range ops {
+		r.cells[o.loc&63] += o.delta
+	}
+}

@@ -1,0 +1,35 @@
+package bloom
+
+// Shard-view API for the key-sharded parallel pipeline: the
+// active-service filter is written by whichever worker owns the word a
+// bit falls into, so the filter exposes its bit positions (the hash
+// work, producer-side), its live word array (the applier side) and an
+// insertion-count stitch (rotation side). Bits are a monotone OR, so
+// word-sharded setting is trivially exact.
+
+// BitPositions writes the bit indices Add would set for key into out
+// and returns how many (len(f.hashes), at most 16). out must have
+// capacity for them; a [16]uint32 array suffices for any filter. It
+// performs exactly Add's hash work without mutating the filter, so
+// concurrent callers are safe.
+//
+//hifind:hot
+func (f *Filter) BitPositions(key uint64, out []uint32) int {
+	for i, h := range f.hashes {
+		out[i] = uint32(h.Hash(key) & f.mask)
+	}
+	return len(f.hashes)
+}
+
+// Words returns the filter's live bit array, shared with the filter.
+// Writes through it are writes into the filter (bit b lives at
+// Words()[b>>6] & 1<<(b&63)). Valid across Reset; as with the sketch
+// packages, rebuild held views after UnmarshalBinary.
+func (f *Filter) Words() []uint64 { return f.bits }
+
+// AddInsertions folds an externally tallied Add count into the
+// filter's insertion counter — the epoch-rotation stitch for appliers
+// that set bits through Words and count Adds elsewhere. The counter
+// feeds saturation estimates and the marshaled n, so stitched filters
+// serialize identically to sequentially built ones.
+func (f *Filter) AddInsertions(n int) { f.n += n }

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/hifind/hifind/internal/netmodel"
+)
+
+// collectSink gathers every emitted op, for single-threaded replay.
+type collectSink struct {
+	ops []Op
+	inv []InvOp
+}
+
+func (s *collectSink) EmitOps(ops []Op, inv []InvOp) {
+	s.ops = append(s.ops, ops...)
+	s.inv = append(s.inv, inv...)
+}
+
+func shardTestConfigs(t *testing.T) map[string]RecorderConfig {
+	t.Helper()
+	base := TestRecorderConfig(0x5eed)
+	inv := base
+	inv.Inference = InferenceInvertible
+	cached := base
+	cached.FlowCache = 256
+	cachedInv := inv
+	cachedInv.FlowCache = 256
+	return map[string]RecorderConfig{
+		"reverse":           base,
+		"invertible":        inv,
+		"reverse-cached":    cached,
+		"invertible-cached": cachedInv,
+	}
+}
+
+func shardTestPacket(rng *rand.Rand) netmodel.Packet {
+	pkt := netmodel.Packet{
+		SrcIP:   netmodel.IPv4(rng.Uint32()%512 + 1),
+		DstIP:   netmodel.IPv4(rng.Uint32()%512 + 1),
+		SrcPort: uint16(rng.Uint32() % 128),
+		DstPort: uint16(rng.Uint32() % 128),
+	}
+	switch rng.Intn(4) {
+	case 0:
+		pkt.Dir, pkt.Flags = netmodel.Inbound, netmodel.FlagSYN
+	case 1:
+		pkt.Dir, pkt.Flags = netmodel.Outbound, netmodel.FlagSYN|netmodel.FlagACK
+	case 2:
+		pkt.Dir, pkt.Flags = netmodel.Inbound, netmodel.FlagACK
+	default:
+		pkt.Dir, pkt.Flags = netmodel.Outbound, netmodel.FlagRST
+	}
+	return pkt
+}
+
+func shardTestFlow(rng *rand.Rand) netmodel.FlowRecord {
+	rec := netmodel.FlowRecord{
+		SrcIP:   netmodel.IPv4(rng.Uint32()%512 + 1),
+		DstIP:   netmodel.IPv4(rng.Uint32()%512 + 1),
+		SrcPort: uint16(rng.Uint32() % 128),
+		DstPort: uint16(rng.Uint32() % 128),
+	}
+	if rng.Intn(2) == 0 {
+		rec.Dir = netmodel.Inbound
+		rec.SYNs = rng.Intn(50)
+	} else {
+		rec.Dir = netmodel.Outbound
+		rec.SYNACKs = rng.Intn(50)
+	}
+	return rec
+}
+
+// TestPlannerMatchesSequential is the core identity: planner-emitted
+// ops applied through a single shard view, plus the tally stitch,
+// produce a recorder byte-identical to sequential ingestion of the
+// same traffic — across inference engines and cache modes, for both
+// packet and flow input.
+func TestPlannerMatchesSequential(t *testing.T) {
+	for name, cfg := range shardTestConfigs(t) {
+		t.Run(name, func(t *testing.T) {
+			seq, err := NewRecorder(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sharded, err := NewRecorder(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := NewRecorder(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sink := &collectSink{}
+			pl, err := NewPlanner(ref, sink)
+			if err != nil {
+				t.Fatal(err)
+			}
+			view := NewShardView(sharded)
+
+			rng := rand.New(rand.NewSource(7))
+			for i := 0; i < 4000; i++ {
+				if rng.Intn(3) == 0 {
+					fr := shardTestFlow(rng)
+					seq.ObserveFlow(fr)
+					pl.ObserveFlow(fr)
+				} else {
+					pkt := shardTestPacket(rng)
+					seq.Observe(pkt)
+					pl.Observe(pkt)
+				}
+			}
+			seq.FlushCache()
+			pl.FlushCache()
+			tally := pl.TakeTally()
+
+			view.Apply(sink.ops)
+			view.ApplyInv(sink.inv)
+			sharded.ApplyTally(&tally)
+
+			if got, want := sharded.Packets(), seq.Packets(); got != want {
+				t.Fatalf("packets: sharded %d, sequential %d", got, want)
+			}
+			if got, want := sharded.MemoryAccesses(), seq.MemoryAccesses(); got != want {
+				t.Fatalf("memory accesses: sharded %d, sequential %d", got, want)
+			}
+			if got, want := sharded.CacheStats(), seq.CacheStats(); got != want {
+				t.Fatalf("cache stats: sharded %+v, sequential %+v", got, want)
+			}
+			gotB, err := sharded.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantB, err := seq.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(gotB, wantB) {
+				t.Fatalf("marshaled state differs: sharded %d bytes, sequential %d bytes", len(gotB), len(wantB))
+			}
+		})
+	}
+}
+
+// TestShardOwnerPartition checks the routing arithmetic directly:
+// for every segment, ownership covers each routable unit with exactly
+// one owner, ranges are contiguous and monotone, and Owner stays in
+// [0, n) for worker counts that do not divide the unit count.
+func TestShardOwnerPartition(t *testing.T) {
+	cfg := TestRecorderConfig(0x5eed)
+	cfg.Inference = InferenceInvertible
+	r, err := NewRecorder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewShardGeometry(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seg := 0; seg < numSegs; seg++ {
+		sg := g.segs[seg]
+		if sg.routeMask == 0 {
+			t.Fatalf("segment %d has no geometry", seg)
+		}
+		units := int(sg.routeMask>>sg.scale) + 1
+		for _, n := range []int{1, 2, 3, 4, 7, 8, 16} {
+			prev := 0
+			for u := 0; u < units; u++ {
+				loc := uint32(seg)<<segShift | uint32(u)<<sg.scale
+				owner := g.Owner(loc, uint64(n))
+				if owner < 0 || owner >= n {
+					t.Fatalf("seg %d unit %d n %d: owner %d out of range", seg, u, n, owner)
+				}
+				if owner < prev {
+					t.Fatalf("seg %d unit %d n %d: owner %d < previous %d (not monotone)", seg, u, n, owner, prev)
+				}
+				prev = owner
+			}
+			if n <= units && prev != n-1 {
+				t.Fatalf("seg %d n %d: last owner %d, want %d (not exhaustive)", seg, n, prev, n-1)
+			}
+		}
+	}
+	// Bits within one service-filter word must share an owner: the
+	// word is the write unit, splitting it across workers would race.
+	sg := g.segs[segServices]
+	for w := uint32(0); w <= sg.routeMask>>6; w += 7 {
+		base := uint32(segServices)<<segShift | w<<6
+		o0 := g.Owner(base, 5)
+		for b := uint32(1); b < 64; b++ {
+			if o := g.Owner(base|b, 5); o != o0 {
+				t.Fatalf("service word %d split across owners %d and %d", w, o0, o)
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
 	"github.com/hifind/hifind/internal/core"
@@ -13,7 +14,12 @@ import (
 // PipelinePoint is one worker-count measurement of the sharded
 // ingestion engine.
 type PipelinePoint struct {
-	Workers    int     `json:"workers"`
+	Workers int `json:"workers"`
+	// Producers is how many concurrent ingestion goroutines fed the
+	// engine at this point (one per worker: producer-side hashing is
+	// the dominant per-packet cost in the key-sharded design, so a
+	// single producer would serialize the very work sharding spreads).
+	Producers  int     `json:"producers"`
 	PktsPerSec float64 `json:"pkts_per_sec"`
 	// Speedup is relative to the sequential single-recorder baseline
 	// measured in the same run.
@@ -26,10 +32,14 @@ type PipelinePoint struct {
 // interpret the scaling: on a single-core machine the engine can only
 // show its overhead, never a speedup.
 type PipelineBench struct {
-	Events        int             `json:"events"`
-	BatchSize     int             `json:"batch_size"`
-	Cores         int             `json:"cores"`
-	GoMaxProcs    int             `json:"gomaxprocs"`
+	Events     int `json:"events"`
+	BatchSize  int `json:"batch_size"`
+	Cores      int `json:"cores"`
+	GoMaxProcs int `json:"gomaxprocs"`
+	// MemoryBytes is the engine's epoch-recorder footprint — constant
+	// (one active + one spare recorder) at every worker count in the
+	// key-sharded design, recorded so the N-independence is auditable.
+	MemoryBytes   int             `json:"memory_bytes"`
 	SequentialPPS float64         `json:"sequential_pkts_per_sec"`
 	Points        []PipelinePoint `json:"pipeline"`
 }
@@ -98,13 +108,26 @@ func PipelineThroughput(events int, workerCounts []int) (PipelineBench, error) {
 		if err != nil {
 			return PipelineBench{}, err
 		}
-		prod := eng.NewProducer()
+		bench.MemoryBytes = eng.MemoryBytes()
+		// One producer per worker: hashing happens producer-side, so the
+		// ingest fan-in has to widen with the apply fan-out for either
+		// to scale. Producers stripe the trace round-robin.
+		producers := workers
 		start := time.Now()
-		for i := range pkts {
-			prod.Ingest(pipeline.Event{Pkt: pkts[i]})
+		var wg sync.WaitGroup
+		for g := 0; g < producers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				prod := eng.NewProducer()
+				for i := g; i < len(pkts); i += producers {
+					prod.Ingest(pipeline.Event{Pkt: pkts[i]})
+				}
+				prod.Flush()
+			}(g)
 		}
-		prod.Flush()
-		merged, err := eng.Rotate() // barrier: every event recorded and merged
+		wg.Wait()
+		merged, err := eng.Rotate() // barrier: every event recorded and stitched
 		if err != nil {
 			return PipelineBench{}, err
 		}
@@ -121,6 +144,7 @@ func PipelineThroughput(events int, workerCounts []int) (PipelineBench, error) {
 		pps := float64(events) / elapsed.Seconds()
 		bench.Points = append(bench.Points, PipelinePoint{
 			Workers:    workers,
+			Producers:  producers,
 			PktsPerSec: pps,
 			Speedup:    pps / bench.SequentialPPS,
 		})
@@ -130,12 +154,12 @@ func PipelineThroughput(events int, workerCounts []int) (PipelineBench, error) {
 
 // FormatPipeline renders the throughput comparison.
 func FormatPipeline(b PipelineBench) string {
-	s := fmt.Sprintf("recording throughput over %d events (batch %d, %d cores, GOMAXPROCS %d):\n",
-		b.Events, b.BatchSize, b.Cores, b.GoMaxProcs)
+	s := fmt.Sprintf("recording throughput over %d events (batch %d, %d cores, GOMAXPROCS %d, %d MiB epoch state):\n",
+		b.Events, b.BatchSize, b.Cores, b.GoMaxProcs, b.MemoryBytes>>20)
 	s += fmt.Sprintf("  sequential recorder:     %8.2fM pkts/sec  (baseline)\n", b.SequentialPPS/1e6)
 	for _, p := range b.Points {
-		s += fmt.Sprintf("  pipeline, %d worker(s):   %8.2fM pkts/sec  (%.2fx)\n",
-			p.Workers, p.PktsPerSec/1e6, p.Speedup)
+		s += fmt.Sprintf("  pipeline, %dx%d prod/wrk: %8.2fM pkts/sec  (%.2fx)\n",
+			p.Producers, p.Workers, p.PktsPerSec/1e6, p.Speedup)
 	}
 	return s
 }

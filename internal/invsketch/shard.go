@@ -1,0 +1,34 @@
+package invsketch
+
+// Shard-view API for the key-sharded parallel pipeline. Invertible
+// buckets are not independent cells — one update writes a contiguous
+// Fields-sized burst carrying folded key material — so the pipeline
+// routes whole buckets: an op names (stage, bucket) and carries the
+// key, fingerprint and weight, and the owning worker replays the same
+// burst Update would have written. ApplyAt is that replay, minus the
+// total bookkeeping (stitched separately via AddTotal at rotation).
+
+// ApplyAt folds one weighted update into a specific stage's bucket —
+// exactly Update's per-stage write burst with the hashing already done
+// elsewhere. It does NOT touch the sketch total; pair it with AddTotal
+// when stitching an epoch. fp must be the key's Fingerprint (the
+// sharded planner caches it via FillPlan).
+//
+//hifind:hot
+func (s *Sketch) ApplyAt(stage int, bucket uint32, key uint64, fp, v int32) {
+	s.apply(stage, bucket, key, fp, v)
+}
+
+// AddTotal folds an externally tallied sum of update values into the
+// sketch's total — the epoch-rotation stitch for ApplyAt appliers.
+func (s *Sketch) AddTotal(d int64) { s.total += d }
+
+// Indices returns the plan's cached per-stage bucket indices, shared
+// with the plan. Read-only for callers; FillPlan overwrites it.
+func (p *Plan) Indices() []uint32 { return p.idx }
+
+// Key returns the planned key, for appliers that replay the bit fold.
+func (p *Plan) Key() uint64 { return p.key }
+
+// Fp returns the planned key's cached fingerprint.
+func (p *Plan) Fp() int32 { return p.fp }

@@ -1,0 +1,244 @@
+package pipeline
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/hifind/hifind/internal/core"
+	"github.com/hifind/hifind/internal/netmodel"
+)
+
+// captureSink records every emitted op for offline partition replay.
+type captureSink struct {
+	ops []core.Op
+	inv []core.InvOp
+}
+
+func (s *captureSink) EmitOps(ops []core.Op, inv []core.InvOp) {
+	s.ops = append(s.ops, ops...)
+	s.inv = append(s.inv, inv...)
+}
+
+// TestShardPartitionStitchMatchesCombine is the sharding property test:
+// for a random worker count k, partitioning one traffic mix's op stream
+// by shard owner, applying each partition to a SEPARATE recorder, and
+// stitching with the tally on one of them must COMBINE (Merge) into
+// state byte-identical to a recorder that observed the traffic
+// sequentially. This is exactly the disjointness + linearity argument
+// the shared-recorder engine rests on, stated in its strongest form:
+// if two owners' partitions overlapped on any cell, or routing dropped
+// or duplicated an op, the merged bytes would differ.
+func TestShardPartitionStitchMatchesCombine(t *testing.T) {
+	for name, mode := range map[string]core.InferenceEngine{
+		"reverse":    core.InferenceReverse,
+		"invertible": core.InferenceInvertible,
+	} {
+		t.Run(name, func(t *testing.T) {
+			cfg := core.TestRecorderConfig(0x90125)
+			cfg.Inference = mode
+			ref, err := core.NewRecorder(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			geom, err := core.NewShardGeometry(ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(0xfeed))
+			for trial := 0; trial < 4; trial++ {
+				k := 1 + rng.Intn(8)
+				seq, err := core.NewRecorder(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sink := &captureSink{}
+				pl, err := core.NewPlanner(ref, sink)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < 3000; i++ {
+					ev := randomEvent(rng)
+					if ev.IsFlow {
+						seq.ObserveFlow(ev.Flow)
+						pl.ObserveFlow(ev.Flow)
+					} else {
+						seq.Observe(ev.Pkt)
+						pl.Observe(ev.Pkt)
+					}
+				}
+				tally := pl.TakeTally()
+
+				shards := make([]*core.Recorder, k)
+				views := make([]*core.ShardView, k)
+				for i := range shards {
+					if shards[i], err = core.NewRecorder(cfg); err != nil {
+						t.Fatal(err)
+					}
+					views[i] = core.NewShardView(shards[i])
+				}
+				for _, op := range sink.ops {
+					o := geom.Owner(op.Loc, uint64(k))
+					views[o].Apply([]core.Op{op})
+				}
+				for _, op := range sink.inv {
+					o := geom.Owner(op.Loc, uint64(k))
+					views[o].ApplyInv([]core.InvOp{op})
+				}
+				shards[rng.Intn(k)].ApplyTally(&tally)
+
+				merged := shards[0]
+				if err := merged.Merge(shards[1:]...); err != nil {
+					t.Fatal(err)
+				}
+				gotB, err := merged.MarshalBinary()
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantB, err := seq.MarshalBinary()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(gotB, wantB) {
+					t.Fatalf("trial %d (k=%d): partitioned+merged state differs from sequential", trial, k)
+				}
+			}
+		})
+	}
+}
+
+// randomEvent mixes packets of every class with flow records.
+func randomEvent(rng *rand.Rand) Event {
+	if rng.Intn(3) == 0 {
+		fr := netmodel.FlowRecord{
+			SrcIP:   netmodel.IPv4(rng.Uint32()%1024 + 1),
+			DstIP:   netmodel.IPv4(rng.Uint32()%1024 + 1),
+			SrcPort: uint16(rng.Uint32() % 256),
+			DstPort: uint16(rng.Uint32() % 256),
+		}
+		if rng.Intn(2) == 0 {
+			fr.Dir = netmodel.Inbound
+			fr.SYNs = rng.Intn(40)
+		} else {
+			fr.Dir = netmodel.Outbound
+			fr.SYNACKs = rng.Intn(40)
+		}
+		return Event{Flow: fr, IsFlow: true}
+	}
+	pkt := netmodel.Packet{
+		SrcIP:   netmodel.IPv4(rng.Uint32()%1024 + 1),
+		DstIP:   netmodel.IPv4(rng.Uint32()%1024 + 1),
+		SrcPort: uint16(rng.Uint32() % 256),
+		DstPort: uint16(rng.Uint32() % 256),
+	}
+	switch rng.Intn(4) {
+	case 0:
+		pkt.Dir, pkt.Flags = netmodel.Inbound, netmodel.FlagSYN
+	case 1:
+		pkt.Dir, pkt.Flags = netmodel.Outbound, netmodel.FlagSYN|netmodel.FlagACK
+	case 2:
+		pkt.Dir, pkt.Flags = netmodel.Inbound, netmodel.FlagACK
+	default:
+		pkt.Dir, pkt.Flags = netmodel.Outbound, netmodel.FlagRST
+	}
+	return Event{Pkt: pkt}
+}
+
+// rangeSink checks the routing invariant op by op as the planner emits:
+// every op must land inside its owner's contiguous column range — never
+// outside it, never in another worker's.
+type rangeSink struct {
+	t    *testing.T
+	geom core.ShardGeometry
+	n    uint64
+}
+
+func (s *rangeSink) EmitOps(ops []core.Op, inv []core.InvOp) {
+	for _, op := range ops {
+		s.check(op.Loc)
+	}
+	for _, op := range inv {
+		s.check(op.Loc)
+	}
+}
+
+func (s *rangeSink) check(loc uint32) {
+	owner := s.geom.Owner(loc, s.n)
+	if owner < 0 || int(s.n) <= owner {
+		s.t.Fatalf("loc %#x: owner %d outside [0,%d)", loc, owner, s.n)
+	}
+	// The same column in ANY stage of the segment must route to the
+	// same owner (stage bits are excluded from routing by design), and
+	// neighboring owners' ranges must not overlap this loc's column.
+	lo, hi := ownerRange(s.geom, loc, s.n, owner)
+	if !lo || !hi {
+		s.t.Fatalf("loc %#x: owner %d range is not closed under the split", loc, owner)
+	}
+}
+
+// ownerRange verifies loc's routing unit sits inside owner's span by
+// probing the split's boundary monotonicity around it.
+func ownerRange(g core.ShardGeometry, loc uint32, n uint64, owner int) (bool, bool) {
+	// Monotone split: owners never decrease as the unit index grows.
+	// Probe the immediate neighbors within the segment when they exist.
+	prevOK, nextOK := true, true
+	if prev, ok := g.ShiftLocUnit(loc, -1); ok {
+		if o := g.Owner(prev, n); o > owner {
+			prevOK = false
+		}
+	}
+	if next, ok := g.ShiftLocUnit(loc, +1); ok {
+		if o := g.Owner(next, n); o < owner {
+			nextOK = false
+		}
+	}
+	return prevOK, nextOK
+}
+
+// FuzzShardRoute feeds arbitrary packet/flow shapes through a planner
+// and asserts the routing invariant for every emitted op under a
+// fuzzer-chosen worker count: owners stay in range and the ownership
+// split stays monotone (hence contiguous and disjoint). Wired into
+// `make fuzz-short` alongside the other boundary fuzzers.
+func FuzzShardRoute(f *testing.F) {
+	f.Add(uint64(0x1234), uint32(0x05060708), uint16(80), uint8(4), true, false)
+	f.Add(uint64(0xffffffffffffffff), uint32(1), uint16(0), uint8(1), false, true)
+	f.Add(uint64(7), uint32(0xffffffff), uint16(65535), uint8(255), true, true)
+	cfg := core.TestRecorderConfig(0xabcde)
+	cfg.Inference = core.InferenceInvertible
+	ref, err := core.NewRecorder(cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	geom, err := core.NewShardGeometry(ref)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, key uint64, ips uint32, port uint16, workers uint8, syn, isFlow bool) {
+		n := uint64(workers%64) + 1
+		sink := &rangeSink{t: t, geom: geom, n: n}
+		pl, err := core.NewPlanner(ref, sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := netmodel.IPv4(uint32(key>>32) ^ ips)
+		dst := netmodel.IPv4(uint32(key) ^ ips>>3)
+		if isFlow {
+			fr := netmodel.FlowRecord{SrcIP: src, DstIP: dst, SrcPort: port, DstPort: ^port}
+			if syn {
+				fr.Dir, fr.SYNs = netmodel.Inbound, int(port%97)+1
+			} else {
+				fr.Dir, fr.SYNACKs = netmodel.Outbound, int(port%89)+1
+			}
+			pl.ObserveFlow(fr)
+		} else {
+			pkt := netmodel.Packet{SrcIP: src, DstIP: dst, SrcPort: ^port, DstPort: port}
+			if syn {
+				pkt.Dir, pkt.Flags = netmodel.Inbound, netmodel.FlagSYN
+			} else {
+				pkt.Dir, pkt.Flags = netmodel.Outbound, netmodel.FlagSYN|netmodel.FlagACK
+			}
+			pl.Observe(pkt)
+		}
+	})
+}

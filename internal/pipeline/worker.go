@@ -5,70 +5,62 @@ import (
 	"github.com/hifind/hifind/internal/telemetry"
 )
 
-// worker is one shard: a goroutine consuming batches from its queue
-// into a private recorder. The recorder is accessed only by the worker
-// goroutine between rotations, and only by the rotating/closing
-// goroutine afterwards — ownership transfers through the channel
-// handshake, so no lock guards it.
+// worker is one shard owner: a goroutine applying routed op batches
+// into its disjoint slice of the shared epoch recorder. Ownership
+// guarantees no two workers write the same cell (core.ShardGeometry's
+// routing invariant, fuzzed by FuzzShardRoute), so the shared recorder
+// needs no lock; the only synchronization is the queue handoff and the
+// rotation barrier.
 type worker struct {
 	eng *Engine
 	ch  chan msg
-	rec *core.Recorder
-	// hwm tracks this shard's deepest observed queue backlog; nil (a
+	// view is the shard-application surface of the recorder this worker
+	// currently writes; rotation tokens switch it. Only the worker
+	// goroutine touches it after construction.
+	view *core.ShardView
+	// tally folds the scalar accounting of every batch applied in the
+	// current epoch; rotation hands it back and zeroes it.
+	tally core.Tally
+	// final receives the leftover tally at exit, read by Close after
+	// the WaitGroup establishes the happens-before.
+	final core.Tally
+	// hwm tracks this worker's deepest observed queue backlog; nil (a
 	// no-op) when the engine is uninstrumented.
 	hwm *telemetry.Gauge
 }
 
-// run is the shard loop. It exits when the engine's done channel closes
-// and keeps no batch: Close's final drain consumes whatever the loop
-// left behind.
+// run is the worker loop. The queue is closed by Engine.Close after the
+// last ship can commit, so ranging to completion drains every batch and
+// every rotation token — nothing is stranded, and a Rotate racing Close
+// still gets its barrier replies.
 func (w *worker) run() {
 	defer w.eng.wg.Done()
-	for {
-		select {
-		case m := <-w.ch:
-			w.consume(m)
-		case <-w.eng.done:
-			// Drain what is already queued before exiting, so the common
-			// case leaves nothing for Close's fallback sweep.
-			for {
-				select {
-				case m := <-w.ch:
-					w.consume(m)
-				default:
-					return
-				}
-			}
+	for m := range w.ch {
+		if m.b != nil {
+			w.apply(m.b)
+			continue
 		}
+		// Epoch barrier: everything enqueued before this token is
+		// already applied. Switch to the fresh recorder's view and hand
+		// back the closing epoch's scalar tally.
+		t := w.tally
+		w.tally = core.Tally{}
+		w.view = m.rot.view
+		m.rot.out <- t
 	}
+	w.final = w.tally
 }
 
-// consume processes one queue element.
-func (w *worker) consume(m msg) {
-	if m.b != nil {
-		w.Ingest(m.b)
-		return
+// apply folds one batch into the worker's shard of the shared recorder
+// and recycles the buffer — the per-batch hot path (its inner loops are
+// the per-op ones), kept allocation-free.
+//
+//hifind:hot
+func (w *worker) apply(b *opBatch) {
+	w.view.Apply(b.ops[:b.n])
+	if b.ni > 0 {
+		w.view.ApplyInv(b.inv[:b.ni])
 	}
-	// Epoch barrier: everything enqueued before this token is already
-	// recorded. Swap recorders and reply with the closing epoch's.
-	old := w.rec
-	w.rec = m.rot.fresh
-	m.rot.out <- old
-}
-
-// Ingest records every event of a batch into the shard recorder and
-// returns the buffer to the free list — the per-batch hot path (its
-// inner loop is the per-packet one), kept allocation-free: core
-// recording is alloc-free by the sketch invariants, and the buffer is
-// recycled, not dropped.
-func (w *worker) Ingest(b *batch) {
-	ev := b.ev[:b.n]
-	for i := range ev {
-		if ev[i].IsFlow {
-			w.rec.ObserveFlow(ev[i].Flow)
-		} else {
-			w.rec.Observe(ev[i].Pkt)
-		}
-	}
+	w.tally.Add(&b.tally)
 	w.eng.putBatch(b)
 }

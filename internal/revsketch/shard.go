@@ -1,0 +1,22 @@
+package revsketch
+
+// Shard-view API for the key-sharded parallel pipeline: direct access
+// to the live counter rows and the scalar-total stitch, mirroring
+// internal/sketch's shard.go. The modular hashing itself is untouched —
+// routing happens on the bucket indices FillPlan already computes, so
+// reverse INFERENCE sees exactly the state a sequential recorder builds.
+//
+// Returned slices alias the sketch's backing: valid across Reset, not
+// across UnmarshalBinary (rebuild views after unmarshaling).
+
+// StageCells returns stage's live counter row (length Buckets), shared
+// with the sketch.
+func (s *Sketch) StageCells(stage int) []int32 { return s.counts[stage] }
+
+// AddTotal folds an externally tallied sum of update values into the
+// sketch's total — the epoch-rotation stitch for cell-level appliers.
+func (s *Sketch) AddTotal(d int64) { s.total += d }
+
+// Indices returns the plan's cached per-stage bucket indices, shared
+// with the plan. Read-only for callers; FillPlan overwrites it.
+func (p *Plan) Indices() []uint32 { return p.idx }

@@ -1,0 +1,31 @@
+package sketch
+
+// Shard-view API: the key-sharded parallel pipeline (internal/pipeline)
+// partitions every sketch's bucket columns across workers and applies
+// pre-routed counter deltas directly, bypassing Update/UpdateAt. These
+// accessors expose exactly what that applier needs — the live per-stage
+// counter rows and a way to stitch the scalar total back in at epoch
+// rotation — without giving up the sketch's ownership of its hashing.
+//
+// The returned slices alias the sketch's backing array: writes through
+// them are writes into the sketch. They stay valid across Reset (which
+// zeroes in place) but NOT across UnmarshalBinary, which replaces the
+// backing; rebuild any held views after unmarshaling.
+
+// StageCells returns stage's live counter row (length Buckets), shared
+// with the sketch. Callers own the consistency of concurrent writes:
+// the sharded pipeline guarantees disjoint index ranges per writer.
+func (s *Sketch) StageCells(stage int) []int32 { return s.counts[stage] }
+
+// AddTotal folds an externally tallied sum of update values into the
+// sketch's total — the epoch-rotation stitch for cell-level appliers,
+// which bypass UpdateAt's own total accounting. The total feeds the
+// mean-corrected ESTIMATE, so a stitched sketch estimates identically
+// to one updated sequentially.
+func (s *Sketch) AddTotal(d int64) { s.total += d }
+
+// Indices returns the plan's cached per-stage bucket indices, shared
+// with the plan. Read-only for callers; FillPlan overwrites it. The
+// sharded pipeline reads these to turn one planned update into routed
+// per-bucket ops.
+func (p *Plan) Indices() []uint32 { return p.idx }

@@ -1,0 +1,21 @@
+package sketch2d
+
+// Shard-view API for the key-sharded parallel pipeline: direct access
+// to the live flattened matrices and the scalar-total stitch, mirroring
+// internal/sketch's shard.go.
+//
+// Returned slices alias the sketch's backing: valid across Reset, not
+// across UnmarshalBinary (rebuild views after unmarshaling).
+
+// StageCells returns stage's live flattened matrix (length
+// XBuckets×YBuckets, bucket (x,y) at x*YBuckets+y), shared with the
+// sketch.
+func (s *Sketch) StageCells(stage int) []int32 { return s.counts[stage] }
+
+// AddTotal folds an externally tallied sum of update values into the
+// sketch's total — the epoch-rotation stitch for cell-level appliers.
+func (s *Sketch) AddTotal(d int64) { s.total += d }
+
+// Offsets returns the plan's cached per-stage flattened matrix offsets,
+// shared with the plan. Read-only for callers; FillPlan overwrites it.
+func (p *Plan) Offsets() []int32 { return p.idx }

@@ -263,10 +263,12 @@ func WithWorkers(n int) Option {
 	}
 }
 
-// WithBatchSize sets how many events a parallel producer accumulates
-// before shipping them to a worker (default 256). Larger batches
-// amortize hand-off cost; smaller ones tighten interval boundaries for
-// un-flushed producers. A sequential Detector ignores it.
+// WithBatchSize sets how many routed counter ops a parallel producer
+// accumulates per worker before shipping the batch (default 256; one
+// packet expands to roughly a dozen ops across the recording
+// structures). Larger batches amortize hand-off cost; smaller ones
+// tighten interval boundaries for un-flushed producers. A sequential
+// Detector ignores it.
 func WithBatchSize(n int) Option {
 	return func(c *config) error {
 		if n < 1 {
@@ -290,10 +292,12 @@ func WithQueueDepth(n int) Option {
 }
 
 // WithShedOnOverload makes parallel producers drop (and count — see
-// Parallel.Shed) batches when a worker queue is full instead of
-// blocking. Use for live capture, where stalling the reader would make
-// the kernel drop the packets anyway; keep the default blocking policy
-// for offline replay, which should be lossless. A sequential Detector
+// Parallel.Shed) whole events at admission when any worker queue is
+// full, instead of blocking. Dropping before planning means a shed
+// event touches no structure at all — sketch state never tears. Use
+// for live capture, where stalling the reader would make the kernel
+// drop the packets anyway; keep the default blocking policy for
+// offline replay, which should be lossless. A sequential Detector
 // ignores it.
 func WithShedOnOverload() Option {
 	return func(c *config) error {

@@ -11,14 +11,16 @@ import (
 	"github.com/hifind/hifind/internal/telemetry"
 )
 
-// Parallel is a HiFIND instance whose recording stage is sharded across
-// worker goroutines (internal/pipeline): packets fan out in batches to N
-// workers, each recording into a private sketch set, and EndInterval
-// merges the per-worker state by sketch summation. Because every
-// recording structure is linear, the merged state — and therefore every
-// alert and every saved checkpoint — is bit-identical to what a
-// sequential Detector produces from the same packets
-// (TestParallelEquivalence proves it), so the parallelism is free of
+// Parallel is a HiFIND instance whose recording stage is key-sharded
+// across worker goroutines (internal/pipeline): producers hash each
+// packet once and route per-bucket counter deltas to the worker owning
+// that slice of every sketch's buckets, all workers writing disjoint
+// shards of one shared epoch recorder. Because counter updates on
+// disjoint cells commute and everything else travels as scalar
+// tallies, the rotated state — and therefore every alert and every
+// saved checkpoint — is bit-identical to what a sequential Detector
+// produces from the same packets (TestParallelEquivalence and
+// TestShardedIdentityMatrix prove it), so the parallelism is free of
 // accuracy cost.
 //
 // Concurrency contract: Observe and ObserveFlow may be called from ONE
@@ -41,9 +43,11 @@ type Parallel struct {
 // NewParallel builds a sharded detector. Worker count defaults to
 // runtime.GOMAXPROCS(0); tune with WithWorkers, WithBatchSize,
 // WithQueueDepth and WithShedOnOverload. All other options mean exactly
-// what they mean for New. Sketch memory is 2×workers recorder sets (a
-// flip-flop pair per shard), so the paper's 13.2 MB becomes ≈26 MB per
-// worker — still fixed, still traffic-independent.
+// what they mean for New. Sketch memory is two recorder sets total (an
+// active/spare flip-flop pair shared by all workers), so the paper's
+// 13.2 MB becomes ≈26 MB regardless of the worker count — fixed,
+// traffic-independent, and independent of N. With WithFlowCache each
+// Producer additionally owns a private cache of the configured size.
 func NewParallel(opts ...Option) (*Parallel, error) {
 	cfg := defaultConfig()
 	for _, o := range opts {
@@ -151,7 +155,8 @@ func (p *Parallel) Dropped() int64 { return p.dropped.Load() }
 func (p *Parallel) Shed() int64 { return p.eng.Shed() }
 
 // MemoryBytes returns the total fixed sketch memory: the detection-side
-// recorder plus both per-shard recorder sets.
+// recorder plus the engine's active/spare epoch recorder pair —
+// independent of the worker count.
 func (p *Parallel) MemoryBytes() int {
 	return p.det.Recorder().MemoryBytes() + p.eng.MemoryBytes()
 }
