@@ -12,9 +12,11 @@ build:
 test:
 	$(GO) test ./...
 
+# The facade package replays every golden trace through many engine
+# configurations; instrumented it needs more than the default 10m.
 .PHONY: race
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 20m ./...
 
 .PHONY: vet
 vet:
@@ -52,6 +54,8 @@ fuzz-short:
 	$(GO) test -fuzz FuzzFrameDecode -fuzztime $(FUZZTIME) ./internal/aggregate
 	$(GO) test -fuzz FuzzObserve -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -fuzz FuzzShardRoute -fuzztime $(FUZZTIME) ./internal/pipeline
+	$(GO) test -fuzz FuzzBurstDetect -fuzztime $(FUZZTIME) ./internal/burst
+	$(GO) test -fuzz FuzzPersistence -fuzztime $(FUZZTIME) ./internal/persist
 
 # Deterministic fault-injection matrix over the multi-router aggregation
 # path: each seed derives a full schedule of connection resets, corrupted

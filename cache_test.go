@@ -25,8 +25,9 @@ import (
 )
 
 func TestFlowCacheDifferentialGoldenTraces(t *testing.T) {
-	for name, cfg := range goldenScenarios() {
+	for name, sc := range goldenScenarios() {
 		t.Run(name, func(t *testing.T) {
+			cfg := sc.cfg
 			g, err := trace.New(cfg)
 			if err != nil {
 				t.Fatal(err)
@@ -44,22 +45,22 @@ func TestFlowCacheDifferentialGoldenTraces(t *testing.T) {
 				replay func(t *testing.T) string
 			}{
 				{"uncached-sequential", func(t *testing.T) string {
-					return replayGolden(t, capture, edge, newCompact(t))
+					return replayGolden(t, capture, edge, newCompact(t, sc.options()...))
 				}},
 				{"cached-sequential", func(t *testing.T) string {
 					return replayGolden(t, capture, edge,
-						newCompact(t, hifind.WithFlowCache(4096)))
+						newCompact(t, sc.options(hifind.WithFlowCache(4096))...))
 				}},
 				// A 64-entry cache in front of hundreds of concurrent flows
 				// thrashes: almost every install evicts. The alert output
 				// must not care.
 				{"cached-tiny", func(t *testing.T) string {
 					return replayGolden(t, capture, edge,
-						newCompact(t, hifind.WithFlowCache(64)))
+						newCompact(t, sc.options(hifind.WithFlowCache(64))...))
 				}},
 				{"cached-workers-3", func(t *testing.T) string {
-					p := newParallelCompact(t, hifind.WithWorkers(3), hifind.WithBatchSize(64),
-						hifind.WithFlowCache(4096))
+					p := newParallelCompact(t, sc.options(hifind.WithWorkers(3),
+						hifind.WithBatchSize(64), hifind.WithFlowCache(4096))...)
 					defer p.Close()
 					return replayGolden(t, capture, edge, p)
 				}},

@@ -152,6 +152,47 @@ fi
 echo "smoke: flow cache wired (nonzero hit counter, clean exit)"
 
 # ---------------------------------------------------------------------
+# Burst detection: replay the burst-pulse scenario trace with the
+# sub-interval burst detector on and require at least one burst-flood
+# alert in the NDJSON output — the pulses stay under the interval
+# threshold, so any alert here proves the whole new-detector path
+# (tracegen preset -> -burst-slots -> alert rendering) is wired.
+echo "smoke: burst-pulse scenario with -burst-slots 8"
+"$workdir/tracegen" -preset burst -intervals 6 -out "$workdir/burst.pcap" >/dev/null
+
+"$workdir/hifind" -pcap "$workdir/burst.pcap" -edge 129.105.0.0/16 \
+    -burst-slots 8 -json -http 127.0.0.1:0 -linger \
+    >"$workdir/stdout-burst.log" 2>"$workdir/stderr-burst.log" &
+pid=$!
+
+for _ in $(seq 1 100); do
+    grep -q "intervals analyzed" "$workdir/stdout-burst.log" && break
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "smoke: burst replay exited before finishing" >&2
+        cat "$workdir/stderr-burst.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+grep -q '"type":"burst-flood"' "$workdir/stdout-burst.log" || {
+    echo "smoke: burst replay produced no burst-flood alert" >&2
+    head -20 "$workdir/stdout-burst.log" >&2
+    exit 1
+}
+
+kill -INT "$pid"
+rc=0
+wait "$pid" || rc=$?
+pid=""
+if [ "$rc" -ne 0 ]; then
+    echo "smoke: burst replay exited $rc after SIGINT, want 0" >&2
+    cat "$workdir/stderr-burst.log" >&2
+    exit 1
+fi
+echo "smoke: burst-flood alert observed, clean exit"
+
+# ---------------------------------------------------------------------
 # Multi-router aggregation under a router crash: run a 3-router split of
 # the same trace through -report processes into a -collect process, kill
 # one router mid-run (SIGKILL — a crash, not a shutdown), restart it a

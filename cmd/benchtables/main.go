@@ -27,7 +27,7 @@ func main() {
 func run() error {
 	var (
 		table = flag.String("table", "all",
-			"which artifact to regenerate: 1, 4, 5, 6, 7, 9, f4, mr, val, ma, perf, pipeline, telemetry, hotpath, cache, inference, mit, ttd, ablation or all")
+			"which artifact to regenerate: 1, 4, 5, 6, 7, 9, f4, mr, val, ma, perf, pipeline, telemetry, hotpath, cache, inference, mit, ttd, ablation, scenarios or all")
 		full     = flag.Bool("full", false, "run at the larger scale")
 		benchout = flag.String("benchout", "",
 			"write the pipeline/telemetry benchmark results as JSON to this file (default BENCH_telemetry.json for -table telemetry)")
@@ -315,6 +315,14 @@ func run() error {
 		fmt.Printf("attack SYNs %d, dropped %d (%.0f%%); benign SYNs %d, dropped %d (%.2f%%); rules %d\n",
 			res.AttackSYNs, res.AttackDropped, 100*res.AttackDropRate(),
 			res.BenignSYNs, res.BenignDropped, 100*res.BenignDropRate(), res.RulesInstalled)
+	}
+	if want("scenarios") {
+		section("Evasion scenarios — per-detector precision/recall vs EWMA-only (DESIGN.md §17)")
+		rows, err := experiments.ScenarioPR(scale.Intervals)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatScenarioPR(rows))
 	}
 	if want("ablation") {
 		section("Ablations (DESIGN.md §7)")

@@ -75,7 +75,10 @@ func run() error {
 		jsonOut   = flag.Bool("json", false, "emit alerts and interval summaries as NDJSON on stdout")
 		linger    = flag.Bool("linger", false, "after an offline replay, keep the -http endpoints up until interrupted")
 		flowQueue = flag.Int("flow-queue", 1024, "live mode: capacity of the collector→detector flow queue (flows are dropped, not blocked on, when it is full)")
-		flowCache = flag.Int("flowcache", 0, "entries of the exact flow-aggregation cache in front of the sketches (0 = disabled); state and alerts stay byte-identical, skewed traffic records faster")
+		flowCache  = flag.Int("flowcache", 0, "entries of the exact flow-aggregation cache in front of the sketches (0 = disabled); state and alerts stay byte-identical, skewed traffic records faster")
+		burstSlots = flag.Int("burst-slots", 0, "cut each interval into N sub-interval windows and alert on single-window SYN pulses that stay under the interval threshold (0 = off)")
+		persist    = flag.Bool("persist", false, "detect persistent-and-sparse flows: sources probing below the per-interval threshold interval after interval")
+		reflection = flag.Bool("reflection", false, "detect reflection floods: unsolicited inbound SYN/ACK backscatter with no matching outbound SYNs")
 	)
 	af := registerAggregateFlags()
 	flag.Parse()
@@ -134,6 +137,15 @@ func run() error {
 	}
 	if *flowCache > 0 {
 		opts = append(opts, hifind.WithFlowCache(*flowCache))
+	}
+	if *burstSlots > 0 {
+		opts = append(opts, hifind.WithBurstDetection(*burstSlots))
+	}
+	if *persist {
+		opts = append(opts, hifind.WithPersistentFlowDetection())
+	}
+	if *reflection {
+		opts = append(opts, hifind.WithReflectionDetection())
 	}
 	reg := telemetry.NewRegistry()
 	health := telemetry.NewHealth()

@@ -32,7 +32,7 @@ func main() {
 
 func run() error {
 	var (
-		preset    = flag.String("preset", "nu", "trace preset: nu or lbl")
+		preset    = flag.String("preset", "nu", "trace preset: nu, lbl, burst, stealth or reflection")
 		out       = flag.String("out", "trace.pcap", "output pcap path")
 		seed      = flag.Int64("seed", 101, "generator seed")
 		intervals = flag.Int("intervals", 30, "trace length in one-minute intervals")
@@ -49,8 +49,14 @@ func run() error {
 		cfg = trace.NUConfig(*seed, *intervals, *scale)
 	case "lbl":
 		cfg = trace.LBLConfig(*seed, *intervals, *scale)
+	case "burst":
+		cfg = trace.BurstPulseConfig(*seed, *intervals)
+	case "stealth":
+		cfg = trace.StealthScanConfig(*seed, *intervals)
+	case "reflection":
+		cfg = trace.ReflectionConfig(*seed, *intervals)
 	default:
-		return fmt.Errorf("unknown preset %q (want nu or lbl)", *preset)
+		return fmt.Errorf("unknown preset %q (want nu, lbl, burst, stealth or reflection)", *preset)
 	}
 	cfg.ZipfSkew = *zipf
 	gen, err := trace.New(cfg)

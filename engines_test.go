@@ -19,8 +19,9 @@ import (
 )
 
 func TestEngineDifferentialGoldenTraces(t *testing.T) {
-	for name, cfg := range goldenScenarios() {
+	for name, sc := range goldenScenarios() {
 		t.Run(name, func(t *testing.T) {
+			cfg := sc.cfg
 			g, err := trace.New(cfg)
 			if err != nil {
 				t.Fatal(err)
@@ -38,19 +39,21 @@ func TestEngineDifferentialGoldenTraces(t *testing.T) {
 				replay func(t *testing.T) string
 			}{
 				{"fused-sequential", func(t *testing.T) string {
-					return replayGolden(t, capture, edge, newCompact(t))
+					return replayGolden(t, capture, edge, newCompact(t, sc.options()...))
 				}},
 				{"legacy-sequential", func(t *testing.T) string {
-					return replayGolden(t, capture, edge, newCompact(t, hifind.WithLegacyEngine()))
+					return replayGolden(t, capture, edge,
+						newCompact(t, sc.options(hifind.WithLegacyEngine())...))
 				}},
 				{"fused-workers-3", func(t *testing.T) string {
-					p := newParallelCompact(t, hifind.WithWorkers(3), hifind.WithBatchSize(64))
+					p := newParallelCompact(t, sc.options(
+						hifind.WithWorkers(3), hifind.WithBatchSize(64))...)
 					defer p.Close()
 					return replayGolden(t, capture, edge, p)
 				}},
 				{"legacy-workers-3", func(t *testing.T) string {
-					p := newParallelCompact(t, hifind.WithWorkers(3), hifind.WithBatchSize(64),
-						hifind.WithLegacyEngine())
+					p := newParallelCompact(t, sc.options(hifind.WithWorkers(3),
+						hifind.WithBatchSize(64), hifind.WithLegacyEngine())...)
 					defer p.Close()
 					return replayGolden(t, capture, edge, p)
 				}},

@@ -32,10 +32,28 @@ import (
 
 var updateGolden = flag.Bool("update", false, "rewrite golden detection files with observed output")
 
+// goldenScenario pairs a trace config with the detector options its
+// replay needs: the three evasion scenarios only produce alerts with
+// their dedicated detectors switched on, and the benign-only control
+// runs with ALL of them on to pin the zero-alert baseline.
+type goldenScenario struct {
+	cfg  trace.Config
+	opts []hifind.Option
+}
+
+// options returns the scenario's detector options plus extras, always as
+// a fresh slice so callers can append without aliasing.
+func (s goldenScenario) options(extra ...hifind.Option) []hifind.Option {
+	out := make([]hifind.Option, 0, len(s.opts)+len(extra))
+	out = append(out, s.opts...)
+	return append(out, extra...)
+}
+
 // goldenScenarios is the regression corpus: the two paper-shaped presets,
-// a hand-built multi-attack interval, and a benign-only control whose
-// golden asserts zero alerts.
-func goldenScenarios() map[string]trace.Config {
+// a hand-built multi-attack interval, the three evasion scenarios the
+// auxiliary detectors exist for, and a benign-only control whose golden
+// asserts zero alerts even with every auxiliary detector enabled.
+func goldenScenarios() map[string]goldenScenario {
 	mixed := trace.Config{
 		Seed:            303,
 		Start:           time.Date(2005, 5, 10, 0, 0, 0, 0, time.UTC),
@@ -75,11 +93,22 @@ func goldenScenarios() map[string]trace.Config {
 		FailRate:        0.04,
 	}
 
-	return map[string]trace.Config{
-		"nu-preset":     trace.NUConfig(101, 10, 0.5),
-		"lbl-preset":    trace.LBLConfig(202, 10, 0.5),
-		"mixed-attacks": mixed,
-		"benign-only":   benign,
+	allAux := []hifind.Option{
+		hifind.WithBurstDetection(trace.BurstSlotCount),
+		hifind.WithPersistentFlowDetection(),
+		hifind.WithReflectionDetection(),
+	}
+	return map[string]goldenScenario{
+		"nu-preset":     {cfg: trace.NUConfig(101, 10, 0.5)},
+		"lbl-preset":    {cfg: trace.LBLConfig(202, 10, 0.5)},
+		"mixed-attacks": {cfg: mixed},
+		"benign-only":   {cfg: benign, opts: allAux},
+		"burst-pulse": {cfg: trace.BurstPulseConfig(505, 8),
+			opts: []hifind.Option{hifind.WithBurstDetection(trace.BurstSlotCount)}},
+		"stealth-scan": {cfg: trace.StealthScanConfig(606, 9),
+			opts: []hifind.Option{hifind.WithPersistentFlowDetection()}},
+		"reflection": {cfg: trace.ReflectionConfig(707, 8),
+			opts: []hifind.Option{hifind.WithReflectionDetection()}},
 	}
 }
 
@@ -102,8 +131,9 @@ func blockPorts() []uint16 {
 }
 
 func TestGoldenDetection(t *testing.T) {
-	for name, cfg := range goldenScenarios() {
+	for name, sc := range goldenScenarios() {
 		t.Run(name, func(t *testing.T) {
+			cfg := sc.cfg
 			g, err := trace.New(cfg)
 			if err != nil {
 				t.Fatal(err)
@@ -114,10 +144,22 @@ func TestGoldenDetection(t *testing.T) {
 				t.Fatal(err)
 			}
 			edge := fmt.Sprintf("%s/16", cfg.InternalPrefix)
-			d := newCompact(t)
+			d := newCompact(t, sc.options()...)
 			results, err := hifind.ReplayPcap(&buf, []string{edge}, d)
 			if err != nil {
 				t.Fatal(err)
+			}
+			// Negative control: benign traffic with every auxiliary
+			// detector enabled must never produce an auxiliary alert.
+			if name == "benign-only" {
+				for _, r := range results {
+					for _, a := range r.Final {
+						switch a.Type {
+						case hifind.BurstFlood, hifind.PersistentScan, hifind.Reflection:
+							t.Errorf("interval %d: auxiliary alert on benign traffic: %s", r.Interval, a)
+						}
+					}
+				}
 			}
 			got := formatGolden(results)
 

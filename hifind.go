@@ -106,6 +106,17 @@ const (
 	// recognized by merging its simultaneous horizontal- and vertical-
 	// scan detections.
 	BlockScan
+	// BurstFlood marks a sub-interval SYN pulse against one service:
+	// below the flood threshold over the whole interval, above the slot
+	// threshold inside one window (WithBurstDetection).
+	BurstFlood
+	// PersistentScan marks a source probing one port below the
+	// per-interval threshold, interval after interval
+	// (WithPersistentFlowDetection).
+	PersistentScan
+	// Reflection marks unsolicited SYN/ACK backscatter flooding a victim
+	// through a reflecting service port (WithReflectionDetection).
+	Reflection
 )
 
 // String names the alert type.
@@ -119,6 +130,12 @@ func (t AlertType) String() string {
 		return "vscan"
 	case BlockScan:
 		return "blockscan"
+	case BurstFlood:
+		return "burst-flood"
+	case PersistentScan:
+		return "persist-scan"
+	case Reflection:
+		return "reflection"
 	default:
 		return fmt.Sprintf("alerttype(%d)", int(t))
 	}
@@ -144,6 +161,9 @@ type Alert struct {
 	// Fanout approximates the number of distinct hosts (hscan) or ports
 	// (vscan) touched.
 	Fanout int
+	// Slot is the sub-interval window whose counters peaked, for
+	// burst-flood alerts (0 otherwise).
+	Slot int
 	// Partial marks alerts from an interval merged without every router's
 	// report (multi-router aggregation under a deadline); magnitudes are
 	// lower bounds there.
@@ -169,6 +189,15 @@ func (a Alert) String() string {
 	case BlockScan:
 		return fmt.Sprintf("block scan: %s sweeping an address × port block (%d scan keys, Δ=%.0f)",
 			a.Attacker, a.Fanout, a.Magnitude)
+	case BurstFlood:
+		return fmt.Sprintf("burst flood: pulse against %s:%d in window %d (peak=%.0f SYNs)",
+			a.Victim, a.Port, a.Slot, a.Magnitude)
+	case PersistentScan:
+		return fmt.Sprintf("persistent scan: %s probing port %d below threshold on ~%d hosts (rate=%.0f/interval)",
+			a.Attacker, a.Port, a.Fanout, a.Magnitude)
+	case Reflection:
+		return fmt.Sprintf("reflection: unsolicited SYN/ACKs flooding %s via port %d (Δ=%.0f)",
+			a.Victim, a.Port, a.Magnitude)
 	default:
 		return "unknown alert"
 	}
@@ -468,6 +497,7 @@ func convertAlerts(in []core.Alert) []Alert {
 			Magnitude: a.Estimate,
 			Fanout:    a.FanoutEstimate,
 			Port:      a.Port,
+			Slot:      a.Slot,
 			Partial:   a.Partial,
 		}
 		switch a.Type {
@@ -487,6 +517,15 @@ func convertAlerts(in []core.Alert) []Alert {
 		case core.AlertBlockScan:
 			out[i].Type = BlockScan
 			out[i].Attacker = toAddr(a.SIP)
+		case core.AlertBurstFlood:
+			out[i].Type = BurstFlood
+			out[i].Victim = toAddr(a.DIP)
+		case core.AlertPersistScan:
+			out[i].Type = PersistentScan
+			out[i].Attacker = toAddr(a.SIP)
+		case core.AlertReflection:
+			out[i].Type = Reflection
+			out[i].Victim = toAddr(a.DIP)
 		}
 	}
 	return out

@@ -21,8 +21,9 @@ import (
 )
 
 func TestInferenceDifferentialGoldenTraces(t *testing.T) {
-	for name, cfg := range goldenScenarios() {
+	for name, sc := range goldenScenarios() {
 		t.Run(name, func(t *testing.T) {
+			cfg := sc.cfg
 			g, err := trace.New(cfg)
 			if err != nil {
 				t.Fatal(err)
@@ -40,15 +41,15 @@ func TestInferenceDifferentialGoldenTraces(t *testing.T) {
 				replay func(t *testing.T) string
 			}{
 				{"reverse-sequential", func(t *testing.T) string {
-					return replayGolden(t, capture, edge, newCompact(t))
+					return replayGolden(t, capture, edge, newCompact(t, sc.options()...))
 				}},
 				{"invertible-sequential", func(t *testing.T) string {
 					return replayGolden(t, capture, edge,
-						newCompact(t, hifind.WithInvertibleInference()))
+						newCompact(t, sc.options(hifind.WithInvertibleInference())...))
 				}},
 				{"invertible-workers-3", func(t *testing.T) string {
-					p := newParallelCompact(t, hifind.WithWorkers(3), hifind.WithBatchSize(64),
-						hifind.WithInvertibleInference())
+					p := newParallelCompact(t, sc.options(hifind.WithWorkers(3),
+						hifind.WithBatchSize(64), hifind.WithInvertibleInference())...)
 					defer p.Close()
 					return replayGolden(t, capture, edge, p)
 				}},

@@ -18,10 +18,13 @@ type instruments struct {
 	intervals *telemetry.Counter
 	detection *telemetry.Histogram
 
-	alertSyn   *telemetry.Counter
-	alertHScan *telemetry.Counter
-	alertVScan *telemetry.Counter
-	alertBlock *telemetry.Counter
+	alertSyn     *telemetry.Counter
+	alertHScan   *telemetry.Counter
+	alertVScan   *telemetry.Counter
+	alertBlock   *telemetry.Counter
+	alertBurst   *telemetry.Counter
+	alertPersist *telemetry.Counter
+	alertReflect *telemetry.Counter
 
 	occRSSipDport  *telemetry.Gauge
 	occRSDipDport  *telemetry.Gauge
@@ -76,10 +79,13 @@ func newInstruments(reg *telemetry.Registry) instruments {
 		detection: reg.Histogram("hifind_detection_seconds",
 			"per-interval detection wall time", telemetry.DefBuckets),
 
-		alertSyn:   alert(SYNFlood.String()),
-		alertHScan: alert(HorizontalScan.String()),
-		alertVScan: alert(VerticalScan.String()),
-		alertBlock: alert(BlockScan.String()),
+		alertSyn:     alert(SYNFlood.String()),
+		alertHScan:   alert(HorizontalScan.String()),
+		alertVScan:   alert(VerticalScan.String()),
+		alertBlock:   alert(BlockScan.String()),
+		alertBurst:   alert(BurstFlood.String()),
+		alertPersist: alert(PersistentScan.String()),
+		alertReflect: alert(Reflection.String()),
 
 		occRSSipDport:  occ("rs_sip_dport"),
 		occRSDipDport:  occ("rs_dip_dport"),
@@ -153,6 +159,12 @@ func (ins *instruments) recordInterval(res core.IntervalResult) {
 			ins.alertVScan.Inc()
 		case core.AlertBlockScan:
 			ins.alertBlock.Inc()
+		case core.AlertBurstFlood:
+			ins.alertBurst.Inc()
+		case core.AlertPersistScan:
+			ins.alertPersist.Inc()
+		case core.AlertReflection:
+			ins.alertReflect.Inc()
 		}
 	}
 }
@@ -184,6 +196,9 @@ func emitResult(sink telemetry.Sink, res Result) {
 		}
 		if a.Fanout != 0 {
 			fields["fanout"] = a.Fanout
+		}
+		if a.Type == BurstFlood {
+			fields["slot"] = a.Slot
 		}
 		sink.Emit(telemetry.Event{Time: now, Kind: "alert", Fields: fields})
 	}

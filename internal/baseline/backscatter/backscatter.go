@@ -27,6 +27,14 @@ type Config struct {
 	// SampleCap bounds per-victim destination samples (reservoir-free
 	// first-N sampling keeps the analyzer's memory bounded).
 	SampleCap int
+	// Reflected flips the observation direction: instead of outbound
+	// victim responses (classic backscatter, victim inside the edge), the
+	// analyzer watches *inbound* unsolicited SYN/ACKs and RSTs — the
+	// reflected leg of an amplification attack whose victim sits inside
+	// the edge. The victim is then the destination, and the source-/8
+	// diversity of the reflector pool replaces the spoofed-destination
+	// diversity as the uniform-spread evidence.
+	Reflected bool
 }
 
 // DefaultConfig returns the thresholds used by the evaluation harness.
@@ -61,20 +69,30 @@ func New(cfg Config) (*Analyzer, error) {
 	return &Analyzer{cfg: cfg, victims: make(map[netmodel.IPv4]*victimState)}, nil
 }
 
-// Observe feeds one packet; only outbound SYN/ACKs and RSTs (victim
-// responses leaving the edge) matter.
+// Observe feeds one packet; only SYN/ACKs and RSTs on the configured
+// direction matter — outbound victim responses leaving the edge by
+// default, inbound reflected responses in Reflected mode.
 func (a *Analyzer) Observe(pkt netmodel.Packet) {
-	if pkt.Dir != netmodel.Outbound || (!pkt.Flags.IsSYNACK() && !pkt.Flags.IsRST()) {
+	if !pkt.Flags.IsSYNACK() && !pkt.Flags.IsRST() {
 		return
 	}
-	st := a.victims[pkt.SrcIP]
+	victim, peer := pkt.SrcIP, pkt.DstIP
+	if a.cfg.Reflected {
+		if pkt.Dir != netmodel.Inbound {
+			return
+		}
+		victim, peer = pkt.DstIP, pkt.SrcIP
+	} else if pkt.Dir != netmodel.Outbound {
+		return
+	}
+	st := a.victims[victim]
 	if st == nil {
 		st = &victimState{dests: make(map[netmodel.IPv4]bool)}
-		a.victims[pkt.SrcIP] = st
+		a.victims[victim] = st
 	}
 	st.responses++
 	if len(st.dests) < a.cfg.SampleCap {
-		st.dests[pkt.DstIP] = true
+		st.dests[peer] = true
 	}
 }
 

@@ -19,11 +19,17 @@ type AlertType int
 // Alert types. SYN flooding alerts carry the victim {DIP,Dport};
 // horizontal scans the scanner {SIP,Dport}; vertical scans the pair
 // {SIP,DIP}.
+// Burst-flood alerts carry the victim {DIP,Dport} plus the sub-interval
+// slot that peaked; persist-scan alerts the scanner {SIP,Dport};
+// reflection alerts the victim {DIP, reflecting service port}.
 const (
 	AlertSYNFlood AlertType = iota + 1
 	AlertHScan
 	AlertVScan
 	AlertBlockScan
+	AlertBurstFlood
+	AlertPersistScan
+	AlertReflection
 )
 
 // String names the alert type.
@@ -37,6 +43,12 @@ func (t AlertType) String() string {
 		return "vscan"
 	case AlertBlockScan:
 		return "blockscan"
+	case AlertBurstFlood:
+		return "burst-flood"
+	case AlertPersistScan:
+		return "persist-scan"
+	case AlertReflection:
+		return "reflection"
 	default:
 		return fmt.Sprintf("alerttype(%d)", int(t))
 	}
@@ -64,6 +76,9 @@ type Alert struct {
 	// FanoutEstimate approximates the number of distinct destinations
 	// (hscan) or ports (vscan) the attacker touched, from the 2D sketch.
 	FanoutEstimate int
+	// Slot is the sub-interval window index whose counters peaked, for
+	// burst-flood alerts (zero otherwise).
+	Slot int
 	// Partial marks alerts from an interval whose multi-router merge
 	// closed at the deadline with at least one router missing: the alert
 	// is real for the traffic the surviving routers saw, but magnitudes
@@ -105,6 +120,15 @@ func (a Alert) String() string {
 	case AlertBlockScan:
 		return fmt.Sprintf("[%s] interval %d: %s sweeping an address × port block (~%d keys, Δ=%.0f)",
 			a.Type, a.Interval, a.SIP, a.FanoutEstimate, a.Estimate)
+	case AlertBurstFlood:
+		return fmt.Sprintf("[%s] interval %d: pulse against %s:%d in slot %d (peak=%.0f)",
+			a.Type, a.Interval, a.DIP, a.Port, a.Slot, a.Estimate)
+	case AlertPersistScan:
+		return fmt.Sprintf("[%s] interval %d: %s probing port %d below threshold across ~%d hosts (rate=%.0f)",
+			a.Type, a.Interval, a.SIP, a.Port, a.FanoutEstimate, a.Estimate)
+	case AlertReflection:
+		return fmt.Sprintf("[%s] interval %d: reflected flood against %s via port %d (Δ=%.0f)",
+			a.Type, a.Interval, a.DIP, a.Port, a.Estimate)
 	default:
 		return fmt.Sprintf("[%s] interval %d", a.Type, a.Interval)
 	}
@@ -140,6 +164,13 @@ type DiagStats struct {
 	FloodCandidates  int // RS({DIP,Dport}) step-1 keys
 	PairCandidates   int // RS({SIP,DIP}) step-2 keys
 	SourceCandidates int // RS({SIP,Dport}) step-3 keys
+
+	// Auxiliary-detector candidate counts (zero when the corresponding
+	// detector is off): burst-monitor findings, persistence-band keys
+	// fed to the streak tracker, reflection-monitor decodes.
+	BurstCandidates      int
+	PersistCandidates    int
+	ReflectionCandidates int
 
 	// InferenceSeconds is the wall time the interval's three
 	// offender-key recovery steps took (reverse-hashing search or

@@ -38,6 +38,17 @@ func (d *Detector) MarshalState() ([]byte, error) {
 	blocks = append(blocks, svc)
 	blocks = append(blocks, marshalIPMap(d.streaks))
 	blocks = append(blocks, marshalAddrMap(d.blockScanners))
+	if d.persist != nil {
+		// Persistence streaks span interval boundaries by definition; a
+		// restart must not reset a stealth scanner's streak to zero. The
+		// block exists only when the detector is configured with
+		// PersistScan, mirroring the invertible-forecaster convention.
+		pb, err := d.persist.MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("core: checkpoint persistence tracker: %w", err)
+		}
+		blocks = append(blocks, pb)
+	}
 
 	size := 12
 	for _, b := range blocks {
@@ -109,6 +120,14 @@ func (d *Detector) RestoreState(data []byte) error {
 		return fmt.Errorf("core: checkpoint block scanners: %w", err)
 	}
 	d.blockScanners = scanners
+	if d.persist != nil {
+		if b, err = next(); err != nil {
+			return err
+		}
+		if err := d.persist.UnmarshalBinary(b); err != nil {
+			return fmt.Errorf("core: checkpoint persistence tracker: %w", err)
+		}
+	}
 	if len(data) != 0 {
 		return fmt.Errorf("core: %d trailing checkpoint bytes", len(data))
 	}

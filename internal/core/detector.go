@@ -7,6 +7,7 @@ import (
 
 	"github.com/hifind/hifind/internal/invsketch"
 	"github.com/hifind/hifind/internal/netmodel"
+	"github.com/hifind/hifind/internal/persist"
 	"github.com/hifind/hifind/internal/revsketch"
 	"github.com/hifind/hifind/internal/sketch"
 	"github.com/hifind/hifind/internal/timeseries"
@@ -54,6 +55,32 @@ type DetectorConfig struct {
 	// DisablePhase2 and DisablePhase3 switch the FP-reduction phases off
 	// for ablation studies; Final then mirrors the earlier phase.
 	DisablePhase2, DisablePhase3 bool
+	// BurstSlotThreshold is the per-slot alarm level for the sub-interval
+	// burst monitor (only meaningful when the recorder runs with
+	// BurstSlots > 0). A key alerts when one slot alone reaches it while
+	// the interval total stays under Threshold — the long-duration-flow
+	// filter that keeps sustained floods out of the burst channel.
+	// Default Threshold/2.
+	BurstSlotThreshold float64
+	// PersistScan enables the persistent-and-sparse flow detector: keys
+	// sitting in the sub-threshold band [PersistFloor, Threshold) of the
+	// RS({SIP,Dport}) raw counts interval after interval. Stealthy scans
+	// never clear Threshold, but they cannot avoid persistence.
+	PersistScan bool
+	// PersistFloor is the band's lower edge (default Threshold/6).
+	PersistFloor float64
+	// PersistStreak is the streak length that raises a persist-scan
+	// alert (default 3).
+	PersistStreak int
+	// PersistGap is the number of intervals a band streak may skip
+	// before it resets. 0 means the default (1); negative tolerates no
+	// gap at all.
+	PersistGap int
+	// PersistMaxEntries caps the persistence table (default 4096).
+	PersistMaxEntries int
+	// ReflectThreshold is the unmatched-inbound-SYN/ACK alarm level for
+	// the reflection monitor (default Threshold).
+	ReflectThreshold float64
 }
 
 // applyDefaults fills zero-valued fields.
@@ -85,6 +112,24 @@ func (c DetectorConfig) applyDefaults() DetectorConfig {
 	if c.BlockScanMinKeys == 0 {
 		c.BlockScanMinKeys = 2
 	}
+	if c.BurstSlotThreshold == 0 {
+		c.BurstSlotThreshold = c.Threshold / 2
+	}
+	if c.PersistFloor == 0 {
+		c.PersistFloor = c.Threshold / 6
+	}
+	if c.PersistStreak == 0 {
+		c.PersistStreak = 3
+	}
+	if c.PersistGap == 0 {
+		c.PersistGap = 1
+	}
+	if c.PersistMaxEntries == 0 {
+		c.PersistMaxEntries = 4096
+	}
+	if c.ReflectThreshold == 0 {
+		c.ReflectThreshold = c.Threshold
+	}
 	return c
 }
 
@@ -101,6 +146,15 @@ func (c DetectorConfig) Validate() error {
 	}
 	if c.MinSynRatio < 1 {
 		return fmt.Errorf("core: min SYN ratio %v < 1", c.MinSynRatio)
+	}
+	if c.PersistFloor < 0 || c.PersistFloor > c.Threshold {
+		return fmt.Errorf("core: persist floor %v out of [0, threshold %v]", c.PersistFloor, c.Threshold)
+	}
+	if c.BurstSlotThreshold < 0 {
+		return fmt.Errorf("core: negative burst slot threshold %v", c.BurstSlotThreshold)
+	}
+	if c.ReflectThreshold < 0 {
+		return fmt.Errorf("core: negative reflection threshold %v", c.ReflectThreshold)
 	}
 	return nil
 }
@@ -141,6 +195,9 @@ type Detector struct {
 	// still merge under the remembered identity instead of leaking as
 	// fragmentary scan alerts. Bounded like streaks.
 	blockScanners map[netmodel.IPv4]int
+	// persist tracks sub-threshold band streaks for the persistent-and-
+	// sparse flow detector — nil unless PersistScan is on.
+	persist *persist.Tracker
 }
 
 // NewDetector builds a detector with its own recorder.
@@ -194,6 +251,20 @@ func NewDetector(rcfg RecorderConfig, dcfg DetectorConfig) (*Detector, error) {
 			return nil, err
 		}
 		if d.fcInvSipDip, err = mkI(rcfg.Inv64); err != nil {
+			return nil, err
+		}
+	}
+	if dcfg.PersistScan {
+		gap := dcfg.PersistGap
+		if gap < 0 {
+			gap = 0
+		}
+		d.persist, err = persist.NewTracker(persist.Config{
+			MinIntervals: dcfg.PersistStreak,
+			MaxGap:       gap,
+			MaxEntries:   dcfg.PersistMaxEntries,
+		})
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -311,6 +382,9 @@ func (d *Detector) EndIntervalWithPartial(rec *Recorder, partial bool) (Interval
 			return IntervalResult{}, err
 		}
 		res.Interval = d.interval
+		if err := d.detectScenarios(rec, &res); err != nil {
+			return IntervalResult{}, err
+		}
 	}
 	// Sample structure saturation before the reset wipes it.
 	res.Diag.OccRSSipDport = rec.RSSipDport.Occupancy()
@@ -591,6 +665,190 @@ func (d *Detector) detect(rec *Recorder, g errGrids) (IntervalResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// detectScenarios runs the auxiliary detectors — burst floods,
+// persistent-and-sparse flows, reflection — and appends their alerts to
+// every phase of res. They consume structures outside the EWMA error
+// path (burst/reflection monitors, raw band counts), so the phase-2/3
+// reclassification machinery does not apply to them; an auxiliary alert
+// rides through all phases unchanged.
+func (d *Detector) detectScenarios(rec *Recorder, res *IntervalResult) error {
+	var extra []Alert
+	burstAlerts, err := d.detectBursts(rec, &res.Diag)
+	if err != nil {
+		return err
+	}
+	extra = append(extra, burstAlerts...)
+	persistAlerts, err := d.detectPersistent(rec, &res.Diag)
+	if err != nil {
+		return err
+	}
+	extra = append(extra, persistAlerts...)
+	reflectAlerts, err := d.detectReflection(rec, &res.Diag)
+	if err != nil {
+		return err
+	}
+	extra = append(extra, reflectAlerts...)
+	if len(extra) == 0 {
+		return nil
+	}
+	// Phase slices may alias each other when phases are disabled, so
+	// append into fresh slices instead of mutating shared backing arrays.
+	res.Raw = appendAlerts(res.Raw, extra)
+	res.Phase2 = appendAlerts(res.Phase2, extra)
+	res.Final = appendAlerts(res.Final, extra)
+	return nil
+}
+
+// appendAlerts returns a fresh slice holding base then extra.
+func appendAlerts(base, extra []Alert) []Alert {
+	out := make([]Alert, 0, len(base)+len(extra))
+	out = append(out, base...)
+	return append(out, extra...)
+}
+
+// detectBursts decodes the sub-interval burst monitor: keys whose SYN
+// excess concentrates inside one slot window while the interval total
+// stays under the flood threshold — pulses the interval-grain EWMA
+// never sees.
+func (d *Detector) detectBursts(rec *Recorder, diag *DiagStats) ([]Alert, error) {
+	if rec.Burst == nil {
+		return nil, nil
+	}
+	start := time.Now()
+	findings, err := rec.Burst.Detect(d.cfg.BurstSlotThreshold, d.cfg.Threshold, d.cfg.MaxKeysPerStep)
+	if err != nil {
+		return nil, err
+	}
+	diag.InferenceSeconds += time.Since(start).Seconds()
+	diag.BurstCandidates = len(findings)
+	diag.KeysRecovered += len(findings)
+	alerts := make([]Alert, 0, len(findings))
+	for _, f := range findings {
+		dip, port := netmodel.UnpackIPPort(f.Key)
+		alerts = append(alerts, Alert{
+			Type: AlertBurstFlood, Interval: d.interval,
+			DIP: dip, Port: port, Spoofed: true,
+			Estimate: f.Peak, Slot: f.Slot,
+		})
+	}
+	return alerts, nil
+}
+
+// detectPersistent surfaces keys sitting in the sub-threshold band
+// [PersistFloor, Threshold) of the RS({SIP,Dport}) RAW counts and feeds
+// them to the persistence tracker; keys banded for PersistStreak
+// gap-tolerant intervals alert. Raw counts (not forecast errors) on
+// purpose: a steady low-rate scan is exactly what the EWMA absorbs into
+// its forecast, so its error vanishes while its raw mass persists.
+func (d *Detector) detectPersistent(rec *Recorder, diag *DiagStats) ([]Alert, error) {
+	if d.persist == nil {
+		return nil, nil
+	}
+	floor := d.cfg.PersistFloor
+	start := time.Now()
+	var band []revsketch.KeyEstimate
+	var err error
+	if rec.InvSipDport == nil {
+		opts := revsketch.InferenceOptions{Quorum: d.cfg.Quorum, MaxKeys: d.cfg.MaxKeysPerStep}
+		if d.cfg.VerifyFraction >= 0 {
+			verFloor := d.cfg.VerifyFraction * floor
+			ver := rec.VerSipDport
+			opts.Verify = func(key uint64, _ float64) bool {
+				return ver.Estimate(key) >= verFloor
+			}
+		}
+		band, err = rec.RSSipDport.InferenceCounts(floor, opts)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		// Invertible engine: decode candidates cheaply, then re-estimate
+		// from the reversible sketch so both engines agree key-for-key
+		// and estimate-for-estimate (the cross-engine identity contract).
+		decoded, derr := rec.InvSipDport.DecodeCounts(floor/2, invsketch.DecodeOptions{
+			MaxKeys: d.cfg.MaxKeysPerStep * 4,
+		})
+		if derr != nil {
+			return nil, derr
+		}
+		verFloor := d.cfg.VerifyFraction * floor
+		for _, ke := range decoded {
+			est := rec.RSSipDport.Estimate(ke.Key)
+			if est < floor {
+				continue
+			}
+			if d.cfg.VerifyFraction >= 0 && rec.VerSipDport.Estimate(ke.Key) < verFloor {
+				continue
+			}
+			band = append(band, revsketch.KeyEstimate{Key: ke.Key, Estimate: est})
+		}
+		sort.Slice(band, func(a, b int) bool {
+			if band[a].Estimate > band[b].Estimate {
+				return true
+			}
+			if band[a].Estimate < band[b].Estimate {
+				return false
+			}
+			return band[a].Key < band[b].Key
+		})
+		if len(band) > d.cfg.MaxKeysPerStep {
+			band = band[:d.cfg.MaxKeysPerStep]
+		}
+	}
+	diag.InferenceSeconds += time.Since(start).Seconds()
+	// Keep only the sub-threshold band: anything at or above Threshold
+	// is a fast attack and belongs to the main three-step pipeline.
+	obs := make([]persist.Observation, 0, len(band))
+	for _, ke := range band {
+		if ke.Estimate >= d.cfg.Threshold {
+			continue
+		}
+		obs = append(obs, persist.Observation{Key: ke.Key, Estimate: ke.Estimate})
+	}
+	diag.PersistCandidates = len(obs)
+	findings := d.persist.Advance(uint64(d.interval), obs)
+	diag.KeysRecovered += len(findings)
+	alerts := make([]Alert, 0, len(findings))
+	for _, f := range findings {
+		sip, port := netmodel.UnpackIPPort(f.Key)
+		alerts = append(alerts, Alert{
+			Type: AlertPersistScan, Interval: d.interval,
+			SIP: sip, Port: port, Estimate: f.Estimate,
+			FanoutEstimate: rec.TwoDSipDportXDip.DistinctYEstimate(f.Key, 1),
+		})
+	}
+	return alerts, nil
+}
+
+// detectReflection decodes the reflection monitor: {victim, service
+// port} keys whose inbound SYN/ACK volume has no matching outbound SYNs
+// to cancel against. Benign round trips net to zero by construction, so
+// surviving positive mass is backscatter-style reflected flood traffic.
+func (d *Detector) detectReflection(rec *Recorder, diag *DiagStats) ([]Alert, error) {
+	if rec.Reflect == nil {
+		return nil, nil
+	}
+	start := time.Now()
+	keys, err := rec.Reflect.DecodeCounts(d.cfg.ReflectThreshold, invsketch.DecodeOptions{
+		MaxKeys: d.cfg.MaxKeysPerStep,
+	})
+	if err != nil {
+		return nil, err
+	}
+	diag.InferenceSeconds += time.Since(start).Seconds()
+	diag.ReflectionCandidates = len(keys)
+	diag.KeysRecovered += len(keys)
+	alerts := make([]Alert, 0, len(keys))
+	for _, ke := range keys {
+		dip, port := netmodel.UnpackIPPort(ke.Key)
+		alerts = append(alerts, Alert{
+			Type: AlertReflection, Interval: d.interval,
+			DIP: dip, Port: port, Spoofed: true, Estimate: ke.Estimate,
+		})
+	}
+	return alerts, nil
 }
 
 // mergeBlockScans recognizes block scans (paper §3.2's third scan type):

@@ -3,8 +3,10 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"time"
 
 	"github.com/hifind/hifind/internal/bloom"
+	"github.com/hifind/hifind/internal/burst"
 	"github.com/hifind/hifind/internal/flowcache"
 	"github.com/hifind/hifind/internal/invsketch"
 	"github.com/hifind/hifind/internal/netmodel"
@@ -98,6 +100,25 @@ type RecorderConfig struct {
 	// Only consulted when Inference is InferenceInvertible, but always
 	// populated so configurations compare field-wise.
 	Inv48, Inv64 invsketch.Params
+	// BurstSlots, when positive, enables the ALBUS-style sub-interval
+	// burst monitor: BurstSlots invertible sketches (geometry Burst,
+	// shared hashing) cycle through wall-clock windows of BurstWindow,
+	// recording the {DIP,Dport} #SYN−#SYN/ACK signal per sub-interval so
+	// pulse floods shorter than one EWMA interval stay visible. Zero
+	// disables the monitor; BurstWindow must be positive when enabled.
+	BurstSlots  int
+	BurstWindow time.Duration
+	// Burst is the per-slot burst-monitor geometry; Reflect the
+	// reflection monitor's. Like Inv48/Inv64 they are always populated
+	// so configurations compare field-wise even when disabled.
+	Burst invsketch.Params
+	// Reflection enables the reflection/amplification monitor: one
+	// invertible sketch over {DIP, service Sport} recording inbound
+	// SYN/ACKs minus outbound SYNs, so unsolicited handshake responses
+	// (reflected floods) accumulate positive mass while benign round
+	// trips cancel to zero.
+	Reflection bool
+	Reflect    invsketch.Params
 	// FlowCache, when positive, bounds an exact flow-aggregation cache
 	// installed in front of the fused engine: per-connection updates
 	// accumulate in the table and flush as weighted updates on eviction
@@ -122,7 +143,17 @@ func PaperRecorderConfig(seed uint64) RecorderConfig {
 		ServiceCapacity: 1 << 20,
 		Inv48:           invsketch.Params48(),
 		Inv64:           invsketch.Params64(),
+		Burst:           invsketch.Params48(),
+		Reflect:         invsketch.Params48(),
 	}
+}
+
+// NeedsInvOps reports whether recorders built from this configuration
+// carry any invertible-sketch structure — the inference set, the burst
+// monitor or the reflection monitor — and therefore whether the sharded
+// pipeline must provision its InvOp lane.
+func (c RecorderConfig) NeedsInvOps() bool {
+	return c.Inference == InferenceInvertible || c.BurstSlots > 0 || c.Reflection
 }
 
 // TestRecorderConfig returns a scaled-down configuration for fast tests:
@@ -140,6 +171,8 @@ func TestRecorderConfig(seed uint64) RecorderConfig {
 	cfg.ServiceCapacity = 1 << 16
 	cfg.Inv48.Buckets = 1 << 9
 	cfg.Inv64.Buckets = 1 << 9
+	cfg.Burst.Buckets = 1 << 9
+	cfg.Reflect.Buckets = 1 << 9
 	return cfg
 }
 
@@ -206,6 +239,15 @@ type Recorder struct {
 	InvSipDport *invsketch.Sketch
 	InvDipDport *invsketch.Sketch
 	InvSipDip   *invsketch.Sketch
+	// Burst is the sub-interval burst monitor over {DIP,Dport} — nil
+	// unless cfg.BurstSlots is positive. Reflect is the reflection
+	// monitor over {DIP, service Sport} — nil unless cfg.Reflection.
+	// Both bypass the engine dispatch and the flow cache: their updates
+	// apply inline at observe time (the cache drops timestamps the
+	// burst monitor needs, and identity across engines and cache modes
+	// falls out for free).
+	Burst   *burst.Array
+	Reflect *invsketch.Sketch
 	// Services remembers {DIP,Dport} pairs that have produced SYN/ACKs —
 	// cross-interval state for the misconfiguration filter (§3.4).
 	Services *bloom.Filter
@@ -238,6 +280,8 @@ type updatePlans struct {
 	twoDSipDipXDport                 *sketch2d.Plan
 	// Invertible-sketch plans, nil in reverse-inference mode.
 	invSipDport, invDipDport, invSipDip *invsketch.Plan
+	// Burst and reflection monitor plans, nil when disabled.
+	burst, reflect *invsketch.Plan
 }
 
 // NewRecorder builds an empty recorder.
@@ -303,6 +347,17 @@ func NewRecorder(cfg RecorderConfig) (*Recorder, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown inference engine %d", cfg.Inference)
 	}
+	if cfg.BurstSlots != 0 {
+		bc := burst.Config{Slots: cfg.BurstSlots, Window: cfg.BurstWindow, Params: cfg.Burst}
+		if r.Burst, err = burst.New(bc, cfg.Seed^0x0e); err != nil {
+			return nil, fmt.Errorf("core: burst monitor: %w", err)
+		}
+	}
+	if cfg.Reflection {
+		if r.Reflect, err = invsketch.New(cfg.Reflect, cfg.Seed^0x0f); err != nil {
+			return nil, fmt.Errorf("core: reflection monitor: %w", err)
+		}
+	}
 	r.plans = r.newPlans()
 	if cfg.FlowCache > 0 {
 		// The flush sink is a bound method value: one allocation here,
@@ -333,6 +388,12 @@ func (r *Recorder) newPlans() updatePlans {
 		p.invSipDport = r.InvSipDport.NewPlan()
 		p.invDipDport = r.InvDipDport.NewPlan()
 		p.invSipDip = r.InvSipDip.NewPlan()
+	}
+	if r.Burst != nil {
+		p.burst = r.Burst.NewPlan()
+	}
+	if r.Reflect != nil {
+		p.reflect = r.Reflect.NewPlan()
 	}
 	return p
 }
@@ -367,13 +428,48 @@ func (r *Recorder) Observe(pkt netmodel.Packet) {
 	switch {
 	case pkt.Dir == synDir && pkt.Flags.IsSYN():
 		r.update(pkt.SrcIP, pkt.DstIP, pkt.DstPort, +1, true)
+		if r.Burst != nil {
+			r.burstUpdate(pkt.Timestamp, netmodel.PackDIPDport(pkt.DstIP, pkt.DstPort), +1, 1)
+		}
 	case pkt.Dir == ackDir && pkt.Flags.IsSYNACK():
 		// Connection client = pkt.DstIP, server = pkt.SrcIP:pkt.SrcPort.
 		r.update(pkt.DstIP, pkt.SrcIP, pkt.SrcPort, -1, false)
 		r.Services.Add(netmodel.PackDIPDport(pkt.SrcIP, pkt.SrcPort))
 		r.memoryAccesses += 7 // k≈7 bit-writes for a 1% Bloom filter
+		if r.Burst != nil {
+			r.burstUpdate(pkt.Timestamp, netmodel.PackDIPDport(pkt.SrcIP, pkt.SrcPort), -1, 1)
+		}
+	case pkt.Dir == ackDir && pkt.Flags.IsSYN():
+		// Outbound connection attempt: subtract under {requester, service
+		// port} so the answering SYN/ACK below nets a benign round trip
+		// to zero. Ignored unless the reflection monitor is on.
+		if r.Reflect != nil {
+			r.reflectUpdate(netmodel.PackDIPDport(pkt.SrcIP, pkt.DstPort), -1, 1)
+		}
+	case pkt.Dir == synDir && pkt.Flags.IsSYNACK():
+		// Handshake response entering the edge: add under {destination,
+		// responding service port}. Unsolicited ones — reflected floods —
+		// have no outbound SYN to cancel against and accumulate.
+		if r.Reflect != nil {
+			r.reflectUpdate(netmodel.PackDIPDport(pkt.DstIP, pkt.SrcPort), +1, 1)
+		}
 	}
 	r.packets++
+}
+
+// burstUpdate folds one weighted update into the burst monitor's slot
+// for ts, charging the access budget for n collapsed packets. Inline
+// (engine- and cache-independent) by design: the slot index needs the
+// packet timestamp, which the flow cache and op batching do not carry.
+func (r *Recorder) burstUpdate(ts time.Time, key uint64, v int32, n int64) {
+	r.Burst.Update(r.Burst.Slot(ts), key, v)
+	r.memoryAccesses += int64(r.Burst.AccessesPerUpdate()) * n
+}
+
+// reflectUpdate folds one weighted update into the reflection monitor.
+func (r *Recorder) reflectUpdate(key uint64, v int32, n int64) {
+	r.Reflect.Update(key, v)
+	r.memoryAccesses += int64(r.cfg.Reflect.Stages*r.cfg.Reflect.Fields()) * n
 }
 
 // ObserveFlow records a NetFlow-style flow record (the evaluation traces
@@ -437,6 +533,55 @@ func (r *Recorder) ObserveFlow(rec netmodel.FlowRecord) {
 		r.Services.Add(netmodel.PackDIPDport(rec.SrcIP, rec.SrcPort))
 		r.packets += int64(rec.SYNACKs)
 	}
+	if r.Burst != nil {
+		// A NetFlow record collapses its SYNs into the record's start
+		// slot — the finest timing the export format carries.
+		if rec.Dir == netmodel.Inbound && rec.SYNs > 0 {
+			r.burstFlow(rec.Start, netmodel.PackDIPDport(rec.DstIP, rec.DstPort), rec.SYNs, +1)
+		}
+		if rec.Dir == netmodel.Outbound && rec.SYNACKs > 0 {
+			r.burstFlow(rec.Start, netmodel.PackDIPDport(rec.SrcIP, rec.SrcPort), rec.SYNACKs, -1)
+		}
+	}
+	if r.Reflect != nil {
+		// The two record classes the #SYN−#SYN/ACK accounting above
+		// ignores are exactly the reflection signal; packet counting is
+		// unchanged for them.
+		if rec.Dir == netmodel.Outbound && rec.SYNs > 0 {
+			r.reflectFlow(netmodel.PackDIPDport(rec.SrcIP, rec.DstPort), rec.SYNs, -1)
+		}
+		if rec.Dir == netmodel.Inbound && rec.SYNACKs > 0 {
+			r.reflectFlow(netmodel.PackDIPDport(rec.DstIP, rec.SrcPort), rec.SYNACKs, +1)
+		}
+	}
+}
+
+// burstFlow applies one flow record's count to the burst monitor as
+// chunked weighted updates (linearity makes chunks exact).
+func (r *Recorder) burstFlow(ts time.Time, key uint64, count int, sign int32) {
+	slot := r.Burst.Slot(ts)
+	for left := count; left > 0; {
+		c := left
+		if c > flowChunk {
+			c = flowChunk
+		}
+		r.Burst.Update(slot, key, sign*int32(c))
+		left -= c
+	}
+	r.memoryAccesses += int64(r.Burst.AccessesPerUpdate()) * int64(count)
+}
+
+// reflectFlow applies one flow record's count to the reflection monitor.
+func (r *Recorder) reflectFlow(key uint64, count int, sign int32) {
+	for left := count; left > 0; {
+		c := left
+		if c > flowChunk {
+			c = flowChunk
+		}
+		r.Reflect.Update(key, sign*int32(c))
+		left -= c
+	}
+	r.memoryAccesses += int64(r.cfg.Reflect.Stages*r.cfg.Reflect.Fields()) * int64(count)
 }
 
 // flowChunk bounds one weighted update's collapsed packet count well
@@ -650,6 +795,12 @@ func (r *Recorder) MemoryBytes() int {
 	if r.InvSipDport != nil {
 		total += r.InvSipDport.MemoryBytes() + r.InvDipDport.MemoryBytes() + r.InvSipDip.MemoryBytes()
 	}
+	if r.Burst != nil {
+		total += r.Burst.MemoryBytes()
+	}
+	if r.Reflect != nil {
+		total += r.Reflect.MemoryBytes()
+	}
 	return total
 }
 
@@ -670,6 +821,12 @@ func (r *Recorder) Reset() {
 		r.InvSipDport.Reset()
 		r.InvDipDport.Reset()
 		r.InvSipDip.Reset()
+	}
+	if r.Burst != nil {
+		r.Burst.Reset()
+	}
+	if r.Reflect != nil {
+		r.Reflect.Reset()
 	}
 	// Pending cache aggregates belong to the interval being discarded;
 	// drop them (and the interval's cache stats) rather than flush them
@@ -749,6 +906,18 @@ func (r *Recorder) Merge(others ...*Recorder) error {
 			r.InvDipDport = mergeInv(r.InvDipDport, o.InvDipDport)
 			r.InvSipDip = mergeInv(r.InvSipDip, o.InvSipDip)
 		}
+		if r.Burst != nil && err == nil {
+			var mb *burst.Array
+			if mb, err = burst.Combine([]int32{1, 1}, []*burst.Array{r.Burst, o.Burst}); err == nil {
+				r.Burst = mb
+			}
+		}
+		if r.Reflect != nil && err == nil {
+			var mr *invsketch.Sketch
+			if mr, err = invsketch.Combine([]int32{1, 1}, []*invsketch.Sketch{r.Reflect, o.Reflect}); err == nil {
+				r.Reflect = mr
+			}
+		}
 		if err != nil {
 			return fmt.Errorf("core: merge: %w", err)
 		}
@@ -789,6 +958,12 @@ func (r *Recorder) MarshalBinary() ([]byte, error) {
 		marshals = append(marshals,
 			r.InvSipDport.MarshalBinary, r.InvDipDport.MarshalBinary, r.InvSipDip.MarshalBinary)
 	}
+	if r.Burst != nil {
+		marshals = append(marshals, r.Burst.MarshalBinary)
+	}
+	if r.Reflect != nil {
+		marshals = append(marshals, r.Reflect.MarshalBinary)
+	}
 	for _, m := range marshals {
 		if err := appendBlock(m()); err != nil {
 			return nil, fmt.Errorf("core: marshal recorder: %w", err)
@@ -825,6 +1000,12 @@ func (r *Recorder) UnmarshalBinary(data []byte) error {
 	if r.InvSipDport != nil {
 		unmarshals = append(unmarshals,
 			r.InvSipDport.UnmarshalBinary, r.InvDipDport.UnmarshalBinary, r.InvSipDip.UnmarshalBinary)
+	}
+	if r.Burst != nil {
+		unmarshals = append(unmarshals, r.Burst.UnmarshalBinary)
+	}
+	if r.Reflect != nil {
+		unmarshals = append(unmarshals, r.Reflect.UnmarshalBinary)
 	}
 	for i, u := range unmarshals {
 		if len(data) < 4 {

@@ -55,14 +55,19 @@ package core
 
 import (
 	"fmt"
+	"time"
 
+	"github.com/hifind/hifind/internal/burst"
 	"github.com/hifind/hifind/internal/flowcache"
 	"github.com/hifind/hifind/internal/invsketch"
 	"github.com/hifind/hifind/internal/netmodel"
 	"github.com/hifind/hifind/internal/sketch"
 )
 
-// Segment IDs, in recorder marshal order. Five bits reserved.
+// Segment IDs, in recorder marshal order. Five bits reserved. The
+// burst monitor owns one segment per slot (segBurst0 through
+// segBurst0+burst.MaxSlots−1) so each slot's sketch routes and tallies
+// independently; the reflection monitor takes the one after.
 const (
 	segRSSipDport = iota
 	segRSDipDport
@@ -77,7 +82,12 @@ const (
 	segInvSipDport
 	segInvDipDport
 	segInvSipDip
-	numSegs
+	segBurst0
+)
+
+const (
+	segReflect = segBurst0 + burst.MaxSlots
+	numSegs    = segReflect + 1
 )
 
 const (
@@ -199,6 +209,19 @@ func NewShardGeometry(r *Recorder) (ShardGeometry, error) {
 			}
 		}
 	}
+	if r.Burst != nil {
+		bc := r.Burst.Config()
+		for i := 0; i < bc.Slots; i++ {
+			if err := counter(segBurst0+i, bc.Params.Stages, bc.Params.Buckets); err != nil {
+				return ShardGeometry{}, err
+			}
+		}
+	}
+	if r.Reflect != nil {
+		if err := counter(segReflect, cfg.Reflect.Stages, cfg.Reflect.Buckets); err != nil {
+			return ShardGeometry{}, err
+		}
+	}
 	return g, nil
 }
 
@@ -241,7 +264,10 @@ type ShardView struct {
 	colBits [numSegs]uint32
 	colMask [numSegs]uint32
 	words   []uint64
-	inv     [3]*invsketch.Sketch
+	// inv holds every bucket-routed invertible sketch indexed directly
+	// by segment ID: the three inference sketches, the burst monitor's
+	// per-slot sketches and the reflection monitor.
+	inv [numSegs]*invsketch.Sketch
 }
 
 // NewShardView builds the application surface for r.
@@ -267,14 +293,24 @@ func NewShardView(r *Recorder) *ShardView {
 	fill(segOSDipDport, cfg.Original.Stages, cfg.Original.Buckets, r.OSDipDport.StageCells)
 	fill(segTwoDSipDportXDip, cfg.TwoD.Stages, td, r.TwoDSipDportXDip.StageCells)
 	fill(segTwoDSipDipXDport, cfg.TwoD.Stages, td, r.TwoDSipDipXDport.StageCells)
+	invFill := func(seg int, s *invsketch.Sketch, buckets int) {
+		v.inv[seg] = s
+		v.colBits[seg] = uint32(sketch.Log2(buckets))
+		v.colMask[seg] = uint32(buckets - 1)
+	}
 	if r.InvSipDport != nil {
-		v.inv = [3]*invsketch.Sketch{r.InvSipDport, r.InvDipDport, r.InvSipDip}
-		v.colBits[segInvSipDport] = uint32(sketch.Log2(cfg.Inv48.Buckets))
-		v.colMask[segInvSipDport] = uint32(cfg.Inv48.Buckets - 1)
-		v.colBits[segInvDipDport] = v.colBits[segInvSipDport]
-		v.colMask[segInvDipDport] = v.colMask[segInvSipDport]
-		v.colBits[segInvSipDip] = uint32(sketch.Log2(cfg.Inv64.Buckets))
-		v.colMask[segInvSipDip] = uint32(cfg.Inv64.Buckets - 1)
+		invFill(segInvSipDport, r.InvSipDport, cfg.Inv48.Buckets)
+		invFill(segInvDipDport, r.InvDipDport, cfg.Inv48.Buckets)
+		invFill(segInvSipDip, r.InvSipDip, cfg.Inv64.Buckets)
+	}
+	if r.Burst != nil {
+		bc := r.Burst.Config()
+		for i := 0; i < bc.Slots; i++ {
+			invFill(segBurst0+i, r.Burst.SlotSketch(i), bc.Params.Buckets)
+		}
+	}
+	if r.Reflect != nil {
+		invFill(segReflect, r.Reflect, cfg.Reflect.Buckets)
 	}
 	return v
 }
@@ -303,7 +339,7 @@ func (v *ShardView) ApplyInv(ops []InvOp) {
 	for _, op := range ops {
 		seg := op.Loc >> segShift
 		so := op.Loc & locMask
-		v.inv[seg-segInvSipDport].ApplyAt(int(so>>v.colBits[seg]), so&v.colMask[seg], op.Key, op.Fp, op.V)
+		v.inv[seg].ApplyAt(int(so>>v.colBits[seg]), so&v.colMask[seg], op.Key, op.Fp, op.V)
 	}
 }
 
@@ -328,6 +364,14 @@ func (r *Recorder) ApplyTally(t *Tally) {
 		r.InvSipDport.AddTotal(t.Totals[segInvSipDport])
 		r.InvDipDport.AddTotal(t.Totals[segInvDipDport])
 		r.InvSipDip.AddTotal(t.Totals[segInvSipDip])
+	}
+	if r.Burst != nil {
+		for i := 0; i < r.Burst.Config().Slots; i++ {
+			r.Burst.SlotSketch(i).AddTotal(t.Totals[segBurst0+i])
+		}
+	}
+	if r.Reflect != nil {
+		r.Reflect.AddTotal(t.Totals[segReflect])
 	}
 	r.AddCacheStats(t.Cache)
 }
@@ -379,8 +423,12 @@ type Planner struct {
 	egress         bool
 	synDir, ackDir netmodel.Direction
 	invertible     bool
+	hasBurst       bool
+	hasReflect     bool
 	accBase        int64 // per-packet counter writes, OS excluded
 	accSyn         int64 // extra OS writes on the SYN side
+	accBurst       int64 // burst-monitor writes per burst update
+	accReflect     int64 // reflection-monitor writes per reflect update
 
 	ops      []Op
 	invs     []InvOp
@@ -417,7 +465,27 @@ func NewPlanner(ref *Recorder, sink OpSink) (*Planner, error) {
 	if ref.InvSipDport != nil {
 		p.invertible = true
 		p.accBase += int64(2*cfg.Inv48.Stages*cfg.Inv48.Fields() + cfg.Inv64.Stages*cfg.Inv64.Fields())
-		p.invs = make([]InvOp, 2*cfg.Inv48.Stages+cfg.Inv64.Stages)
+	}
+	if ref.Burst != nil {
+		p.hasBurst = true
+		p.accBurst = int64(ref.Burst.AccessesPerUpdate())
+	}
+	if ref.Reflect != nil {
+		p.hasReflect = true
+		p.accReflect = int64(cfg.Reflect.Stages * cfg.Reflect.Fields())
+	}
+	invLen := 0
+	if p.invertible {
+		invLen += 2*cfg.Inv48.Stages + cfg.Inv64.Stages
+	}
+	if p.hasBurst {
+		invLen += cfg.Burst.Stages
+	}
+	if p.hasReflect {
+		invLen += cfg.Reflect.Stages
+	}
+	if invLen > 0 {
+		p.invs = make([]InvOp, invLen)
 	}
 	maxOps := 2*cfg.RS48.Stages + cfg.RS64.Stages + 3*cfg.Verifier.Stages +
 		cfg.Original.Stages + 2*cfg.TwoD.Stages
@@ -451,6 +519,9 @@ func (p *Planner) Observe(pkt netmodel.Packet) {
 		} else {
 			p.planFused(pkt.SrcIP, pkt.DstIP, pkt.DstPort, 1, 1, 1)
 		}
+		if p.hasBurst {
+			p.planBurst(pkt.Timestamp, netmodel.PackDIPDport(pkt.DstIP, pkt.DstPort), 1, 1)
+		}
 	case pkt.Dir == ackDir && pkt.Flags.IsSYNACK():
 		if p.cache != nil {
 			p.cache.Add(pkt.DstIP, pkt.SrcIP, pkt.SrcPort, 0, 1)
@@ -459,6 +530,17 @@ func (p *Planner) Observe(pkt netmodel.Packet) {
 		}
 		p.emitServiceAdd(netmodel.PackDIPDport(pkt.SrcIP, pkt.SrcPort))
 		p.tally.MemoryAccesses += 7 // k≈7 bit-writes for a 1% Bloom filter
+		if p.hasBurst {
+			p.planBurst(pkt.Timestamp, netmodel.PackDIPDport(pkt.SrcIP, pkt.SrcPort), -1, 1)
+		}
+	case pkt.Dir == ackDir && pkt.Flags.IsSYN():
+		if p.hasReflect {
+			p.planReflect(netmodel.PackDIPDport(pkt.SrcIP, pkt.DstPort), -1, 1)
+		}
+	case pkt.Dir == synDir && pkt.Flags.IsSYNACK():
+		if p.hasReflect {
+			p.planReflect(netmodel.PackDIPDport(pkt.DstIP, pkt.SrcPort), 1, 1)
+		}
 	}
 	p.tally.Packets++
 }
@@ -507,6 +589,22 @@ func (p *Planner) ObserveFlow(rec netmodel.FlowRecord) {
 		}
 		p.emitServiceAdd(netmodel.PackDIPDport(rec.SrcIP, rec.SrcPort))
 		p.tally.Packets += int64(rec.SYNACKs)
+	}
+	if p.hasBurst {
+		if rec.Dir == netmodel.Inbound && rec.SYNs > 0 {
+			p.planBurstFlow(rec.Start, netmodel.PackDIPDport(rec.DstIP, rec.DstPort), rec.SYNs, 1)
+		}
+		if rec.Dir == netmodel.Outbound && rec.SYNACKs > 0 {
+			p.planBurstFlow(rec.Start, netmodel.PackDIPDport(rec.SrcIP, rec.SrcPort), rec.SYNACKs, -1)
+		}
+	}
+	if p.hasReflect {
+		if rec.Dir == netmodel.Outbound && rec.SYNs > 0 {
+			p.planReflectFlow(netmodel.PackDIPDport(rec.SrcIP, rec.DstPort), rec.SYNs, -1)
+		}
+		if rec.Dir == netmodel.Inbound && rec.SYNACKs > 0 {
+			p.planReflectFlow(netmodel.PackDIPDport(rec.DstIP, rec.SrcPort), rec.SYNACKs, 1)
+		}
 	}
 }
 
@@ -563,6 +661,76 @@ func (p *Planner) flushFlow(sip, dip netmodel.IPv4, dport uint16, syns, acks int
 		p.planFused(sip, dip, dport, -int32(c), 0, c)
 		left -= c
 	}
+}
+
+// planBurst is burstUpdate with the bucket writes lifted into InvOps:
+// the slot index is computed producer-side from the packet timestamp
+// (which op batching does not carry) and routes as that slot's own
+// segment. Bypasses the flow cache exactly like the sequential
+// recorder's inline burst path.
+//
+//hifind:hot
+func (p *Planner) planBurst(ts time.Time, key uint64, v int32, n int64) {
+	slot := p.ref.Burst.Slot(ts)
+	seg := uint32(segBurst0 + slot)
+	p.ref.Burst.FillPlan(key, sketch.PowersOf(key), p.plans.burst)
+	ki := p.emitInv(0, seg, p.plans.burst, v)
+	p.tally.Totals[seg] += int64(v)
+	p.tally.MemoryAccesses += p.accBurst * n
+	p.sink.EmitOps(nil, p.invs[:ki])
+}
+
+// planBurstFlow is burstFlow for the sharded path: one flow record's
+// count collapsed into the record's start slot as chunked weighted ops.
+//
+//hifind:hot
+func (p *Planner) planBurstFlow(ts time.Time, key uint64, count int, sign int32) {
+	slot := p.ref.Burst.Slot(ts)
+	seg := uint32(segBurst0 + slot)
+	p.ref.Burst.FillPlan(key, sketch.PowersOf(key), p.plans.burst)
+	for left := count; left > 0; {
+		c := left
+		if c > flowChunk {
+			c = flowChunk
+		}
+		ki := p.emitInv(0, seg, p.plans.burst, sign*int32(c))
+		p.tally.Totals[seg] += int64(sign) * int64(c)
+		p.sink.EmitOps(nil, p.invs[:ki])
+		left -= c
+	}
+	p.tally.MemoryAccesses += p.accBurst * int64(count)
+}
+
+// planReflect is reflectUpdate with the bucket writes lifted into
+// InvOps.
+//
+//hifind:hot
+func (p *Planner) planReflect(key uint64, v int32, n int64) {
+	r := p.ref
+	r.Reflect.FillPlan(key, sketch.PowersOf(key), p.plans.reflect)
+	ki := p.emitInv(0, segReflect, p.plans.reflect, v)
+	p.tally.Totals[segReflect] += int64(v)
+	p.tally.MemoryAccesses += p.accReflect * n
+	p.sink.EmitOps(nil, p.invs[:ki])
+}
+
+// planReflectFlow is reflectFlow for the sharded path.
+//
+//hifind:hot
+func (p *Planner) planReflectFlow(key uint64, count int, sign int32) {
+	r := p.ref
+	r.Reflect.FillPlan(key, sketch.PowersOf(key), p.plans.reflect)
+	for left := count; left > 0; {
+		c := left
+		if c > flowChunk {
+			c = flowChunk
+		}
+		ki := p.emitInv(0, segReflect, p.plans.reflect, sign*int32(c))
+		p.tally.Totals[segReflect] += int64(sign) * int64(c)
+		p.sink.EmitOps(nil, p.invs[:ki])
+		left -= c
+	}
+	p.tally.MemoryAccesses += p.accReflect * int64(count)
 }
 
 // planFused is updateFused with the counter writes lifted into ops:

@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"math/rand"
 	"testing"
+	"time"
 
+	"github.com/hifind/hifind/internal/burst"
 	"github.com/hifind/hifind/internal/netmodel"
 )
 
@@ -28,28 +30,48 @@ func shardTestConfigs(t *testing.T) map[string]RecorderConfig {
 	cached.FlowCache = 256
 	cachedInv := inv
 	cachedInv.FlowCache = 256
+	// Burst + reflection monitors ride the InvOp lane; exercise them
+	// over both inference engines and with the producer cache (which
+	// they must bypass).
+	scenario := base
+	scenario.BurstSlots = 4
+	scenario.BurstWindow = 500 * time.Millisecond
+	scenario.Reflection = true
+	scenarioInvCached := cachedInv
+	scenarioInvCached.BurstSlots = 4
+	scenarioInvCached.BurstWindow = 500 * time.Millisecond
+	scenarioInvCached.Reflection = true
 	return map[string]RecorderConfig{
-		"reverse":           base,
-		"invertible":        inv,
-		"reverse-cached":    cached,
-		"invertible-cached": cachedInv,
+		"reverse":                    base,
+		"invertible":                 inv,
+		"reverse-cached":             cached,
+		"invertible-cached":          cachedInv,
+		"scenario-reverse":           scenario,
+		"scenario-invertible-cached": scenarioInvCached,
 	}
 }
 
+var shardTestEpoch = time.Date(2005, 5, 10, 0, 0, 0, 0, time.UTC)
+
 func shardTestPacket(rng *rand.Rand) netmodel.Packet {
 	pkt := netmodel.Packet{
-		SrcIP:   netmodel.IPv4(rng.Uint32()%512 + 1),
-		DstIP:   netmodel.IPv4(rng.Uint32()%512 + 1),
-		SrcPort: uint16(rng.Uint32() % 128),
-		DstPort: uint16(rng.Uint32() % 128),
+		Timestamp: shardTestEpoch.Add(time.Duration(rng.Int63n(int64(10 * time.Second)))),
+		SrcIP:     netmodel.IPv4(rng.Uint32()%512 + 1),
+		DstIP:     netmodel.IPv4(rng.Uint32()%512 + 1),
+		SrcPort:   uint16(rng.Uint32() % 128),
+		DstPort:   uint16(rng.Uint32() % 128),
 	}
-	switch rng.Intn(4) {
+	switch rng.Intn(6) {
 	case 0:
 		pkt.Dir, pkt.Flags = netmodel.Inbound, netmodel.FlagSYN
 	case 1:
 		pkt.Dir, pkt.Flags = netmodel.Outbound, netmodel.FlagSYN|netmodel.FlagACK
 	case 2:
 		pkt.Dir, pkt.Flags = netmodel.Inbound, netmodel.FlagACK
+	case 3:
+		pkt.Dir, pkt.Flags = netmodel.Outbound, netmodel.FlagSYN
+	case 4:
+		pkt.Dir, pkt.Flags = netmodel.Inbound, netmodel.FlagSYN|netmodel.FlagACK
 	default:
 		pkt.Dir, pkt.Flags = netmodel.Outbound, netmodel.FlagRST
 	}
@@ -58,16 +80,24 @@ func shardTestPacket(rng *rand.Rand) netmodel.Packet {
 
 func shardTestFlow(rng *rand.Rand) netmodel.FlowRecord {
 	rec := netmodel.FlowRecord{
+		Start:   shardTestEpoch.Add(time.Duration(rng.Int63n(int64(10 * time.Second)))),
 		SrcIP:   netmodel.IPv4(rng.Uint32()%512 + 1),
 		DstIP:   netmodel.IPv4(rng.Uint32()%512 + 1),
 		SrcPort: uint16(rng.Uint32() % 128),
 		DstPort: uint16(rng.Uint32() % 128),
 	}
-	if rng.Intn(2) == 0 {
+	switch rng.Intn(4) {
+	case 0:
 		rec.Dir = netmodel.Inbound
 		rec.SYNs = rng.Intn(50)
-	} else {
+	case 1:
 		rec.Dir = netmodel.Outbound
+		rec.SYNACKs = rng.Intn(50)
+	case 2:
+		rec.Dir = netmodel.Outbound
+		rec.SYNs = rng.Intn(50)
+	default:
+		rec.Dir = netmodel.Inbound
 		rec.SYNACKs = rng.Intn(50)
 	}
 	return rec
@@ -151,6 +181,11 @@ func TestPlannerMatchesSequential(t *testing.T) {
 func TestShardOwnerPartition(t *testing.T) {
 	cfg := TestRecorderConfig(0x5eed)
 	cfg.Inference = InferenceInvertible
+	// Every slot of a maximal burst monitor plus the reflection monitor,
+	// so the loop below covers the full segment space.
+	cfg.BurstSlots = burst.MaxSlots
+	cfg.BurstWindow = time.Second
+	cfg.Reflection = true
 	r, err := NewRecorder(cfg)
 	if err != nil {
 		t.Fatal(err)

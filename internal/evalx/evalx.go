@@ -160,8 +160,74 @@ func (m *Matcher) matches(a core.Alert, atk trace.Attack) bool {
 	case core.AlertBlockScan:
 		return atk.Type == trace.BlockScan &&
 			len(atk.Attackers) > 0 && a.SIP == atk.Attackers[0]
+	case core.AlertBurstFlood:
+		if atk.Type != trace.BurstPulse {
+			return false
+		}
+		targets := atk.Targets
+		if targets < 1 {
+			targets = 1
+		}
+		if a.DIP < atk.Victim || a.DIP >= atk.Victim+netmodel.IPv4(targets) {
+			return false
+		}
+		for _, p := range atk.Ports {
+			if a.Port == p {
+				return true
+			}
+		}
+		return false
+	case core.AlertPersistScan:
+		if atk.Type != trace.StealthScan {
+			return false
+		}
+		if len(atk.Attackers) == 0 || a.SIP != atk.Attackers[0] {
+			return false
+		}
+		for _, p := range atk.Ports {
+			if a.Port == p {
+				return true
+			}
+		}
+		return false
+	case core.AlertReflection:
+		if atk.Type != trace.Reflection {
+			return false
+		}
+		if a.DIP != atk.Victim {
+			return false
+		}
+		for _, p := range atk.Ports {
+			if a.Port == p {
+				return true
+			}
+		}
+		return false
 	default:
 		return false
+	}
+}
+
+// truthTypes lists the ground-truth attack types an alert type is allowed
+// to claim — the recall denominator of ScoreType.
+func truthTypes(typ core.AlertType) []trace.AttackType {
+	switch typ {
+	case core.AlertSYNFlood:
+		return []trace.AttackType{trace.SYNFlood}
+	case core.AlertHScan:
+		return []trace.AttackType{trace.HorizontalScan, trace.BlockScan}
+	case core.AlertVScan:
+		return []trace.AttackType{trace.VerticalScan, trace.BlockScan}
+	case core.AlertBlockScan:
+		return []trace.AttackType{trace.BlockScan}
+	case core.AlertBurstFlood:
+		return []trace.AttackType{trace.BurstPulse}
+	case core.AlertPersistScan:
+		return []trace.AttackType{trace.StealthScan}
+	case core.AlertReflection:
+		return []trace.AttackType{trace.Reflection}
+	default:
+		return nil
 	}
 }
 
@@ -197,6 +263,95 @@ func (m *Matcher) Evaluate(alerts map[core.AlertKey]core.Alert) Outcome {
 		}
 	}
 	return out
+}
+
+// Score holds one detector's precision/recall against ground truth:
+// alerts of one type scored only against the attack types that detector
+// is supposed to find.
+type Score struct {
+	Type           core.AlertType
+	TruePositives  int
+	FalsePositives int
+	// Attacks counts ground-truth events of the detector's target types;
+	// Detected counts those claimed by at least one matching alert.
+	Attacks  int
+	Detected int
+}
+
+// Precision is TP/(TP+FP). With no alerts at all there are no false
+// claims, so an idle detector scores a vacuous 1.
+func (s Score) Precision() float64 {
+	if s.TruePositives+s.FalsePositives == 0 {
+		return 1
+	}
+	return float64(s.TruePositives) / float64(s.TruePositives+s.FalsePositives)
+}
+
+// Recall is Detected/Attacks, vacuously 1 when the trace carries no
+// attacks of the detector's target types.
+func (s Score) Recall() float64 {
+	if s.Attacks == 0 {
+		return 1
+	}
+	return float64(s.Detected) / float64(s.Attacks)
+}
+
+// ScoreType computes one detector's precision/recall: only alerts of typ
+// are scored, and only attacks of typ's target types count toward recall.
+func (m *Matcher) ScoreType(alerts map[core.AlertKey]core.Alert, typ core.AlertType) Score {
+	s := Score{Type: typ}
+	matched := make(map[int]bool)
+	for _, a := range alerts {
+		if a.Type != typ {
+			continue
+		}
+		hit := false
+		for i, atk := range m.attacks {
+			if m.matches(a, atk) {
+				matched[i] = true
+				hit = true
+			}
+		}
+		if hit {
+			s.TruePositives++
+		} else {
+			s.FalsePositives++
+		}
+	}
+	want := truthTypes(typ)
+	for i, atk := range m.attacks {
+		target := false
+		for _, t := range want {
+			if atk.Type == t {
+				target = true
+				break
+			}
+		}
+		if !target {
+			continue
+		}
+		s.Attacks++
+		if matched[i] {
+			s.Detected++
+		}
+	}
+	return s
+}
+
+// FormatScores renders per-detector Score rows as a text table.
+func FormatScores(scores []Score) string {
+	rows := make([][]string, 0, len(scores))
+	for _, s := range scores {
+		rows = append(rows, []string{
+			s.Type.String(),
+			fmt.Sprintf("%d", s.TruePositives),
+			fmt.Sprintf("%d", s.FalsePositives),
+			fmt.Sprintf("%d/%d", s.Detected, s.Attacks),
+			fmt.Sprintf("%.2f", s.Precision()),
+			fmt.Sprintf("%.2f", s.Recall()),
+		})
+	}
+	return FormatTable([]string{"detector", "TP", "FP", "attacks", "precision", "recall"}, rows)
 }
 
 // ScannerIPs extracts the distinct horizontal-scan sources of a deduped

@@ -1,0 +1,201 @@
+package persist
+
+import (
+	"bytes"
+	"testing"
+)
+
+func testConfig() Config {
+	return Config{MinIntervals: 3, MaxGap: 1, MaxEntries: 64}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{MinIntervals: 0, MaxGap: 1, MaxEntries: 8},
+		{MinIntervals: 1, MaxGap: -1, MaxEntries: 8},
+		{MinIntervals: 1, MaxGap: 1, MaxEntries: 0},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, cfg)
+		}
+	}
+	if err := testConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreakBuildsAndAlerts(t *testing.T) {
+	tr, err := NewTracker(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = uint64(0xFEED)
+	for i := uint64(1); i <= 2; i++ {
+		if got := tr.Advance(i, []Observation{{Key: key, Estimate: 20}}); len(got) != 0 {
+			t.Fatalf("interval %d: premature finding %+v", i, got)
+		}
+	}
+	got := tr.Advance(3, []Observation{{Key: key, Estimate: 25}})
+	if len(got) != 1 || got[0].Key != key || got[0].Streak != 3 {
+		t.Fatalf("interval 3: got %+v, want streak-3 finding for %#x", got, key)
+	}
+	if got[0].Estimate != 25 {
+		t.Errorf("estimate %v, want max-over-streak 25", got[0].Estimate)
+	}
+	// Keeps alerting while the streak continues.
+	got = tr.Advance(4, []Observation{{Key: key, Estimate: 18}})
+	if len(got) != 1 || got[0].Streak != 4 || got[0].Estimate != 25 {
+		t.Fatalf("interval 4: got %+v", got)
+	}
+}
+
+func TestGapToleranceAndReset(t *testing.T) {
+	tr, _ := NewTracker(testConfig()) // MaxGap 1: one skipped interval allowed
+	const key = uint64(0x1111)
+	tr.Advance(1, []Observation{{Key: key, Estimate: 10}})
+	tr.Advance(3, []Observation{{Key: key, Estimate: 10}}) // gap of 1: streak continues
+	if got := tr.Streak(key); got != 2 {
+		t.Fatalf("streak after tolerated gap = %d, want 2", got)
+	}
+	tr.Advance(6, []Observation{{Key: key, Estimate: 10}}) // gap of 2: reset
+	if got := tr.Streak(key); got != 1 {
+		t.Fatalf("streak after oversized gap = %d, want 1", got)
+	}
+}
+
+func TestLazyPrune(t *testing.T) {
+	tr, _ := NewTracker(testConfig())
+	tr.Advance(1, []Observation{{Key: 0xAA, Estimate: 10}})
+	tr.Advance(2, []Observation{{Key: 0xBB, Estimate: 10}})
+	// 0xAA last seen at 1; by interval 4 its gap exceeds MaxGap+1.
+	tr.Advance(4, []Observation{{Key: 0xBB, Estimate: 10}})
+	if tr.Len() != 1 || tr.Streak(0xAA) != 0 {
+		t.Fatalf("stale key not pruned: len=%d streak=%d", tr.Len(), tr.Streak(0xAA))
+	}
+}
+
+func TestDuplicateWithinInterval(t *testing.T) {
+	tr, _ := NewTracker(testConfig())
+	obs := []Observation{{Key: 0xCC, Estimate: 10}, {Key: 0xCC, Estimate: 30}}
+	tr.Advance(1, obs)
+	if got := tr.Streak(0xCC); got != 1 {
+		t.Fatalf("duplicate sightings advanced streak to %d within one interval", got)
+	}
+	tr.Advance(2, obs)
+	got := tr.Advance(3, obs)
+	if len(got) != 1 {
+		t.Fatalf("findings %+v, want exactly one for the duplicated key", got)
+	}
+	if got[0].Estimate != 30 {
+		t.Errorf("estimate %v, want max 30", got[0].Estimate)
+	}
+}
+
+func TestDeterministicEviction(t *testing.T) {
+	cfg := Config{MinIntervals: 2, MaxGap: 0, MaxEntries: 4}
+	a, _ := NewTracker(cfg)
+	b, _ := NewTracker(cfg)
+	obs := []Observation{
+		{Key: 9, Estimate: 1}, {Key: 3, Estimate: 1}, {Key: 7, Estimate: 1},
+		{Key: 1, Estimate: 1}, {Key: 5, Estimate: 1}, {Key: 8, Estimate: 1},
+	}
+	rev := make([]Observation, len(obs))
+	for i := range obs {
+		rev[len(obs)-1-i] = obs[i]
+	}
+	a.Advance(1, obs)
+	b.Advance(1, rev)
+	ab, _ := a.MarshalBinary()
+	bb, _ := b.MarshalBinary()
+	if !bytes.Equal(ab, bb) {
+		t.Fatal("eviction depends on observation order")
+	}
+	if a.Len() != cfg.MaxEntries {
+		t.Fatalf("len %d, want cap %d", a.Len(), cfg.MaxEntries)
+	}
+	// Equal streak and lastSeen: largest keys evicted first, 1/3/5/7 stay.
+	for _, key := range []uint64{1, 3, 5, 7} {
+		if a.Streak(key) != 1 {
+			t.Errorf("key %d evicted, want kept", key)
+		}
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	tr, _ := NewTracker(testConfig())
+	tr.Advance(1, []Observation{{Key: 2, Estimate: 11.5}, {Key: 1, Estimate: 4}})
+	tr.Advance(2, []Observation{{Key: 2, Estimate: 12}})
+	blob, err := tr.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, _ := NewTracker(testConfig())
+	if err := back.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	blob2, _ := back.MarshalBinary()
+	if !bytes.Equal(blob, blob2) {
+		t.Fatal("marshal round trip not byte-identical")
+	}
+	if back.Streak(2) != 2 || back.Streak(1) != 1 {
+		t.Fatalf("restored streaks wrong: %d %d", back.Streak(2), back.Streak(1))
+	}
+	if err := back.UnmarshalBinary(blob[:5]); err == nil {
+		t.Fatal("accepted truncated blob")
+	}
+}
+
+// FuzzPersistence drives random observation streams through the
+// tracker: no panics, streaks move at most one step per interval
+// (monotone within an interval), findings are deterministic, and the
+// table never exceeds its cap.
+func FuzzPersistence(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(bytes.Repeat([]byte{0xAB}, 40))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg := Config{MinIntervals: 2, MaxGap: 1, MaxEntries: 8}
+		tr, err := NewTracker(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mirror, _ := NewTracker(cfg)
+		interval := uint64(0)
+		for len(data) >= 4 {
+			interval += uint64(data[0]%3) + 1
+			n := int(data[1] % 5)
+			data = data[2:]
+			var obs []Observation
+			for i := 0; i < n && len(data) >= 2; i++ {
+				obs = append(obs, Observation{
+					Key:      uint64(data[0] % 16),
+					Estimate: float64(data[1]),
+				})
+				data = data[2:]
+			}
+			before := make(map[uint64]int)
+			for k := uint64(0); k < 16; k++ {
+				before[k] = tr.Streak(k)
+			}
+			got := tr.Advance(interval, obs)
+			again := mirror.Advance(interval, obs)
+			if len(got) != len(again) {
+				t.Fatalf("nondeterministic findings: %d vs %d", len(got), len(again))
+			}
+			for i := range got {
+				if got[i] != again[i] {
+					t.Fatalf("nondeterministic finding %d: %+v vs %+v", i, got[i], again[i])
+				}
+			}
+			for k := uint64(0); k < 16; k++ {
+				if s := tr.Streak(k); s > before[k]+1 {
+					t.Fatalf("key %d streak jumped %d→%d in one interval", k, before[k], s)
+				}
+			}
+			if tr.Len() > cfg.MaxEntries {
+				t.Fatalf("table %d over cap %d", tr.Len(), cfg.MaxEntries)
+			}
+		}
+	})
+}

@@ -283,7 +283,7 @@ func New(cfg Config) (*Engine, error) {
 	// fleet of producers; beyond it, getBatch falls back to allocating
 	// (cold path only, excess buffers are dropped).
 	const producerSlack = 16
-	invertible := cfg.Recorder.Inference == core.InferenceInvertible
+	invertible := cfg.Recorder.NeedsInvOps()
 	total := cfg.Workers * (cfg.QueueDepth + 1 + producerSlack)
 	e.free = make(chan *opBatch, total)
 	for i := 0; i < total; i++ {
@@ -500,7 +500,7 @@ func (e *Engine) getBatch() *opBatch {
 		// Oversubscription fallback, once per excess producer per
 		// rotation at worst — not a per-packet allocation; putBatch
 		// sheds the extras back to the designed pool size.
-		return newOpBatch(e.cfg.BatchSize, e.cfg.Recorder.Inference == core.InferenceInvertible)
+		return newOpBatch(e.cfg.BatchSize, e.cfg.Recorder.NeedsInvOps())
 	}
 }
 

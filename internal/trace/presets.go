@@ -156,6 +156,120 @@ func LBLConfig(seed int64, intervals int, scale float64) Config {
 	return cfg
 }
 
+// BurstSlotCount is the sub-interval slot count the burst preset is
+// aligned with: WithBurstDetection(BurstSlotCount) divides the one-minute
+// interval into 7.5-second windows, and every pulse below is confined to
+// the interior of one window so a whole pulse lands in a single slot.
+const BurstSlotCount = 8
+
+// BurstPulseConfig builds the burst-flood scenario: spoofed SYN pulses
+// whose per-interval totals stay under the detection threshold (so the
+// EWMA path never alarms) but whose SYNs are compressed into a few
+// seconds of each interval, plus one sustained flood the burst detector's
+// long-duration filter must hand back to the EWMA path. intervals must be
+// at least 6.
+func BurstPulseConfig(seed int64, intervals int) Config {
+	prefix := netmodel.MustParseIPv4("129.105.0.0")
+	cfg := Config{
+		Seed:            seed,
+		Start:           time.Date(2005, 5, 10, 0, 0, 0, 0, time.UTC),
+		Interval:        time.Minute,
+		Intervals:       intervals,
+		InternalPrefix:  prefix,
+		Servers:         40,
+		BackgroundFlows: 400,
+		OutboundFlows:   80,
+		FailRate:        0.04,
+	}
+	window := cfg.Interval / BurstSlotCount // 7.5s
+	cfg.Attacks = []Attack{
+		{Type: BurstPulse, Spoofed: true, Victim: prefix | 0x9b01,
+			Ports: []uint16{80}, StartInterval: 1, EndInterval: intervals - 2,
+			Rate: 48, BurstOffset: 2*window + 500*time.Millisecond, BurstWidth: 4 * time.Second,
+			Cause: "spoofed pulse flood (sub-interval burst)"},
+		{Type: BurstPulse, Spoofed: true, Victim: prefix | 0xa447,
+			Ports: []uint16{443}, StartInterval: 2, EndInterval: intervals - 1,
+			Rate: 45, BurstOffset: 4*window + time.Second, BurstWidth: 5 * time.Second,
+			Cause: "spoofed pulse flood (sub-interval burst)"},
+		// The sustained flood exceeds the threshold in every slot and in
+		// the interval total: the EWMA path owns it, and the burst
+		// detector's across-slot filter must suppress it.
+		{Type: SYNFlood, Spoofed: true, Victim: prefix | 0x8d10,
+			Ports: []uint16{25}, StartInterval: 2, EndInterval: intervals - 2,
+			Rate: floodRate, ResponseRate: 0.1, Cause: "sustained spoofed flood"},
+	}
+	return cfg
+}
+
+// StealthScanConfig builds the persistent-and-sparse scenario: horizontal
+// scans whose per-interval rates sit in the sparse band below the
+// detection threshold but recur interval after interval, plus one fast
+// scan the EWMA path already owns. intervals must be at least 8.
+func StealthScanConfig(seed int64, intervals int) Config {
+	prefix := netmodel.MustParseIPv4("129.105.0.0")
+	cfg := Config{
+		Seed:            seed,
+		Start:           time.Date(2005, 5, 10, 0, 0, 0, 0, time.UTC),
+		Interval:        time.Minute,
+		Intervals:       intervals,
+		InternalPrefix:  prefix,
+		Servers:         40,
+		BackgroundFlows: 400,
+		OutboundFlows:   80,
+		FailRate:        0.04,
+	}
+	cfg.Attacks = []Attack{
+		{Type: StealthScan, Attackers: []netmodel.IPv4{0x172a0c05}, // 23.42.12.5
+			Victim: prefix & 0xffff0000, Ports: []uint16{23}, Targets: 1000,
+			StartInterval: 1, EndInterval: intervals - 1,
+			Rate: 2 * presetThreshold / 5, ResponseRate: 0.02,
+			Cause: "low-rate telnet sweep (below threshold, persistent)"},
+		{Type: StealthScan, Attackers: []netmodel.IPv4{0x2d130b07}, // 45.19.11.7
+			Victim: prefix & 0xffff0000, Ports: []uint16{1433}, Targets: 600,
+			StartInterval: 2, EndInterval: intervals - 1,
+			Rate: 3 * presetThreshold / 5, ResponseRate: 0.02,
+			Cause: "low-rate SQL sweep (below threshold, persistent)"},
+		// A conventional fast scan for contrast: its raw per-interval count
+		// exceeds the threshold, so the EWMA path alerts and the sparse
+		// band excludes it from persistence tracking.
+		{Type: HorizontalScan, Attackers: []netmodel.IPv4{0x3f200118}, // 63.32.1.24
+			Victim: prefix & 0xffff0000, Ports: []uint16{445}, Targets: 2000,
+			StartInterval: 2, EndInterval: intervals - 2,
+			Rate: 2 * presetThreshold, ResponseRate: 0.02, Cause: "fast worm scan"},
+	}
+	return cfg
+}
+
+// ReflectionConfig builds the reflection/amplification scenario: pools of
+// reflectors spread across distinct /8 networks fire unsolicited SYN/ACKs
+// at internal victims. The inbound-SYN structures never see the attack —
+// only the reflection detector's unsolicited-SYN/ACK balance does — and
+// the backscatter validator (pointed inbound) serves as the ground-truth
+// witness. intervals must be at least 6.
+func ReflectionConfig(seed int64, intervals int) Config {
+	prefix := netmodel.MustParseIPv4("129.105.0.0")
+	cfg := Config{
+		Seed:            seed,
+		Start:           time.Date(2005, 5, 10, 0, 0, 0, 0, time.UTC),
+		Interval:        time.Minute,
+		Intervals:       intervals,
+		InternalPrefix:  prefix,
+		Servers:         40,
+		BackgroundFlows: 400,
+		OutboundFlows:   120,
+		FailRate:        0.04,
+	}
+	cfg.Attacks = []Attack{
+		{Type: Reflection, Victim: prefix | 0x93c5, Ports: []uint16{53},
+			Reflectors: 24, StartInterval: 1, EndInterval: intervals - 2,
+			Rate: 200, Cause: "DNS reflection (24 reflectors)"},
+		{Type: Reflection, Victim: prefix | 0xb214, Ports: []uint16{123},
+			Reflectors: 30, StartInterval: 2, EndInterval: intervals - 1,
+			Rate: 150, Cause: "NTP reflection (30 reflectors)"},
+	}
+	return cfg
+}
+
 // presetBuilder derives deterministic attack placements from the seed.
 type presetBuilder struct {
 	cfg       *Config

@@ -38,6 +38,20 @@ const (
 	FlashCrowd
 	Congestion
 	Misconfig
+	// BurstPulse is a SYN flood compressed into a sub-interval window:
+	// all of the interval's attack SYNs land inside
+	// [BurstOffset, BurstOffset+BurstWidth) instead of spreading over the
+	// interval, so the per-interval rate stays under the EWMA detection
+	// threshold while the instantaneous rate is flood-like.
+	BurstPulse
+	// StealthScan is a horizontal scan whose per-interval rate sits below
+	// the detection threshold but persists across many intervals — the
+	// low-and-slow shape the persistence detector accumulates.
+	StealthScan
+	// Reflection is a SYN/ACK amplification attack: a reflector pool
+	// answers spoofed SYNs by firing unsolicited SYN/ACKs at the victim.
+	// The trace carries only the reflected leg (what the edge sees).
+	Reflection
 )
 
 // String names the type.
@@ -57,6 +71,12 @@ func (a AttackType) String() string {
 		return "congestion"
 	case Misconfig:
 		return "misconfig"
+	case BurstPulse:
+		return "burst-pulse"
+	case StealthScan:
+		return "stealth-scan"
+	case Reflection:
+		return "reflection"
 	default:
 		return fmt.Sprintf("attacktype(%d)", int(a))
 	}
@@ -66,7 +86,8 @@ func (a AttackType) String() string {
 // to a benign anomaly that a detector should *not* alert on).
 func (a AttackType) IsTrueAttack() bool {
 	switch a {
-	case SYNFlood, HorizontalScan, VerticalScan, BlockScan:
+	case SYNFlood, HorizontalScan, VerticalScan, BlockScan,
+		BurstPulse, StealthScan, Reflection:
 		return true
 	default:
 		return false
@@ -100,6 +121,15 @@ type Attack struct {
 	// (victims under flood still answer a trickle; scanned open ports
 	// answer; congested servers answer a little).
 	ResponseRate float64
+	// BurstOffset and BurstWidth confine a BurstPulse event's SYNs to
+	// [BurstOffset, BurstOffset+BurstWidth) within each active interval.
+	// Other types ignore both.
+	BurstOffset, BurstWidth time.Duration
+	// Reflectors is the size of a Reflection event's reflector pool; the
+	// pool addresses are the stable ReflectorIP(0..Reflectors-1) sequence,
+	// one per /8, so reflected traffic shows the source diversity the
+	// backscatter validator tests for. Other types ignore it.
+	Reflectors int
 	// Cause is the human-readable label used by the Tables 7–8 report.
 	Cause string
 }
@@ -188,8 +218,34 @@ func (c Config) Validate() error {
 		if len(a.Ports) == 0 && a.Type != FlashCrowd {
 			return fmt.Errorf("trace: attack %d has no ports", n)
 		}
+		if a.Type == BurstPulse {
+			if a.BurstOffset < 0 || a.BurstWidth < 0 {
+				return fmt.Errorf("trace: attack %d has negative burst window", n)
+			}
+			if a.BurstOffset+a.BurstWidth > c.Interval {
+				return fmt.Errorf("trace: attack %d burst window [%v,%v) leaves the interval",
+					n, a.BurstOffset, a.BurstOffset+a.BurstWidth)
+			}
+		}
+		if a.Type == Reflection && (a.Reflectors < 1 || a.Reflectors > maxReflectors) {
+			return fmt.Errorf("trace: attack %d has %d reflectors, want 1..%d",
+				n, a.Reflectors, maxReflectors)
+		}
 	}
 	return nil
+}
+
+// maxReflectors keeps every ReflectorIP in a distinct public /8 below the
+// loopback block.
+const maxReflectors = 100
+
+// ReflectorIP returns the stable address of reflector j of a Reflection
+// event. Consecutive reflectors land in consecutive /8 networks (11.x up),
+// all public and outside every preset edge prefix, so the reflected
+// SYN/ACKs show exactly the source diversity the backscatter validator's
+// distinct-/8 test looks for.
+func ReflectorIP(j int) netmodel.IPv4 {
+	return netmodel.IPv4(0x0b00000a + uint32(j)*0x01000003)
 }
 
 // Generator produces the packets of a configured trace.
@@ -362,7 +418,13 @@ func (b *intervalBuilder) ephemeral() uint16 {
 // for completed flows) of one client→server connection attempt. dirIn
 // says the client is external (the SYN travels into the edge).
 func (b *intervalBuilder) emitFlow(client, server netmodel.IPv4, sport, dport uint16, answered, completed bool, dirIn bool) {
-	ts := b.at()
+	b.emitFlowAt(b.at(), client, server, sport, dport, answered, completed, dirIn)
+}
+
+// emitFlowAt is emitFlow with a caller-chosen SYN timestamp, for events
+// (burst pulses) whose packets must land inside a specific sub-interval
+// window rather than anywhere in the interval.
+func (b *intervalBuilder) emitFlowAt(ts time.Time, client, server netmodel.IPv4, sport, dport uint16, answered, completed bool, dirIn bool) {
 	synDir, ackDir := netmodel.Inbound, netmodel.Outbound
 	if !dirIn {
 		synDir, ackDir = netmodel.Outbound, netmodel.Inbound
@@ -476,6 +538,14 @@ func (b *intervalBuilder) attack(a Attack, interval int) {
 		b.congestion(a)
 	case Misconfig:
 		b.misconfig(a)
+	case BurstPulse:
+		b.burstPulse(a)
+	case StealthScan:
+		// Identical mechanics to a horizontal scan; only the rate regime
+		// (below threshold, long-lived) and the ground-truth label differ.
+		b.hscan(a, interval)
+	case Reflection:
+		b.reflection(a)
 	}
 }
 
@@ -570,6 +640,42 @@ func (b *intervalBuilder) misconfig(a Attack) {
 			dst += netmodel.IPv4(n % a.Targets)
 		}
 		b.emitFlow(src, dst, b.ephemeral(), a.Ports[n%len(a.Ports)], false, false, true)
+	}
+}
+
+func (b *intervalBuilder) burstPulse(a Attack) {
+	// Every SYN of the pulse lands inside the attack's burst window
+	// instead of spreading over the interval: the per-interval total stays
+	// under the EWMA threshold while the instantaneous rate is flood-like.
+	width := a.BurstWidth
+	if width <= 0 {
+		width = b.span / 12
+	}
+	for n := 0; n < a.Rate; n++ {
+		ts := b.start.Add(a.BurstOffset + time.Duration(b.rng.Int63n(int64(width))))
+		var src netmodel.IPv4
+		if len(a.Attackers) > 0 && !a.Spoofed {
+			src = a.Attackers[b.rng.Intn(len(a.Attackers))]
+		} else {
+			src = b.externalIP()
+		}
+		answered := b.rng.Float64() < a.ResponseRate
+		b.emitFlowAt(ts, src, a.Victim, b.ephemeral(), a.Ports[n%len(a.Ports)], answered, false, true)
+	}
+}
+
+func (b *intervalBuilder) reflection(a Attack) {
+	// Only the reflected leg crosses the edge: unsolicited SYN/ACKs from
+	// the pool's service port toward ephemeral ports the victim never
+	// opened. The attacker's spoofed SYNs travel reflector-ward and are
+	// invisible here, which is exactly why the #SYN−#SYN/ACK structures
+	// keyed on inbound SYNs cannot see this attack.
+	for n := 0; n < a.Rate; n++ {
+		b.pkts = append(b.pkts, netmodel.Packet{
+			Timestamp: b.at(), SrcIP: ReflectorIP(n % a.Reflectors), DstIP: a.Victim,
+			SrcPort: a.Ports[0], DstPort: b.ephemeral(),
+			Flags: netmodel.FlagSYN | netmodel.FlagACK, Dir: netmodel.Inbound, Wire: 40,
+		})
 	}
 }
 

@@ -23,16 +23,20 @@ import (
 )
 
 func TestShardedIdentityMatrix(t *testing.T) {
-	workerCounts := []int{1, 2, 4, 8}
+	workerCounts := []int{1, 2, 3, 4, 8}
 	cacheSizes := []int{0, 1024}
-	if testing.Short() {
-		workerCounts = []int{4}
+	if testing.Short() || raceEnabled {
+		// One concurrent worker count is enough for -short iteration and
+		// for the race detector (any count ≥2 exercises the concurrent
+		// paths); the full sweep runs in the regular test step.
+		workerCounts = []int{3}
 	}
 	modes := map[string][]hifind.Option{
 		"reverse":    nil,
 		"invertible": {hifind.WithInvertibleInference()},
 	}
-	for name, cfg := range goldenScenarios() {
+	for name, sc := range goldenScenarios() {
+		cfg := sc.cfg
 		g, err := trace.New(cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -47,7 +51,7 @@ func TestShardedIdentityMatrix(t *testing.T) {
 
 		for mode, modeOpts := range modes {
 			t.Run(name+"/"+mode, func(t *testing.T) {
-				seq := newCompact(t, modeOpts...)
+				seq := newCompact(t, sc.options(modeOpts...)...)
 				wantAlerts := replayGolden(t, capture, edge, seq)
 				wantState, err := seq.SaveState()
 				if err != nil {
@@ -77,13 +81,13 @@ func TestShardedIdentityMatrix(t *testing.T) {
 
 				// Sequential with the flow cache: same wire bytes, alerts.
 				check("sequential/cached",
-					newCompact(t, append([]hifind.Option{hifind.WithFlowCache(1024)}, modeOpts...)...))
+					newCompact(t, sc.options(append([]hifind.Option{hifind.WithFlowCache(1024)}, modeOpts...)...)...))
 
 				for _, workers := range workerCounts {
 					for _, cache := range cacheSizes {
-						opts := append([]hifind.Option{
+						opts := sc.options(append([]hifind.Option{
 							hifind.WithWorkers(workers), hifind.WithBatchSize(64),
-						}, modeOpts...)
+						}, modeOpts...)...)
 						variant := fmt.Sprintf("workers-%d/uncached", workers)
 						if cache > 0 {
 							opts = append(opts, hifind.WithFlowCache(cache))

@@ -28,6 +28,9 @@ type config struct {
 	legacyEngine       bool
 	invertible         bool
 	flowCache          int
+	burstSlots         int
+	persistScan        bool
+	reflection         bool
 	// Parallel-only knobs (NewParallel); New ignores them.
 	workers    int
 	batchSize  int
@@ -251,6 +254,52 @@ func WithFlowCache(entries int) Option {
 	}
 }
 
+// WithBurstDetection adds the sub-interval burst monitor: the interval
+// is cut into slots windows, each backed by its own invertible sketch,
+// and a {DIP,Dport} key whose un-responded-SYN mass concentrates in one
+// window while the interval total stays below the flood threshold
+// raises a burst-flood alert. This is the pulse attack the
+// interval-grain EWMA structurally cannot see — 48 SYNs in 4 seconds is
+// invisible at a 60-per-minute threshold, devastating at the window
+// scale. Slots must be in [1, 16]; 8 gives 7.5-second windows at the
+// default one-minute interval.
+func WithBurstDetection(slots int) Option {
+	return func(c *config) error {
+		if slots < 1 || slots > 16 {
+			return fmt.Errorf("hifind: burst slots %d out of [1, 16]", slots)
+		}
+		c.burstSlots = slots
+		return nil
+	}
+}
+
+// WithPersistentFlowDetection adds the persistent-and-sparse flow
+// detector: {SIP,Dport} keys sitting in the sub-threshold band of the
+// raw un-responded-SYN counts interval after interval build a streak,
+// and a long enough streak alerts. A scanner pacing itself below the
+// per-interval threshold evades the EWMA channel entirely — the rate is
+// steady, so the forecast absorbs it — but cannot avoid persisting.
+func WithPersistentFlowDetection() Option {
+	return func(c *config) error {
+		c.persistScan = true
+		return nil
+	}
+}
+
+// WithReflectionDetection adds the reflection/amplification monitor: an
+// invertible sketch over {local host, remote service port} that
+// subtracts outbound SYNs and adds inbound SYN/ACKs. Benign round
+// trips cancel; reflected floods — SYN/ACK backscatter from reflectors
+// that never saw a SYN from us — accumulate and alert. These packet
+// classes are invisible to the SYN-side structures the three-step
+// pipeline reads.
+func WithReflectionDetection() Option {
+	return func(c *config) error {
+		c.reflection = true
+		return nil
+	}
+}
+
 // WithWorkers sets the shard count of a NewParallel detector (default
 // runtime.GOMAXPROCS(0)). A sequential Detector ignores it.
 func WithWorkers(n int) Option {
@@ -348,6 +397,11 @@ func (c config) build() (core.RecorderConfig, core.DetectorConfig) {
 		rcfg.Inference = core.InferenceInvertible
 	}
 	rcfg.FlowCache = c.flowCache
+	if c.burstSlots > 0 {
+		rcfg.BurstSlots = c.burstSlots
+		rcfg.BurstWindow = c.interval / time.Duration(c.burstSlots)
+	}
+	rcfg.Reflection = c.reflection
 	dcfg := core.DetectorConfig{
 		Threshold:           c.thresholdPerSecond * c.interval.Seconds(),
 		Alpha:               c.alpha,
@@ -357,6 +411,7 @@ func (c config) build() (core.RecorderConfig, core.DetectorConfig) {
 		MinSynRatio:         c.minSynRatio,
 		DisablePhase2:       c.disablePhase2,
 		DisablePhase3:       c.disablePhase3,
+		PersistScan:         c.persistScan,
 	}
 	return rcfg, dcfg
 }

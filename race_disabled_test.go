@@ -1,0 +1,6 @@
+//go:build !race
+
+package hifind_test
+
+// See race_enabled_test.go.
+const raceEnabled = false

@@ -1,0 +1,10 @@
+//go:build race
+
+package hifind_test
+
+// raceEnabled reports that this test binary carries the race detector.
+// The identity matrix trims its worker sweep on race builds (see
+// matrix_test.go): every replay costs roughly an order of magnitude
+// more instrumented, and the full sweep's byte-identity is already
+// enforced by the regular test step of make check.
+const raceEnabled = true
